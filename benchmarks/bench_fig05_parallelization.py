@@ -1,0 +1,13 @@
+"""Figure 5 bench: Jigsaw-L vs Jigsaw-S cycle breakdown."""
+
+from repro.bench.experiments import fig05_parallelization as fig05
+
+from conftest import emit
+
+
+def test_fig05_parallelization(benchmark):
+    cfg = fig05.Fig05Config(n_tuples=20_000, n_attrs=64, n_train=24)
+    result = benchmark.pedantic(fig05.run, args=(cfg,), rounds=1, iterations=1)
+    emit(result)
+    rows = {(r["threads"], r["strategy"]): r for r in result.rows}
+    assert rows[(36, "Irregular-S")]["total_s"] < rows[(36, "Irregular-L")]["total_s"]

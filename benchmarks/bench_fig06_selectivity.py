@@ -1,0 +1,24 @@
+"""Figure 6 bench: selectivity sweep over all seven layouts."""
+
+from repro.bench.experiments import fig06_selectivity as fig06
+
+from conftest import emit
+
+
+def test_fig06_selectivity(benchmark):
+    cfg = fig06.Fig06Config(
+        n_tuples=16_000,
+        n_attrs=96,
+        n_train=60,
+        n_eval=2,
+        selectivities=(0.05, 0.4, 1.0),
+        projectivity=10,
+        schism_sample=400,
+        min_segment_bytes=8 * 1024,
+    )
+    result = benchmark.pedantic(fig06.run, args=(cfg,), rounds=1, iterations=1)
+    emit(result)
+    low = {r["layout"]: r for r in result.filtered(selectivity=0.05)}
+    # The headline: Irregular beats Column at moderate selectivity.
+    assert low["Irregular"]["time_s"] < low["Column"]["time_s"]
+    assert low["Irregular"]["mb_read"] < low["Column"]["mb_read"]

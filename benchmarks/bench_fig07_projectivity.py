@@ -1,0 +1,21 @@
+"""Figure 7 bench: projectivity sweep over all seven layouts."""
+
+from repro.bench.experiments import fig07_projectivity as fig07
+
+from conftest import emit
+
+
+def test_fig07_projectivity(benchmark):
+    cfg = fig07.Fig07Config(
+        n_tuples=16_000,
+        n_attrs=96,
+        n_train=60,
+        n_eval=2,
+        projectivities=(1, 10, 48),
+        schism_sample=400,
+        min_segment_bytes=8 * 1024,
+    )
+    result = benchmark.pedantic(fig07.run, args=(cfg,), rounds=1, iterations=1)
+    emit(result)
+    wide = {r["layout"]: r for r in result.filtered(projectivity=48)}
+    assert wide["Irregular"]["mb_read"] < wide["Column"]["mb_read"]

@@ -1,0 +1,24 @@
+"""Figure 8 bench: query-template-count sweep over all seven layouts."""
+
+from repro.bench.experiments import fig08_templates as fig08
+
+from conftest import emit
+
+
+def test_fig08_templates(benchmark):
+    cfg = fig08.Fig08Config(
+        n_tuples=16_000,
+        n_attrs=96,
+        n_train=60,
+        n_eval=2,
+        template_counts=(2, 8),
+        projectivity=10,
+        schism_sample=400,
+        min_segment_bytes=8 * 1024,
+    )
+    result = benchmark.pedantic(fig08.run, args=(cfg,), rounds=1, iterations=1)
+    emit(result)
+    few = {r["layout"]: r for r in result.filtered(n_templates=2)}
+    many = {r["layout"]: r for r in result.filtered(n_templates=8)}
+    # Irregular's I/O volume grows as templates fragment the table.
+    assert many["Irregular"]["mb_read"] > few["Irregular"]["mb_read"]

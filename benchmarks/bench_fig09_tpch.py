@@ -1,0 +1,20 @@
+"""Figure 9 bench: end-to-end TPC-H on the denormalized LINEITEM table."""
+
+from repro.bench.experiments import fig09_tpch as fig09
+
+from conftest import emit
+
+
+def test_fig09_tpch(benchmark):
+    cfg = fig09.Fig09Config(scale_factor=0.005, n_train=60, n_eval=10, schism_sample=400)
+    result = benchmark.pedantic(fig09.run, args=(cfg,), rounds=1, iterations=1)
+    emit(result)
+    by_layout = {
+        r["layout"]: r for r in result.rows if not r["layout"].startswith("bytes[")
+    }
+    # Irregular transfers less than the row-order baselines and stays within
+    # ~2x of the strictly necessary volume (paper: 72.5 GB vs 43.8 GB).
+    assert by_layout["Irregular"]["mb_read"] < by_layout["Row"]["mb_read"]
+    assert by_layout["Irregular"]["mb_read"] < by_layout["Column"]["mb_read"]
+    necessary = result.parameters["necessary_mb"]
+    assert by_layout["Irregular"]["mb_read"] < 2.5 * necessary

@@ -1,0 +1,13 @@
+"""Figure 10 bench: in-memory arithmetic query vs the MonetDB-style engine."""
+
+from repro.bench.experiments import fig10_inmemory as fig10
+
+from conftest import emit
+
+
+def test_fig10_inmemory(benchmark):
+    cfg = fig10.Fig10Config(n_tuples=100_000, n_attrs=16, n_summed=8)
+    result = benchmark.pedantic(fig10.run, args=(cfg,), rounds=1, iterations=1)
+    emit(result)
+    full = {r["engine"]: r for r in result.filtered(selectivity=1.0)}
+    assert full["MonetDB"]["time_s"] > full["Jigsaw-Mem"]["time_s"]

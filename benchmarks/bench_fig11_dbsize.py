@@ -1,0 +1,21 @@
+"""Figure 11 bench: database-size sweep with warm data (simulated OS cache)."""
+
+from repro.bench.experiments import fig11_dbsize as fig11
+
+from conftest import emit
+
+
+def test_fig11_dbsize(benchmark):
+    cfg = fig11.Fig11Config(
+        cardinalities=(2_000, 8_000, 32_000, 96_000),
+        reference_tuples=8_000,
+        n_attrs=64,
+        n_train=24,
+        n_eval=3,
+    )
+    result = benchmark.pedantic(fig11.run, args=(cfg,), rounds=1, iterations=1)
+    emit(result)
+    small = {r["layout"]: r for r in result.filtered(n_tuples=2_000)}
+    big = {r["layout"]: r for r in result.filtered(n_tuples=96_000)}
+    assert small["Column"]["time_s"] < small["Irregular"]["time_s"]
+    assert big["Irregular"]["time_s"] < big["Column"]["time_s"]

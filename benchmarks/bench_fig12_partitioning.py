@@ -1,0 +1,24 @@
+"""Figure 12 bench: partitioning time of Jigsaw vs Schism vs Peloton."""
+
+from repro.bench.experiments import fig12_partitioning as fig12
+
+from conftest import emit
+
+
+def test_fig12_partitioning(benchmark):
+    cfg = fig12.Fig12Config(
+        cardinalities=(5_000, 10_000, 20_000),
+        query_counts=(25, 50, 100),
+        fixed_cardinality=10_000,
+        fixed_queries=25,
+        n_attrs=96,
+    )
+    result = benchmark.pedantic(fig12.run, args=(cfg,), rounds=1, iterations=1)
+    emit(result)
+    card = result.filtered(part="a:cardinality")
+    # Peloton << Jigsaw; Schism grows superlinearly in cardinality.
+    assert all(row["peloton_s"] < row["jigsaw_s"] for row in card)
+    assert card[-1]["schism_s"] > card[0]["schism_s"] * 4
+    queries = result.filtered(part="b:queries")
+    # Jigsaw's partitioning time is superlinear in the number of queries.
+    assert queries[-1]["jigsaw_s"] > queries[0]["jigsaw_s"] * 2

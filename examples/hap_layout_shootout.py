@@ -1,0 +1,56 @@
+"""Layout shootout on the HAP benchmark (the paper's microbenchmark).
+
+Builds all seven layouts — Row, Row-H, Row-V, Column, Column-H, Hierarchical
+and Jigsaw's Irregular — for one HAP workload and compares simulated query
+time and bytes read on the three evaluation servers of Table 3.
+
+Run:  python examples/hap_layout_shootout.py
+"""
+
+from repro.bench.environments import MACHINES, scaled_context
+from repro.bench.reporting import format_bytes, format_seconds
+from repro.bench.runner import build_layouts, run_workload
+from repro.workloads.hap import hap_workload, make_hap_table
+
+SELECTIVITY = 0.1
+PROJECTIVITY = 16
+N_TEMPLATES = 2
+
+
+def main() -> None:
+    table = make_hap_table(n_tuples=24_000, n_attrs=160, seed=42)
+    print(f"HAP wide table: {table} ({format_bytes(table.sizeof())})")
+    train, templates = hap_workload(
+        table.meta, SELECTIVITY, PROJECTIVITY, N_TEMPLATES, n_queries=80, seed=1
+    )
+    eval_wl, _templates = hap_workload(
+        table.meta, SELECTIVITY, PROJECTIVITY, N_TEMPLATES, n_queries=3,
+        seed=2, templates=templates,
+    )
+    print(
+        f"workload: {len(train)} training / {len(eval_wl)} evaluation queries, "
+        f"selectivity {SELECTIVITY:.0%}, {PROJECTIVITY}/160 attributes projected\n"
+    )
+
+    for machine_name in ("balos", "c5.9xlarge"):
+        machine = MACHINES[machine_name]
+        ctx, scale = scaled_context(machine, table.sizeof(), seed=3)
+        print(f"--- {machine.name}: {machine.device.description} ---")
+        layouts = build_layouts(table, train, ctx)
+        rows = []
+        for name, layout in layouts.items():
+            run = run_workload(layout, eval_wl)
+            rows.append((run.mean_time_s, name, run.mean_bytes, layout.n_partitions))
+        rows.sort()
+        best = rows[0][0]
+        for mean_time, name, mean_bytes, n_partitions in rows:
+            print(
+                f"  {name:<13} {format_seconds(mean_time):>10}/query "
+                f"{format_bytes(mean_bytes):>10} read  {n_partitions:>5} partitions "
+                f"{'<- fastest' if mean_time == best else ''}"
+            )
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy entry point so `pip install -e .` works without the wheel package."""
+
+from setuptools import setup
+
+setup()

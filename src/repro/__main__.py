@@ -1,0 +1,7 @@
+"""``python -m repro`` runs the benchmark CLI (same as ``jigsaw-bench``)."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

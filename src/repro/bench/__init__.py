@@ -1,0 +1,33 @@
+"""Benchmark harness: environments, experiment drivers and reporting."""
+
+from .environments import (
+    BALOS,
+    C5_9XLARGE,
+    MACHINES,
+    PAPER_HAP_TABLE_BYTES,
+    T2_2XLARGE,
+    Machine,
+    scaled_context,
+)
+from .experiments import EXPERIMENTS
+from .reporting import ExperimentResult, format_bytes, format_seconds, format_table
+from .runner import LAYOUT_BUILDERS, QueryRun, build_layouts, run_workload
+
+__all__ = [
+    "BALOS",
+    "C5_9XLARGE",
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "LAYOUT_BUILDERS",
+    "MACHINES",
+    "Machine",
+    "PAPER_HAP_TABLE_BYTES",
+    "QueryRun",
+    "T2_2XLARGE",
+    "build_layouts",
+    "format_bytes",
+    "format_seconds",
+    "format_table",
+    "run_workload",
+    "scaled_context",
+]

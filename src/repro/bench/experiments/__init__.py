@@ -1,0 +1,28 @@
+"""Experiment drivers, one per figure of the paper's evaluation section."""
+
+from . import (
+    ablations,
+    fig05_parallelization,
+    fig06_selectivity,
+    fig07_projectivity,
+    fig08_templates,
+    fig09_tpch,
+    fig10_inmemory,
+    fig11_dbsize,
+    fig12_partitioning,
+)
+
+#: Registry for the CLI: experiment id -> module (each exposes ``run``).
+EXPERIMENTS = {
+    "ablations": ablations,
+    "fig05": fig05_parallelization,
+    "fig06": fig06_selectivity,
+    "fig07": fig07_projectivity,
+    "fig08": fig08_templates,
+    "fig09": fig09_tpch,
+    "fig10": fig10_inmemory,
+    "fig11": fig11_dbsize,
+    "fig12": fig12_partitioning,
+}
+
+__all__ = ["EXPERIMENTS"]

@@ -1,0 +1,133 @@
+"""Shared machinery for the HAP microbenchmark sweeps (Figures 6, 7, 8).
+
+Each figure sweeps one workload knob (selectivity, projectivity, number of
+query templates) and reports, per (machine, layout), the mean simulated query
+time and the data volume read per query.  ``paper_eq_s`` rescales simulated
+seconds by the table-size ratio so numbers land in the paper's magnitude
+(see :mod:`repro.bench.environments`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence, Tuple
+
+from ...core.query import Workload
+from ...storage.table_data import ColumnTable
+from ...workloads.hap import hap_templates, hap_workload, make_hap_table
+from ..environments import MACHINES, scaled_context
+from ..reporting import ExperimentResult
+from ..runner import build_layouts, run_workload
+
+__all__ = ["HAPSweepConfig", "SweepPoint", "run_hap_sweep"]
+
+
+@dataclass(slots=True)
+class HAPSweepConfig:
+    """Scale and scope knobs shared by the three HAP sweeps."""
+
+    n_tuples: int = 48_000
+    n_attrs: int = 160
+    n_train: int = 120
+    n_eval: int = 3
+    machines: Tuple[str, ...] = ("balos",)
+    layouts: Tuple[str, ...] | None = None
+    schism_sample: int = 600
+    min_segment_bytes: int = 32 * 1024
+    seed: int = 7
+
+
+@dataclass(frozen=True, slots=True)
+class SweepPoint:
+    """One x-axis point of a sweep."""
+
+    label: Any
+    selectivity: float
+    projectivity: int
+    n_templates: int
+    template_seed: int
+
+
+def run_hap_sweep(
+    result: ExperimentResult,
+    points: Sequence[SweepPoint],
+    cfg: HAPSweepConfig,
+    x_column: str,
+    shared_templates: bool = False,
+) -> ExperimentResult:
+    """Run the full layout suite for every sweep point and machine."""
+    import numpy as np
+
+    table = make_hap_table(cfg.n_tuples, cfg.n_attrs, seed=cfg.seed)
+    table_bytes = table.sizeof()
+    result.parameters.update(
+        n_tuples=cfg.n_tuples,
+        n_attrs=cfg.n_attrs,
+        n_train=cfg.n_train,
+        n_eval=cfg.n_eval,
+        table_bytes=table_bytes,
+    )
+
+    templates = None
+    for point in points:
+        rng = np.random.default_rng(point.template_seed)
+        if templates is None or not shared_templates:
+            templates = hap_templates(
+                table.meta, point.projectivity, point.n_templates, rng
+            )
+        train, _t = hap_workload(
+            table.meta,
+            point.selectivity,
+            point.projectivity,
+            point.n_templates,
+            cfg.n_train,
+            seed=point.template_seed + 1,
+            templates=templates,
+        )
+        eval_wl, _t = hap_workload(
+            table.meta,
+            point.selectivity,
+            point.projectivity,
+            point.n_templates,
+            cfg.n_eval,
+            seed=point.template_seed + 2,
+            templates=templates,
+        )
+        _run_point(result, table, train, eval_wl, cfg, x_column, point.label)
+    return result
+
+
+def _run_point(
+    result: ExperimentResult,
+    table: ColumnTable,
+    train: Workload,
+    eval_wl: Workload,
+    cfg: HAPSweepConfig,
+    x_column: str,
+    x_value: Any,
+) -> None:
+    for machine_name in cfg.machines:
+        machine = MACHINES[machine_name]
+        ctx, scale = scaled_context(
+            machine,
+            table.sizeof(),
+            schism_sample_size=cfg.schism_sample,
+            min_segment_bytes=cfg.min_segment_bytes,
+            seed=cfg.seed,
+        )
+        layouts = build_layouts(table, train, ctx, cfg.layouts)
+        for name, layout in layouts.items():
+            run = run_workload(layout, eval_wl)
+            row: Dict[str, Any] = {
+                x_column: x_value,
+                "machine": machine_name,
+                "layout": name,
+                "time_s": round(run.mean_time_s, 5),
+                "paper_eq_s": round(run.mean_time_s / scale, 1),
+                "mb_read": round(run.mean_bytes / 1e6, 3),
+                "partitions": layout.n_partitions,
+            }
+            fallback = layout.build_info.get("fallback")
+            if name == "Irregular":
+                row["jigsaw_pick"] = "Column" if fallback else "Irregular"
+            result.add_row(**row)

@@ -1,0 +1,86 @@
+"""Plain-text tables for experiment output.
+
+Every experiment driver returns an :class:`ExperimentResult`; this module
+renders it the way the paper's figures list their series — one row per
+(x-value, layout) with the measured columns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+__all__ = ["ExperimentResult", "format_table", "format_bytes", "format_seconds"]
+
+
+def format_bytes(n: float) -> str:
+    """Human-readable byte count (binary units)."""
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or unit == "TiB":
+            return f"{value:,.1f}{unit}" if unit != "B" else f"{value:,.0f}B"
+        value /= 1024.0
+    return f"{value:,.1f}TiB"  # pragma: no cover - unreachable
+
+
+def format_seconds(seconds: float) -> str:
+    """Seconds with sensible precision across magnitudes."""
+    if seconds >= 100:
+        return f"{seconds:,.0f}s"
+    if seconds >= 1:
+        return f"{seconds:.2f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.1f}us"
+
+
+def format_table(columns: Sequence[str], rows: Sequence[Dict[str, Any]]) -> str:
+    """Render rows as an aligned plain-text table."""
+    rendered: List[List[str]] = [[str(c) for c in columns]]
+    for row in rows:
+        rendered.append(["" if row.get(c) is None else str(row.get(c)) for c in columns])
+    widths = [max(len(line[i]) for line in rendered) for i in range(len(columns))]
+    out = []
+    for index, line in enumerate(rendered):
+        out.append("  ".join(cell.ljust(width) for cell, width in zip(line, widths)).rstrip())
+        if index == 0:
+            out.append("  ".join("-" * width for width in widths))
+    return "\n".join(out)
+
+
+@dataclass(slots=True)
+class ExperimentResult:
+    """The reproduced rows/series of one paper figure or table."""
+
+    experiment: str
+    title: str
+    parameters: Dict[str, Any] = field(default_factory=dict)
+    columns: List[str] = field(default_factory=list)
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> None:
+        for key in values:
+            if key not in self.columns:
+                self.columns.append(key)
+        self.rows.append(values)
+
+    def filtered(self, **criteria: Any) -> List[Dict[str, Any]]:
+        """Rows matching every given column=value criterion."""
+        return [
+            row
+            for row in self.rows
+            if all(row.get(key) == value for key, value in criteria.items())
+        ]
+
+    def to_text(self) -> str:
+        header = [f"== {self.experiment}: {self.title} =="]
+        if self.parameters:
+            header.append(
+                "params: " + ", ".join(f"{k}={v}" for k, v in self.parameters.items())
+            )
+        body = format_table(self.columns, self.rows)
+        tail = [f"note: {note}" for note in self.notes]
+        return "\n".join(header + [body] + tail)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.to_text()

@@ -1,0 +1,94 @@
+"""Command-line entry point: run any experiment and print its table.
+
+Usage::
+
+    jigsaw-bench fig06                # quick defaults
+    jigsaw-bench fig09 --set scale_factor=0.05 --set n_train=200
+    jigsaw-bench all
+    python -m repro.cli fig12
+
+``--set key=value`` overrides any field of the experiment's config dataclass
+(values are parsed as Python literals, falling back to strings).
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import dataclasses
+import sys
+from typing import Any, List
+
+from .bench.experiments import EXPERIMENTS
+
+__all__ = ["main"]
+
+
+def _parse_value(raw: str) -> Any:
+    try:
+        return ast.literal_eval(raw)
+    except (SyntaxError, ValueError):
+        return raw
+
+
+def _config_for(module, overrides: List[str]):
+    config_cls = next(
+        (
+            getattr(module, name)
+            for name in dir(module)
+            if name.endswith("Config") and isinstance(getattr(module, name), type)
+        ),
+        None,
+    )
+    if config_cls is None:
+        return None
+    config = config_cls()
+    for override in overrides:
+        key, _sep, raw = override.partition("=")
+        if not _sep:
+            raise SystemExit(f"--set expects key=value, got {override!r}")
+        field_names = {field.name for field in dataclasses.fields(config)}
+        if key not in field_names:
+            raise SystemExit(
+                f"{config_cls.__name__} has no field {key!r}; "
+                f"fields: {sorted(field_names)}"
+            )
+        setattr(config, key, _parse_value(raw))
+    return config
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="jigsaw-bench",
+        description="Reproduce the Jigsaw (SIGMOD'21) evaluation figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which figure to reproduce ('all' runs every one)",
+    )
+    parser.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="override a config field (repeatable)",
+    )
+    args = parser.parse_args(argv)
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    try:
+        for name in names:
+            module = EXPERIMENTS[name]
+            config = _config_for(module, args.overrides if args.experiment != "all" else [])
+            result = module.run(config)
+            print(result.to_text())
+            print()
+    except BrokenPipeError:  # e.g. piped into `head`
+        return 0
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

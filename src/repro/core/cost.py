@@ -1,0 +1,233 @@
+"""The Jigsaw cost model (Section 4.2, Formulas 1-6).
+
+Three ingredients:
+
+* :class:`IOModel` — the linear I/O-time predictor ``io(x) = alpha * x + beta``
+  that Jigsaw fits by profiling the file system (the paper measures reads of
+  different file sizes and runs linear regression; :func:`fit_io_model` does
+  the same from ``(size, time)`` samples).
+* :class:`MemoryModel` — the ``mem(x)`` predictor for hash-table insert time,
+  derived from a random-memory-write microbenchmark.
+* :class:`CostModel`  — ties both to a table's metadata and implements
+  ``sizeof`` (Formula 2), ``cost`` (Formula 1), ``cost_recons`` (Formula 5)
+  and ``cost_column`` (Formula 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Sequence
+
+import numpy as np
+
+from ..errors import CalibrationError
+from .partition import Partition
+from .query import Query
+from .schema import TableMeta
+from .segment import Segment, access, box_overlap_fraction
+
+__all__ = [
+    "IOModel",
+    "MemoryModel",
+    "CostModel",
+    "fit_io_model",
+    "DEFAULT_PAGE_SIZE",
+    "DEFAULT_TUPLE_ID_BYTES",
+]
+
+DEFAULT_PAGE_SIZE = 4 * 1024 * 1024  # 4 MB file segments, as in Section 6.1.2
+DEFAULT_TUPLE_ID_BYTES = 8
+
+
+@dataclass(frozen=True, slots=True)
+class IOModel:
+    """Linear I/O time predictor ``io(x) = alpha * x + beta`` (seconds).
+
+    ``alpha`` is seconds per byte (the reciprocal of sequential throughput);
+    ``beta`` is the fixed per-request overhead (seek / request latency).
+    """
+
+    alpha: float
+    beta: float
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0 or self.beta < 0:
+            raise CalibrationError("I/O model coefficients must be non-negative")
+
+    @classmethod
+    def from_throughput(cls, throughput_mb_per_s: float, latency_s: float = 0.0) -> "IOModel":
+        """Build a model from a device's advertised throughput and latency."""
+        if throughput_mb_per_s <= 0:
+            raise CalibrationError("throughput must be positive")
+        return cls(alpha=1.0 / (throughput_mb_per_s * 1e6), beta=latency_s)
+
+    def io_time(self, n_bytes: float) -> float:
+        """Predicted seconds to read ``n_bytes`` in one request."""
+        if n_bytes <= 0:
+            return 0.0
+        return self.alpha * n_bytes + self.beta
+
+    @property
+    def throughput_mb_per_s(self) -> float:
+        return float("inf") if self.alpha == 0 else 1.0 / (self.alpha * 1e6)
+
+
+def fit_io_model(sizes: Sequence[float], times: Sequence[float]) -> IOModel:
+    """Fit ``io(x) = alpha*x + beta`` by least squares over measurements.
+
+    Mirrors the paper's file-system profiling step.  Negative fitted
+    coefficients (possible with noisy small samples) are clamped to zero.
+    """
+    if len(sizes) != len(times):
+        raise CalibrationError("sizes and times must have the same length")
+    if len(sizes) < 2:
+        raise CalibrationError("need at least two measurements to fit a line")
+    x = np.asarray(sizes, dtype=np.float64)
+    y = np.asarray(times, dtype=np.float64)
+    if np.allclose(x, x[0]):
+        raise CalibrationError("measurements must span more than one file size")
+    alpha, beta = np.polyfit(x, y, 1)
+    return IOModel(alpha=max(float(alpha), 0.0), beta=max(float(beta), 0.0))
+
+
+@dataclass(frozen=True, slots=True)
+class MemoryModel:
+    """Predicts in-memory costs for tuple reconstruction.
+
+    ``random_writes_per_s`` backs ``mem(x)`` (Formula 5): the time to insert
+    ``x`` tuples into the result hash table.  ``seq_bytes_per_s`` models
+    sequential materialization bandwidth, used by the operator-at-a-time
+    engine's intermediate-column accounting.
+    """
+
+    random_writes_per_s: float = 5.0e7
+    seq_bytes_per_s: float = 4.0e9
+
+    def __post_init__(self) -> None:
+        if self.random_writes_per_s <= 0 or self.seq_bytes_per_s <= 0:
+            raise CalibrationError("memory model rates must be positive")
+
+    def mem(self, n_inserts: float) -> float:
+        """Seconds to insert ``n_inserts`` tuples at random locations."""
+        return max(n_inserts, 0.0) / self.random_writes_per_s
+
+    def materialize(self, n_bytes: float) -> float:
+        """Seconds to sequentially write ``n_bytes`` of intermediates."""
+        return max(n_bytes, 0.0) / self.seq_bytes_per_s
+
+
+class CostModel:
+    """Estimates I/O and reconstruction costs for partitioning plans."""
+
+    def __init__(
+        self,
+        table: TableMeta,
+        io_model: IOModel,
+        memory_model: MemoryModel | None = None,
+        tuple_id_bytes: int = DEFAULT_TUPLE_ID_BYTES,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        statistics=None,
+    ):
+        self.table = table
+        self.io_model = io_model
+        self.memory_model = memory_model or MemoryModel()
+        self.tuple_id_bytes = tuple_id_bytes
+        self.page_size = page_size
+        #: optional :class:`~repro.core.statistics.TableStatistics`; when set,
+        #: survivor estimates and horizontal splits use histograms instead of
+        #: the uniform-and-independent assumption.
+        self.statistics = statistics
+        self._byte_widths: Dict[str, int] = {
+            spec.name: spec.byte_width for spec in table.schema
+        }
+        self._units = table.schema.units()
+
+    # ------------------------------------------------------------------ size
+
+    def sizeof_segment(self, segment: Segment) -> float:
+        """Formula 2, one segment: ``S.t * (B_ID + sum_a B_a)``."""
+        return segment.sizeof(self._byte_widths, self.tuple_id_bytes)
+
+    def sizeof_partition(self, partition: Partition | Iterable[Segment]) -> float:
+        """Formula 2: sum of segment sizes."""
+        segments = partition.segments if isinstance(partition, Partition) else partition
+        return sum(self.sizeof_segment(segment) for segment in segments)
+
+    def sizeof_column(self, attribute: str) -> float:
+        """Raw size of one full column, ``T.t * B_a`` (no tuple IDs)."""
+        return self.table.n_tuples * self._byte_widths[attribute]
+
+    # ------------------------------------------------------------------ cost
+
+    def io(self, n_bytes: float) -> float:
+        return self.io_model.io_time(n_bytes)
+
+    def cost_partitions(
+        self, partitions: Iterable[Partition], queries: Iterable[Query]
+    ) -> float:
+        """Formula 1 over materialized partitions.
+
+        The partition-at-a-time processor reads an accessed partition exactly
+        once per query, so the plan cost is the sum over (query, partition)
+        pairs of the partition's predicted read time.
+        """
+        queries = tuple(queries)
+        total = 0.0
+        for partition in partitions:
+            read_time = self.io(self.sizeof_partition(partition))
+            hits = sum(1 for query in queries if partition.accessed_by(query))
+            total += read_time * hits
+        return total
+
+    def cost_segments(self, segments: Iterable[Segment], queries: Iterable[Query]) -> float:
+        """Formula 1 treating every segment as its own partition.
+
+        Algorithm 3 compares candidate segment sets *before* any merging, so
+        it evaluates the cost function on bare segments.
+        """
+        queries = tuple(queries)
+        total = 0.0
+        for segment in segments:
+            if segment.is_empty:
+                continue
+            read_time = self.io(self.sizeof_segment(segment))
+            hits = sum(1 for query in queries if access(segment, query))
+            total += read_time * hits
+        return total
+
+    # ------------------------------------------- reconstruction & fallback
+
+    def survived_tuple_num(self, segment: Segment, query: Query) -> float:
+        """Formula 5's estimator: tuples of ``segment`` satisfying ``query``.
+
+        Estimated as ``S.t`` scaled by the overlap of ``S.range`` and
+        ``q.range`` under the uniform-and-independent assumption.  Segments
+        the query does not access contribute nothing.
+        """
+        if not access(segment, query):
+            return 0.0
+        return segment.n_tuples * box_overlap_fraction(
+            segment, query, self._units, self.statistics
+        )
+
+    def cost_recons(self, partitions: Iterable[Partition], queries: Iterable[Query]) -> float:
+        """Formula 5: hash-table insert time for the surviving tuples."""
+        partitions = tuple(partitions)
+        total = 0.0
+        for query in queries:
+            inserts = sum(
+                self.survived_tuple_num(segment, query)
+                for partition in partitions
+                for segment in partition.segments
+            )
+            total += self.memory_model.mem(inserts)
+        return total
+
+    def cost_column(self, queries: Iterable[Query]) -> float:
+        """Formula 6: page-at-a-time I/O cost of the plain columnar layout."""
+        total = 0.0
+        for query in queries:
+            for attribute in sorted(query.accessed_attributes):
+                n_pages = self.sizeof_column(attribute) / self.page_size
+                total += self.io(self.page_size) * n_pages
+        return total

@@ -1,0 +1,138 @@
+"""Parallel partitioning phase (the paper's second future-work item).
+
+Section 8: *"the partitioning algorithm in Jigsaw is currently
+single-threaded.  Parallelizing the compute-intensive partitioning phase has
+the potential to significantly accelerate the algorithm."*
+
+The top-down phase is embarrassingly parallel: ``partitionSegment(S)``
+depends only on ``S``, so every segment in the active queue can be evaluated
+concurrently and the result is *identical* to the serial algorithm's (the
+queue order never influences which splits win).  This module processes the
+queue level-synchronously over a ``multiprocessing`` pool.
+
+Two pickling considerations shape the implementation:
+
+* the cost model and the full training workload are shipped to each worker
+  **once** (pool initializer); per-task messages carry only the segment's
+  geometry plus the *sequence numbers* of its queries, keeping task payloads
+  small enough for parallelism to pay;
+* workers return children *without* query assignments — query objects hash
+  by identity, and pickled copies would corrupt the merge phase's query-set
+  comparisons — so the parent reassigns queries from its own objects.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Tuple
+
+from .cost import CostModel
+from .partitioner import JigsawPartitioner, PartitionerConfig, partition_segment
+from .query import Query, Workload
+from .schema import TableMeta
+from .segment import Segment, access
+
+__all__ = ["ParallelJigsawPartitioner"]
+
+# Globals initialized once per worker process.
+_WORKER_COST_MODEL: CostModel | None = None
+_WORKER_QUERIES: Dict[int, Query] = {}
+
+
+def _init_worker(cost_model: CostModel, queries: Tuple[Query, ...]) -> None:
+    global _WORKER_COST_MODEL, _WORKER_QUERIES
+    _WORKER_COST_MODEL = cost_model
+    _WORKER_QUERIES = {query.sequence: query for query in queries}
+
+
+def _split_task(payload: Tuple[Segment, Tuple[int, ...]]) -> Tuple[List[Segment], float, int]:
+    """Evaluate one segment's best split in a worker process.
+
+    ``payload`` is ``(segment_without_queries, query_sequence_numbers)``;
+    the worker reattaches its own copies of the queries (identity-consistent
+    within the worker).  Children come back with empty query sets.
+    """
+    assert _WORKER_COST_MODEL is not None
+    from .partitioner import PartitionerStats
+
+    bare, sequences = payload
+    segment = bare.with_queries(_WORKER_QUERIES[s] for s in sequences)
+    stats = PartitionerStats()
+    children, benefit = partition_segment(segment, _WORKER_COST_MODEL, stats)
+    stripped = [child.with_queries(()) for child in children]
+    return stripped, benefit, stats.n_candidates_costed
+
+
+class ParallelJigsawPartitioner(JigsawPartitioner):
+    """Algorithm 2 with a process-parallel partitioning phase.
+
+    Produces the same plan as :class:`JigsawPartitioner` (asserted in the
+    test suite); only the wall-clock time of the top-down phase changes.
+    Resizing and selection remain serial — the paper's future-work note
+    targets the compute-intensive splitting phase.
+    """
+
+    def __init__(
+        self,
+        cost_model: CostModel,
+        config: PartitionerConfig | None = None,
+        n_workers: int = 2,
+    ):
+        super().__init__(cost_model, config)
+        self.n_workers = max(1, n_workers)
+
+    def _partitioning_phase(self, table: TableMeta, workload: Workload) -> List[Segment]:
+        if self.n_workers == 1:
+            return super()._partitioning_phase(table, workload)
+        root = Segment(
+            attributes=table.attribute_names,
+            n_tuples=float(table.n_tuples),
+            ranges=table.full_range(),
+            queries=frozenset(workload),
+        )
+        active: List[Segment] = [root]
+        frozen: List[Segment] = []
+        with ProcessPoolExecutor(
+            max_workers=self.n_workers,
+            initializer=_init_worker,
+            initargs=(self.cost_model, tuple(workload)),
+        ) as pool:
+            while active:
+                at_capacity = len(active) + len(frozen) >= self.config.max_segments
+                runnable: List[Segment] = []
+                for segment in active:
+                    if segment.is_empty:
+                        continue
+                    if at_capacity or not segment.queries:
+                        frozen.append(segment)
+                    else:
+                        runnable.append(segment)
+                active = []
+                if not runnable:
+                    break
+                payloads = [
+                    (
+                        segment.with_queries(()),
+                        tuple(sorted(q.sequence for q in segment.queries)),
+                    )
+                    for segment in runnable
+                ]
+                chunk = max(1, len(payloads) // (self.n_workers * 4))
+                for segment, (children, benefit, n_candidates) in zip(
+                    runnable, pool.map(_split_task, payloads, chunksize=chunk)
+                ):
+                    self.stats.n_split_evaluations += 1
+                    self.stats.n_candidates_costed += n_candidates
+                    if benefit > 1e-12 and len(children) > 1:
+                        # Reassign queries from the parent's own objects so
+                        # identity-based query sets stay consistent.
+                        active.extend(
+                            child.with_queries(
+                                q for q in segment.queries if access(child, q)
+                            )
+                            for child in children
+                        )
+                    else:
+                        frozen.append(segment)
+        self.stats.n_frozen_segments = len(frozen)
+        return frozen

@@ -1,0 +1,132 @@
+"""Partitions and partitioning plans (Section 4.1, Formula 4 constraints).
+
+A *partition* is a set of segments stored together in one file; merging
+segments with different attribute sets is what gives partitions their
+irregular shapes.  A :class:`PartitioningPlan` is the output of a
+partitioning algorithm: the complete list of partitions for one table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from ..errors import InvalidPartitioningError
+from .query import Query
+from .schema import TableMeta
+from .segment import Segment, access
+
+__all__ = ["Partition", "PartitioningPlan", "segments_disjoint"]
+
+
+def segments_disjoint(left: Segment, right: Segment) -> bool:
+    """Formula 4's pairwise constraint: no two segments share a cell.
+
+    Two segments are disjoint when their attribute sets do not overlap, or
+    when their range boxes are disjoint along at least one attribute.
+    """
+    if not (left.attribute_set & right.attribute_set):
+        return True
+    return not left.ranges.intersects(right.ranges)
+
+
+@dataclass(frozen=True, eq=False)
+class Partition:
+    """A set of segments materialized together in one file."""
+
+    pid: int
+    segments: Tuple[Segment, ...]
+
+    def __post_init__(self) -> None:
+        if not self.segments:
+            raise InvalidPartitioningError(f"partition {self.pid} has no segments")
+
+    @property
+    def attribute_set(self) -> frozenset:
+        attrs: frozenset = frozenset()
+        for segment in self.segments:
+            attrs |= segment.attribute_set
+        return attrs
+
+    @property
+    def n_segments(self) -> int:
+        return len(self.segments)
+
+    def accessed_by(self, query: Query) -> bool:
+        """Formula 3.1 — the partition is read when any segment is."""
+        return any(access(segment, query) for segment in self.segments)
+
+    def is_rectangular(self) -> bool:
+        """True when every segment stores the same attribute set.
+
+        Rectangular partitions are what every baseline produces; Jigsaw's
+        merge step is the only source of non-rectangular (irregular) ones.
+        """
+        first = self.segments[0].attribute_set
+        return all(segment.attribute_set == first for segment in self.segments[1:])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Partition(pid={self.pid}, segments={len(self.segments)})"
+
+
+class PartitioningPlan:
+    """The full partitioning of one table, as produced by a tuner."""
+
+    __slots__ = ("table", "partitions", "kind")
+
+    def __init__(self, table: TableMeta, partitions: Sequence[Partition], kind: str = "irregular"):
+        self.table = table
+        self.partitions: Tuple[Partition, ...] = tuple(partitions)
+        self.kind = kind
+
+    @classmethod
+    def from_segment_groups(
+        cls,
+        table: TableMeta,
+        groups: Iterable[Sequence[Segment]],
+        kind: str = "irregular",
+    ) -> "PartitioningPlan":
+        partitions = [
+            Partition(pid, tuple(segments)) for pid, segments in enumerate(groups) if segments
+        ]
+        return cls(table, partitions, kind)
+
+    def __len__(self) -> int:
+        return len(self.partitions)
+
+    def __iter__(self) -> Iterator[Partition]:
+        return iter(self.partitions)
+
+    def __getitem__(self, pid: int) -> Partition:
+        return self.partitions[pid]
+
+    def all_segments(self) -> List[Segment]:
+        return [segment for partition in self.partitions for segment in partition.segments]
+
+    def n_irregular_partitions(self) -> int:
+        return sum(1 for partition in self.partitions if not partition.is_rectangular())
+
+    def validate_disjoint(self) -> None:
+        """Check the pairwise no-shared-cell constraint (O(n^2) — test use)."""
+        segments = self.all_segments()
+        for i, left in enumerate(segments):
+            for right in segments[i + 1:]:
+                if not segments_disjoint(left, right):
+                    raise InvalidPartitioningError(
+                        f"segments overlap: {left!r} and {right!r}"
+                    )
+
+    def validate_attribute_cover(self) -> None:
+        """Every table attribute must be stored by at least one segment."""
+        covered: frozenset = frozenset()
+        for segment in self.all_segments():
+            covered |= segment.attribute_set
+        missing = set(self.table.attribute_names) - covered
+        if missing:
+            raise InvalidPartitioningError(f"attributes not stored anywhere: {sorted(missing)}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PartitioningPlan(kind={self.kind!r}, partitions={len(self.partitions)}, "
+            f"segments={len(self.all_segments())})"
+        )

@@ -1,0 +1,400 @@
+"""The Jigsaw irregular partitioner (Section 4.3, Algorithms 2-4).
+
+The tuner is a hill climber with three phases:
+
+1. **Partitioning** — starting from a single segment covering the whole table,
+   repeatedly apply :func:`partition_segment` (Algorithm 3), which proposes,
+   for every training query, a simultaneous vertical split (predicate /
+   projected / rest attributes) combined with a horizontal split at one of the
+   query's predicate bounds, and keeps the cheapest proposal.  A segment
+   freezes once no proposal reduces estimated I/O time.
+2. **Resizing** — frozen segments larger than ``MAX_SIZE`` are halved on the
+   most frequent predicate attribute; segments smaller than ``MIN_SIZE`` are
+   merged with segments that have the *same* access pattern (query set), which
+   is the step that produces irregular, non-rectangular partitions.
+3. **Selection** — if the irregular plan's estimated I/O plus tuple
+   reconstruction cost exceeds the plain columnar layout's I/O cost, fall
+   back to the columnar layout.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Sequence, Tuple
+
+from ..errors import InvalidPartitioningError
+from .cost import CostModel
+from .partition import Partition, PartitioningPlan
+from .query import Query, Workload
+from .ranges import Interval
+from .schema import TableMeta
+from .segment import Segment, access, horizontal_split
+
+__all__ = [
+    "PartitionerConfig",
+    "PartitionerStats",
+    "JigsawPartitioner",
+    "partition_segment",
+    "make_columnar_plan",
+]
+
+_BENEFIT_TOLERANCE = 1e-12
+
+
+@dataclass(frozen=True, slots=True)
+class PartitionerConfig:
+    """Tuning knobs for Algorithm 2.
+
+    ``min_size`` / ``max_size`` are the resizing window in bytes (the paper
+    uses 4 MB / 32 MB).  ``selection_enabled`` toggles the final
+    irregular-vs-columnar choice; ``merge_similar`` additionally merges
+    leftover undersized partitions by access-pattern similarity (the paper's
+    Section 4.3.1 text); ``max_segments`` is a safety valve against
+    pathological workloads.
+    """
+
+    min_size: int = 4 * 1024 * 1024
+    max_size: int = 32 * 1024 * 1024
+    selection_enabled: bool = True
+    merge_enabled: bool = True
+    merge_similar: bool = True
+    max_segments: int = 50_000
+
+    def __post_init__(self) -> None:
+        if self.min_size <= 0 or self.max_size < self.min_size:
+            raise InvalidPartitioningError(
+                f"need 0 < min_size <= max_size, got [{self.min_size}, {self.max_size}]"
+            )
+
+
+@dataclass(slots=True)
+class PartitionerStats:
+    """What the tuner did, for the partitioning-performance experiments."""
+
+    n_split_evaluations: int = 0
+    n_candidates_costed: int = 0
+    n_frozen_segments: int = 0
+    n_resize_splits: int = 0
+    n_merges: int = 0
+    n_partitions: int = 0
+    chose_columnar: bool = False
+    irregular_cost: float = 0.0
+    reconstruction_cost: float = 0.0
+    columnar_cost: float = 0.0
+    elapsed_s: float = 0.0
+
+
+def _vertical_slices(segment: Segment, query: Query) -> Tuple[Segment, Segment, Segment]:
+    """Lines 3-5 of Algorithm 3: split ``segment`` into sigma / pi / rest."""
+    sigma_names = query.sigma_attributes
+    pi_names = query.pi_attributes
+    sigma_attrs = tuple(a for a in segment.attributes if a in sigma_names)
+    pi_attrs = tuple(a for a in segment.attributes if a in pi_names and a not in sigma_names)
+    taken = set(sigma_attrs) | set(pi_attrs)
+    rest_attrs = tuple(a for a in segment.attributes if a not in taken)
+    def make(attrs: Tuple[str, ...]) -> Segment:
+        return Segment(attrs, segment.n_tuples, segment.ranges, tight=segment.tight)
+
+    return make(sigma_attrs), make(pi_attrs), make(rest_attrs)
+
+
+def _split_cuts(segment: Segment, query: Query, attribute: str, unit: float) -> List[float]:
+    """Candidate horizontal cut points for one predicate attribute.
+
+    The paper cuts at ``q.min_a`` and ``q.max_a``.  We cut at ``q.min_a - unit``
+    and ``q.max_a`` so that for integer attributes the child boxes align
+    exactly with the predicate box (the lower child ends just *below* the
+    predicate's smallest matching value).  Cuts that would not leave two
+    non-empty children are dropped.
+    """
+    interval = segment.ranges[attribute]
+    predicate = query.predicate_interval(attribute)
+    cuts = []
+    for value in (predicate.lo - unit if unit else predicate.lo, predicate.hi):
+        if unit:
+            in_range = interval.lo <= value and value + unit <= interval.hi
+        else:
+            in_range = interval.lo <= value < interval.hi
+        if in_range:
+            cuts.append(value)
+    return cuts
+
+
+def partition_segment(
+    segment: Segment,
+    cost_model: CostModel,
+    stats: PartitionerStats | None = None,
+) -> Tuple[List[Segment], float]:
+    """Algorithm 3 — propose the best simultaneous 2-D split of ``segment``.
+
+    Returns ``(children, benefit)`` where ``benefit`` is the estimated I/O
+    time saved (``<= 0`` when no proposal helps and the caller should freeze
+    the segment).  The returned children carry reassigned query sets.
+    """
+    queries = tuple(sorted(segment.queries, key=lambda q: q.sequence))
+    initial_cost = cost_model.cost_segments([segment], queries)
+    units = cost_model.table.schema.units()
+
+    best_children: List[Segment] | None = None
+    best_cost = float("inf")
+    for query in queries:
+        s_sigma, s_pi, s_rest = _vertical_slices(segment, query)
+        # The pure vertical candidate corresponds to a horizontal cut at the
+        # segment boundary (one child empty) and must be considered so that
+        # predicates spanning the whole segment range still allow a split.
+        candidates: List[List[Segment]] = [[s_sigma, s_pi, s_rest]]
+        if not s_pi.is_empty:
+            for attribute in sorted(query.sigma_attributes):
+                for cut in _split_cuts(s_pi, query, attribute, units.get(attribute, 0.0)):
+                    lower, upper = horizontal_split(
+                        s_pi, attribute, cut, units, cost_model.statistics
+                    )
+                    candidates.append([s_sigma, lower, upper, s_rest])
+        for candidate in candidates:
+            children = [child for child in candidate if not child.is_empty]
+            if len(children) < 2:
+                continue
+            candidate_cost = cost_model.cost_segments(children, queries)
+            if stats is not None:
+                stats.n_candidates_costed += 1
+            if candidate_cost < best_cost:
+                best_cost = candidate_cost
+                best_children = children
+
+    if stats is not None:
+        stats.n_split_evaluations += 1
+    if best_children is None:
+        return [segment], 0.0
+    assigned = [
+        child.with_queries(q for q in queries if access(child, q)) for child in best_children
+    ]
+    return assigned, initial_cost - best_cost
+
+
+def make_columnar_plan(table: TableMeta) -> PartitioningPlan:
+    """The plain columnar layout: one partition per attribute."""
+    groups = [
+        [Segment((name,), table.n_tuples, table.ranges)] for name in table.attribute_names
+    ]
+    return PartitioningPlan.from_segment_groups(table, groups, kind="columnar")
+
+
+class JigsawPartitioner:
+    """Algorithm 2 — the three-phase irregular partitioning tuner."""
+
+    def __init__(self, cost_model: CostModel, config: PartitionerConfig | None = None):
+        self.cost_model = cost_model
+        self.config = config or PartitionerConfig()
+        self.stats = PartitionerStats()
+
+    # ------------------------------------------------------------ phase 1
+
+    def _partitioning_phase(self, table: TableMeta, workload: Workload) -> List[Segment]:
+        """Lines 1-12: top-down splitting until no split saves I/O time."""
+        root = Segment(
+            attributes=table.attribute_names,
+            n_tuples=float(table.n_tuples),
+            ranges=table.full_range(),
+            queries=frozenset(workload),
+        )
+        active: Deque[Segment] = deque([root])
+        frozen: List[Segment] = []
+        while active:
+            segment = active.popleft()
+            at_capacity = len(active) + len(frozen) >= self.config.max_segments
+            if segment.is_empty:
+                continue
+            if at_capacity or not segment.queries:
+                frozen.append(segment)
+                continue
+            children, benefit = partition_segment(segment, self.cost_model, self.stats)
+            if benefit > _BENEFIT_TOLERANCE and len(children) > 1:
+                active.extend(children)
+            else:
+                frozen.append(segment)
+        self.stats.n_frozen_segments = len(frozen)
+        return frozen
+
+    # ------------------------------------------------------------ phase 2
+
+    def _split_oversized(self, segment: Segment, workload: Workload) -> List[Segment] | None:
+        """Lines 15-18: halve an oversized segment on a predicate attribute.
+
+        Picks the most frequent predicate attribute among the segment's
+        queries whose range inside the segment can still be cut; returns None
+        when no attribute is splittable (degenerate ranges), in which case the
+        caller must accept the oversized segment.
+        """
+        frequency: Dict[str, int] = {}
+        for query in segment.queries:
+            for name in query.where:
+                frequency[name] = frequency.get(name, 0) + 1
+        units = self.cost_model.table.schema.units()
+        # Most frequent predicate attribute first (Algorithm 2 line 16), but
+        # fall through to the remaining attributes so MAX_SIZE is honored
+        # even when every predicate attribute's range is exhausted.
+        ordered = sorted(frequency, key=lambda name: (-frequency[name], name))
+        ordered += [a for a in segment.ranges.attributes if a not in frequency]
+        for attribute in ordered:
+            interval = segment.ranges[attribute]
+            unit = units.get(attribute, 0.0)
+            midpoint = (interval.lo + interval.hi) / 2.0
+            try:
+                lower, upper = horizontal_split(
+                    segment, attribute, midpoint, units, self.cost_model.statistics
+                )
+            except ValueError:
+                continue
+            if lower.is_empty or upper.is_empty:
+                continue
+            self.stats.n_resize_splits += 1
+            return [
+                child.with_queries(q for q in segment.queries if access(child, q))
+                for child in (lower, upper)
+            ]
+        return None
+
+    def _resizing_phase(self, frozen: List[Segment], workload: Workload) -> List[List[Segment]]:
+        """Lines 13-25: enforce the [MIN_SIZE, MAX_SIZE] window."""
+        pending: Deque[Segment] = deque(frozen)
+        groups: List[List[Segment]] = []
+        while pending:
+            segment = pending.popleft()
+            size = self.cost_model.sizeof_segment(segment)
+            if size > self.config.max_size:
+                children = self._split_oversized(segment, workload)
+                if children is None:
+                    groups.append([segment])
+                else:
+                    pending.extend(children)
+            elif size < self.config.min_size and self.config.merge_enabled:
+                groups.append(self._merge_undersized(segment, pending))
+            else:
+                groups.append([segment])
+        if self.config.merge_enabled and self.config.merge_similar:
+            groups = self._merge_similar_groups(groups)
+        return groups
+
+    def _merge_undersized(self, segment: Segment, pending: Deque[Segment]) -> List[Segment]:
+        """Lines 20-21: absorb same-access-pattern segments until MIN_SIZE.
+
+        Segments are merged only when their query sets are identical — they
+        are always read together, so storing them in one file saves I/O
+        requests without ever reading redundant bytes.
+        """
+        merged = [segment]
+        total = self.cost_model.sizeof_segment(segment)
+        if total < self.config.min_size:
+            keep: List[Segment] = []
+            while pending:
+                candidate = pending.popleft()
+                candidate_size = self.cost_model.sizeof_segment(candidate)
+                if (
+                    total < self.config.min_size
+                    and candidate.queries == segment.queries
+                    and total + candidate_size <= self.config.max_size
+                ):
+                    merged.append(candidate)
+                    total += candidate_size
+                    self.stats.n_merges += 1
+                else:
+                    keep.append(candidate)
+            pending.extend(keep)
+        return merged
+
+    def _merge_similar_groups(self, groups: List[List[Segment]]) -> List[List[Segment]]:
+        """Fold still-undersized partitions into the most similar group.
+
+        Exact query-set matches can leave stragglers below MIN_SIZE; the
+        paper's prose merges "according to their access pattern similarity",
+        which we measure with Jaccard similarity over query sets.  A merge is
+        only applied when the cost function agrees: absorbing a segment into
+        a partition with a different access pattern makes every query of
+        either side read both, so the merge must save more in per-request
+        overhead than it adds in redundant bytes.
+        """
+        sized: List[List[Segment]] = []
+        small: List[List[Segment]] = []
+        for group in groups:
+            total = sum(self.cost_model.sizeof_segment(s) for s in group)
+            (small if total < self.config.min_size else sized).append(group)
+        if not small or not sized:
+            return groups
+        kept: List[List[Segment]] = []
+        for group in small:
+            queries = _group_queries(group)
+            best_index = max(
+                range(len(sized)),
+                key=lambda i: _jaccard(queries, _group_queries(sized[i])),
+            )
+            target = sized[best_index]
+            if self._merge_beneficial(group, target):
+                target.extend(group)
+                self.stats.n_merges += 1
+            else:
+                kept.append(group)
+        return sized + kept
+
+    def _merge_beneficial(self, group: List[Segment], target: List[Segment]) -> bool:
+        """Does merging ``group`` into ``target`` reduce estimated I/O time?
+
+        Separate partitions cost ``io(g) * |Q_g| + io(t) * |Q_t|``; merged
+        they cost ``io(g + t) * |Q_g ∪ Q_t|``.  The merged partition must also
+        stay below MAX_SIZE — Algorithm 2's robustness bound against queries
+        that do not look like the training queries (an unseen query touching
+        any cell of a partition reads the whole partition).
+        """
+        group_size = sum(self.cost_model.sizeof_segment(s) for s in group)
+        target_size = sum(self.cost_model.sizeof_segment(s) for s in target)
+        if group_size + target_size > self.config.max_size:
+            return False
+        group_queries = _group_queries(group)
+        target_queries = _group_queries(target)
+        separate = self.cost_model.io(group_size) * len(group_queries) + self.cost_model.io(
+            target_size
+        ) * len(target_queries)
+        merged = self.cost_model.io(group_size + target_size) * len(
+            group_queries | target_queries
+        )
+        return merged <= separate
+
+    # ------------------------------------------------------------ phase 3
+
+    def partition(self, table: TableMeta, workload: Workload) -> PartitioningPlan:
+        """Run all three phases and return the chosen plan."""
+        self.stats = PartitionerStats()
+        started = time.perf_counter()
+        frozen = self._partitioning_phase(table, workload)
+        groups = self._resizing_phase(frozen, workload)
+        plan = PartitioningPlan.from_segment_groups(table, groups, kind="irregular")
+        self.stats.n_partitions = len(plan)
+
+        self.stats.irregular_cost = self.cost_model.cost_partitions(plan, workload)
+        self.stats.reconstruction_cost = self.cost_model.cost_recons(plan, workload)
+        self.stats.columnar_cost = self.cost_model.cost_column(workload)
+        if self.config.selection_enabled:
+            irregular_total = self.stats.irregular_cost + self.stats.reconstruction_cost
+            if irregular_total > self.stats.columnar_cost:
+                plan = make_columnar_plan(table)
+                self.stats.chose_columnar = True
+                self.stats.n_partitions = len(plan)
+        self.stats.elapsed_s = time.perf_counter() - started
+        return plan
+
+
+def _group_queries(group: Sequence[Segment]) -> frozenset:
+    queries: frozenset = frozenset()
+    for segment in group:
+        queries |= segment.queries
+    return queries
+
+
+def _jaccard(left: frozenset, right: frozenset) -> float:
+    if not left and not right:
+        return 1.0
+    union = left | right
+    if not union:
+        return 0.0
+    return len(left & right) / len(union)

@@ -1,0 +1,193 @@
+"""Closed-interval range algebra used by segments and queries.
+
+The paper represents both segments and queries by per-attribute value ranges
+(Algorithm 1): a segment's ``range`` holds ``[min_a, max_a]`` for *every*
+attribute of the table, and the access test (Formula 3.2) intersects those
+boxes.  This module implements the interval and range-map ("box") machinery.
+
+All intervals are closed on both ends.  Integer attributes are split at
+integral boundaries (``[lo, v]`` / ``[v + 1, hi]``) so that sibling segments
+never share a value; continuous attributes split at the nearest representable
+float above the cut.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Mapping, Tuple
+
+__all__ = ["Interval", "RangeMap"]
+
+
+@dataclass(frozen=True, slots=True)
+class Interval:
+    """A closed interval ``[lo, hi]`` over one attribute's values."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.lo) or math.isnan(self.hi):
+            raise ValueError("interval bounds must not be NaN")
+        if self.lo > self.hi:
+            raise ValueError(f"empty interval: lo={self.lo} > hi={self.hi}")
+
+    def intersects(self, other: "Interval") -> bool:
+        """Return True when the two closed intervals share at least one value."""
+        return self.lo <= other.hi and other.lo <= self.hi
+
+    def intersect(self, other: "Interval") -> "Interval | None":
+        """Return the overlapping interval, or None when disjoint."""
+        if not self.intersects(other):
+            return None
+        return Interval(max(self.lo, other.lo), min(self.hi, other.hi))
+
+    def contains(self, value: float) -> bool:
+        return self.lo <= value <= self.hi
+
+    def covers(self, other: "Interval") -> bool:
+        """Return True when ``other`` lies entirely inside this interval."""
+        return self.lo <= other.lo and other.hi <= self.hi
+
+    def width(self, unit: float = 0.0) -> float:
+        """Interval width; ``unit=1`` counts integer values inclusively."""
+        return self.hi - self.lo + unit
+
+    def overlap_fraction(self, other: "Interval", unit: float = 0.0) -> float:
+        """Fraction of this interval that overlaps ``other`` (uniform model).
+
+        This is the cardinality-estimation primitive behind
+        ``survived_tuple_num`` (Formula 5) and ``horizontal()`` (Algorithm 4):
+        under the uniform-and-independent assumption, the share of tuples of a
+        segment that fall inside a query's box along one attribute is the
+        fractional overlap of the two intervals.
+        """
+        overlap = self.intersect(other)
+        if overlap is None:
+            return 0.0
+        denominator = self.width(unit)
+        if denominator <= 0.0:
+            # Degenerate (single-value float) interval entirely inside other.
+            return 1.0
+        return min(1.0, overlap.width(unit) / denominator)
+
+    def split(self, value: float, unit: float = 0.0) -> Tuple["Interval", "Interval"]:
+        """Split into ``[lo, value]`` and the disjoint upper remainder.
+
+        For integer attributes (``unit == 1``) the upper half starts at
+        ``floor(value) + 1``; for continuous attributes it starts at the next
+        representable float.  Raises ValueError when the cut does not leave a
+        non-empty piece on both sides.
+        """
+        if unit:
+            cut = float(math.floor(value))
+            upper_lo = cut + 1.0
+        else:
+            cut = float(value)
+            upper_lo = math.nextafter(cut, math.inf)
+        if cut < self.lo or upper_lo > self.hi:
+            raise ValueError(
+                f"cut {value!r} does not split [{self.lo}, {self.hi}] in two"
+            )
+        return Interval(self.lo, cut), Interval(upper_lo, self.hi)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.lo:g}, {self.hi:g}]"
+
+
+class RangeMap:
+    """An immutable per-attribute box: attribute name -> :class:`Interval`.
+
+    A ``RangeMap`` plays the role of ``S.range`` / ``q.range`` from
+    Algorithm 1.  It always carries an interval for *every* table attribute,
+    including attributes that a segment does not store, exactly as the paper
+    specifies.
+    """
+
+    __slots__ = ("_intervals", "_hash")
+
+    def __init__(self, intervals: Mapping[str, Interval]):
+        self._intervals: Dict[str, Interval] = dict(intervals)
+        self._hash: int | None = None
+
+    @classmethod
+    def from_bounds(cls, bounds: Mapping[str, Tuple[float, float]]) -> "RangeMap":
+        """Build from a mapping of ``name -> (lo, hi)`` pairs."""
+        return cls({name: Interval(float(lo), float(hi)) for name, (lo, hi) in bounds.items()})
+
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        return tuple(self._intervals)
+
+    def __getitem__(self, attribute: str) -> Interval:
+        return self._intervals[attribute]
+
+    def get(self, attribute: str) -> Interval | None:
+        return self._intervals.get(attribute)
+
+    def __contains__(self, attribute: str) -> bool:
+        return attribute in self._intervals
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._intervals)
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def items(self) -> Iterable[Tuple[str, Interval]]:
+        return self._intervals.items()
+
+    def intersects(self, other: "RangeMap") -> bool:
+        """True when the boxes overlap on *every* shared attribute.
+
+        This is the ``forall a: S.range_a ∩ q.range_a != ∅`` test from
+        Formula 3.2.
+        """
+        for name, interval in self._intervals.items():
+            other_interval = other.get(name)
+            if other_interval is not None and not interval.intersects(other_interval):
+                return False
+        return True
+
+    def replace(self, attribute: str, interval: Interval) -> "RangeMap":
+        """Return a copy with one attribute's interval swapped out."""
+        if attribute not in self._intervals:
+            raise KeyError(attribute)
+        updated = dict(self._intervals)
+        updated[attribute] = interval
+        return RangeMap(updated)
+
+    def overlap_fraction(
+        self, other: "RangeMap", units: Mapping[str, float] | None = None
+    ) -> float:
+        """Product of per-attribute overlap fractions (independence model).
+
+        Estimates the share of this box's tuples that also fall in ``other``.
+        ``units`` supplies per-attribute integer units (see
+        :meth:`Interval.overlap_fraction`); missing attributes default to 0.
+        """
+        fraction = 1.0
+        for name, interval in self._intervals.items():
+            other_interval = other.get(name)
+            if other_interval is None:
+                continue
+            unit = units.get(name, 0.0) if units else 0.0
+            fraction *= interval.overlap_fraction(other_interval, unit)
+            if fraction == 0.0:
+                return 0.0
+        return fraction
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RangeMap):
+            return NotImplemented
+        return self._intervals == other._intervals
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(frozenset(self._intervals.items()))
+        return self._hash
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{name}:{interval}" for name, interval in self._intervals.items())
+        return f"RangeMap({inner})"

@@ -1,0 +1,176 @@
+"""Logical segments (Algorithm 1, ``Struct Segment``) and their operations.
+
+A segment is a rectangle of the table described purely by metadata: the
+attributes it stores (``S.A``), an estimated tuple count (``S.t``), a
+whole-table range box (``S.range``) and the set of training queries that
+access it (``S.Q``).  Note that ``S.range`` keeps bounds for *all* table
+attributes, including ones outside ``S.A`` — horizontal splits on attribute
+``a`` constrain the box of sibling segments even when they do not store ``a``.
+
+For speed, every segment also tracks its *tightened* attributes — the ones
+whose interval is narrower than the whole-table range (each horizontal split
+tightens exactly one attribute).  Since queries only tighten their predicate
+attributes, the box-intersection test of Formula 3.2 only needs to inspect
+the union of the two tight sets instead of all table attributes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import FrozenSet, Iterable, Mapping, Tuple
+
+from ..errors import InvalidPartitioningError
+from .query import Query
+from .ranges import RangeMap
+
+__all__ = ["Segment", "access", "box_intersects", "box_overlap_fraction", "horizontal_split"]
+
+
+@dataclass(frozen=True, eq=False)
+class Segment:
+    """A logical segment: a metadata-only rectangle of the table."""
+
+    attributes: Tuple[str, ...]
+    n_tuples: float
+    ranges: RangeMap = field(repr=False)
+    queries: FrozenSet[Query] = frozenset()
+    tight: FrozenSet[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        if self.n_tuples < 0:
+            raise InvalidPartitioningError("segment tuple count must be non-negative")
+        missing = [a for a in self.attributes if a not in self.ranges]
+        if missing:
+            raise InvalidPartitioningError(f"segment range box missing attributes {missing}")
+        # Cached: access() consults the attribute set millions of times.
+        object.__setattr__(self, "_attribute_set", frozenset(self.attributes))
+
+    @property
+    def attribute_set(self) -> frozenset:
+        return self._attribute_set
+
+    @property
+    def is_empty(self) -> bool:
+        """Segments with no attributes are dropped by splits.
+
+        A segment whose *estimated* tuple count is tiny is NOT empty: the
+        uniform-distribution estimate can round to zero for a narrow box that
+        still matches real tuples, and dropping it would lose cells (violating
+        Formula 4's coverage constraint).
+        """
+        return not self.attributes
+
+    def with_queries(self, queries: Iterable[Query]) -> "Segment":
+        return replace(self, queries=frozenset(queries))
+
+    def restrict_attributes(self, attributes: Iterable[str]) -> "Segment":
+        """Vertical slice: keep only ``attributes`` (range box unchanged)."""
+        kept = tuple(a for a in self.attributes if a in set(attributes))
+        return replace(self, attributes=kept, queries=frozenset())
+
+    def sizeof(self, byte_widths: Mapping[str, int], tuple_id_bytes: int = 0) -> float:
+        """Formula 2 for one segment: ``S.t * (B_ID + sum B_a)``."""
+        row = tuple_id_bytes + sum(byte_widths[a] for a in self.attributes)
+        return self.n_tuples * row
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        attrs = ",".join(self.attributes[:4]) + ("…" if len(self.attributes) > 4 else "")
+        return f"Segment([{attrs}] t={self.n_tuples:.0f} |Q|={len(self.queries)})"
+
+
+def box_intersects(segment: Segment, query: Query) -> bool:
+    """``forall a: S.range_a ∩ q.range_a != ∅``, restricted to tight attributes.
+
+    Attributes tightened by neither side span the full table range on both
+    boxes and always intersect, so only ``segment.tight ∪ q.A_sigma`` needs
+    checking.
+    """
+    seg_ranges = segment.ranges
+    q_ranges = query.ranges
+    for name in segment.tight:
+        if not seg_ranges[name].intersects(q_ranges[name]):
+            return False
+    for name in query.sigma_attributes:
+        if name not in segment.tight and not seg_ranges[name].intersects(q_ranges[name]):
+            return False
+    return True
+
+
+def box_overlap_fraction(
+    segment: Segment, query: Query, units: Mapping[str, float], statistics=None
+) -> float:
+    """Fraction of the segment's box inside the query's box.
+
+    Only tight attributes can contribute a factor below 1, so the product
+    runs over ``segment.tight ∪ q.A_sigma``.  With ``statistics`` the
+    per-attribute factors come from histograms instead of the uniform model.
+    """
+    fraction = 1.0
+    seg_ranges = segment.ranges
+    q_ranges = query.ranges
+    for name in segment.tight | query.sigma_attributes:
+        unit = units.get(name, 0.0)
+        if statistics is not None and name in statistics:
+            fraction *= statistics.fraction(name, q_ranges[name], seg_ranges[name], unit)
+        else:
+            fraction *= seg_ranges[name].overlap_fraction(q_ranges[name], unit)
+        if fraction == 0.0:
+            return 0.0
+    return fraction
+
+
+def access(segment: Segment, query: Query) -> bool:
+    """Formula 3.2 — does ``query`` read any cell of ``segment``?
+
+    A query accesses a segment when the segment stores one of the query's
+    predicate attributes (the predicate must be evaluated on every tuple), or
+    when the segment stores a projected attribute *and* the segment's box
+    intersects the query's box on every attribute.
+    """
+    stored = segment.attribute_set
+    if stored & query.sigma_attributes:
+        return True
+    if stored & query.pi_attributes and box_intersects(segment, query):
+        return True
+    return False
+
+
+def horizontal_split(
+    segment: Segment,
+    attribute: str,
+    value: float,
+    units: Mapping[str, float],
+    statistics=None,
+) -> Tuple[Segment, Segment]:
+    """Algorithm 4 — split ``segment`` horizontally on ``attribute`` at ``value``.
+
+    Child tuple counts are estimated under the uniform-distribution
+    assumption — ``t1 = S.t * (v - min_a) / (max_a - min_a)`` — or, when a
+    :class:`~repro.core.statistics.TableStatistics` is supplied, from the
+    attribute's histogram (the paper's "other cardinality estimation
+    techniques" hook).  The children keep the parent's attributes; only the
+    box bound on ``attribute`` changes.  Children carry empty query sets —
+    the caller reassigns queries via :func:`access`.
+    """
+    interval = segment.ranges[attribute]
+    unit = units.get(attribute, 0.0)
+    lower_interval, upper_interval = interval.split(value, unit)
+    if statistics is not None and attribute in statistics:
+        lower_fraction = statistics.fraction(attribute, lower_interval, interval, unit)
+    else:
+        lower_fraction = lower_interval.width(unit) / interval.width(unit)
+    t_lower = segment.n_tuples * lower_fraction
+    tight = segment.tight | {attribute}
+    lower = Segment(
+        attributes=segment.attributes,
+        n_tuples=t_lower,
+        ranges=segment.ranges.replace(attribute, lower_interval),
+        tight=tight,
+    )
+    upper = Segment(
+        attributes=segment.attributes,
+        n_tuples=segment.n_tuples - t_lower,
+        ranges=segment.ranges.replace(attribute, upper_interval),
+        tight=tight,
+    )
+    return lower, upper

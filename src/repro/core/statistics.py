@@ -1,0 +1,145 @@
+"""Histogram-based cardinality estimation.
+
+Algorithm 4 estimates child sizes "assuming that the distribution of each
+attribute is uniform and independent", and the paper notes that *"other
+cardinality estimation techniques can be used for more accurate results."*
+This module provides that upgrade: per-attribute equi-width histograms that
+replace the uniform interval arithmetic wherever the tuner estimates how many
+tuples fall inside a range — horizontal split sizes (Algorithm 4) and the
+survivor counts behind ``cost_recons`` (Formula 5).
+
+On uniform data the histogram estimator agrees with the uniform model; on
+skewed data it keeps the resizing phase honest (a "half the value range"
+split of a Zipf-like column is nowhere near half the tuples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping
+
+import numpy as np
+
+from ..errors import CalibrationError
+from .ranges import Interval
+
+__all__ = ["EquiWidthHistogram", "TableStatistics"]
+
+
+@dataclass(frozen=True)
+class EquiWidthHistogram:
+    """Counts of one attribute's values over equal-width bins."""
+
+    lo: float
+    hi: float
+    counts: np.ndarray  # float64, length n_bins
+
+    def __post_init__(self) -> None:
+        if self.hi < self.lo:
+            raise CalibrationError("histogram bounds are inverted")
+        if len(self.counts) == 0:
+            raise CalibrationError("histogram needs at least one bin")
+
+    @classmethod
+    def from_column(cls, column: np.ndarray, n_bins: int = 64) -> "EquiWidthHistogram":
+        """Build from a data column (empty columns yield a single empty bin)."""
+        if len(column) == 0:
+            return cls(0.0, 0.0, np.zeros(1))
+        lo, hi = float(column.min()), float(column.max())
+        if lo == hi:
+            return cls(lo, hi, np.array([float(len(column))]))
+        counts, _edges = np.histogram(column, bins=n_bins, range=(lo, hi))
+        return cls(lo, hi, counts.astype(np.float64))
+
+    @property
+    def total(self) -> float:
+        return float(self.counts.sum())
+
+    def mass(self, lo: float, hi: float) -> float:
+        """Estimated number of values in the half-open range ``[lo, hi)``.
+
+        Fully covered bins contribute their whole count; the boundary bins
+        contribute linearly-interpolated fractions (values are assumed
+        uniform *within* a bin — the classic equi-width assumption).
+        """
+        if self.total == 0.0 or hi <= lo:
+            return 0.0
+        if self.hi == self.lo:
+            return self.total if lo <= self.lo < hi else 0.0
+        span_lo = max(lo, self.lo)
+        # numpy's top histogram bin is closed, so treat the data max as
+        # belonging to the range whenever hi exceeds it.
+        span_hi = min(hi, self.hi + 1e-12) if hi > self.hi else hi
+        if span_hi <= span_lo:
+            return 0.0
+        n_bins = len(self.counts)
+        width = (self.hi - self.lo) / n_bins
+        first = (span_lo - self.lo) / width
+        last = min((span_hi - self.lo) / width, float(n_bins))
+        first_bin = min(int(first), n_bins - 1)
+        last_bin = min(int(last), n_bins - 1)
+        if first_bin == last_bin:
+            return float(self.counts[first_bin]) * max(0.0, last - first)
+        mass = float(self.counts[first_bin]) * (first_bin + 1 - first)
+        mass += float(self.counts[first_bin + 1:last_bin].sum())
+        mass += float(self.counts[last_bin]) * (last - last_bin)
+        return mass
+
+    def fraction(self, piece: Interval, whole: Interval, unit: float = 0.0) -> float:
+        """Share of the values in ``whole`` that also fall in ``piece``.
+
+        This is the drop-in replacement for the uniform
+        ``piece.width / whole.width`` arithmetic: the conditional probability
+        that a tuple known to lie in ``whole`` lies in ``piece``.  ``unit``
+        widens closed integer intervals to half-open ones (``[a, b]`` covers
+        ``[a, b + 1)`` in value space), exactly as
+        :meth:`Interval.overlap_fraction` does.
+        """
+        denominator = self.mass(whole.lo, whole.hi + unit)
+        if denominator <= 0.0:
+            # No information: fall back to the uniform model.
+            return whole.overlap_fraction(piece, unit)
+        overlap = piece.intersect(whole)
+        if overlap is None:
+            return 0.0
+        return min(1.0, self.mass(overlap.lo, overlap.hi + unit) / denominator)
+
+
+class TableStatistics:
+    """Per-attribute histograms for one table."""
+
+    __slots__ = ("_histograms",)
+
+    def __init__(self, histograms: Mapping[str, EquiWidthHistogram]):
+        self._histograms: Dict[str, EquiWidthHistogram] = dict(histograms)
+
+    @classmethod
+    def from_table(cls, table, n_bins: int = 64, attributes: Iterable[str] | None = None):
+        """Scan a :class:`~repro.storage.table_data.ColumnTable` once."""
+        names = tuple(attributes) if attributes else table.schema.attribute_names
+        return cls(
+            {
+                name: EquiWidthHistogram.from_column(table.column(name), n_bins)
+                for name in names
+            }
+        )
+
+    def histogram(self, attribute: str) -> EquiWidthHistogram | None:
+        return self._histograms.get(attribute)
+
+    def fraction(self, attribute: str, piece: Interval, whole: Interval, unit: float = 0.0) -> float:
+        """Conditional fraction of ``whole``'s tuples inside ``piece``.
+
+        Falls back to the uniform interval model for attributes without a
+        histogram.
+        """
+        histogram = self._histograms.get(attribute)
+        if histogram is None:
+            return whole.overlap_fraction(piece, unit)
+        return histogram.fraction(piece, whole, unit)
+
+    def __contains__(self, attribute: str) -> bool:
+        return attribute in self._histograms
+
+    def __len__(self) -> int:
+        return len(self._histograms)

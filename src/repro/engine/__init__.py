@@ -1,0 +1,32 @@
+"""Query engines: partition-at-a-time (Jigsaw), scan engines (baselines),
+predicates, results and execution statistics."""
+
+from .partition_at_a_time import (
+    STATUS_INVALID,
+    STATUS_NOT_CHECKED,
+    STATUS_VALID,
+    PartitionAtATimeExecutor,
+)
+from .aggregates import aggregate, group_aggregate, revenue
+from .predicates import Conjunction, RangePredicate
+from .replicated import ReplicatedExecutor
+from .result import ResultSet
+from .scan import ScanExecutor
+from .stats import CpuModel, ExecutionStats
+
+__all__ = [
+    "Conjunction",
+    "CpuModel",
+    "ExecutionStats",
+    "PartitionAtATimeExecutor",
+    "RangePredicate",
+    "ReplicatedExecutor",
+    "ResultSet",
+    "aggregate",
+    "group_aggregate",
+    "revenue",
+    "STATUS_INVALID",
+    "STATUS_NOT_CHECKED",
+    "STATUS_VALID",
+    "ScanExecutor",
+]

@@ -1,0 +1,92 @@
+"""Aggregation over query results.
+
+The paper's engine stops at the select/project result hash table; real
+workloads (e.g. every TPC-H template) aggregate it.  This module provides
+vectorized scalar and grouped aggregation over :class:`ResultSet`, plus the
+TPC-H ``revenue`` idiom, so the examples and benchmarks can report the same
+quantities the paper's queries compute.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Tuple
+
+import numpy as np
+
+from ..errors import InvalidQueryError
+from .result import ResultSet
+
+__all__ = ["aggregate", "group_aggregate", "revenue", "AGGREGATE_FUNCTIONS"]
+
+AGGREGATE_FUNCTIONS: Dict[str, Callable[[np.ndarray], float]] = {
+    "sum": lambda values: float(values.sum()),
+    "min": lambda values: float(values.min()),
+    "max": lambda values: float(values.max()),
+    "mean": lambda values: float(values.mean()),
+    "count": lambda values: float(len(values)),
+}
+
+
+def _function(name: str) -> Callable[[np.ndarray], float]:
+    try:
+        return AGGREGATE_FUNCTIONS[name]
+    except KeyError:
+        raise InvalidQueryError(
+            f"unknown aggregate {name!r}; choose from {sorted(AGGREGATE_FUNCTIONS)}"
+        ) from None
+
+
+def aggregate(result: ResultSet, spec: Mapping[str, str]) -> Dict[str, float]:
+    """Scalar aggregates: ``{"l_extendedprice": "sum", ...}``.
+
+    Empty results yield 0 for sum/count and NaN for min/max/mean (the SQL
+    NULL of this numeric world).
+    """
+    out: Dict[str, float] = {}
+    for attribute, name in spec.items():
+        function = _function(name)
+        values = result.column(attribute)
+        if not len(values):
+            out[f"{name}({attribute})"] = 0.0 if name in ("sum", "count") else float("nan")
+        else:
+            out[f"{name}({attribute})"] = function(values)
+    return out
+
+
+def group_aggregate(
+    result: ResultSet,
+    by: str,
+    spec: Mapping[str, str],
+) -> Dict[float, Dict[str, float]]:
+    """GROUP BY one attribute, computing the given aggregates per group.
+
+    Returns ``{group_value: {"sum(x)": ..., ...}}`` with groups in ascending
+    key order, vectorized via a single sort.
+    """
+    keys = result.column(by)
+    if not len(keys):
+        return {}
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    boundaries = np.nonzero(np.diff(sorted_keys))[0] + 1
+    starts = np.concatenate([[0], boundaries])
+    ends = np.concatenate([boundaries, [len(sorted_keys)]])
+    columns = {attribute: result.column(attribute)[order] for attribute in spec}
+    groups: Dict[float, Dict[str, float]] = {}
+    for start, end in zip(starts, ends):
+        key = sorted_keys[start]
+        key = key.item() if hasattr(key, "item") else key
+        entry: Dict[str, float] = {}
+        for attribute, name in spec.items():
+            entry[f"{name}({attribute})"] = _function(name)(columns[attribute][start:end])
+        groups[key] = entry
+    return groups
+
+
+def revenue(result: ResultSet) -> float:
+    """TPC-H revenue: ``sum(l_extendedprice * (1 - l_discount))``."""
+    price = result.column("l_extendedprice")
+    discount = result.column("l_discount")
+    if not len(price):
+        return 0.0
+    return float((price * (1.0 - discount)).sum())

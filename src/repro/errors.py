@@ -1,0 +1,36 @@
+"""Exception hierarchy for the Jigsaw reproduction.
+
+Every error raised by this package derives from :class:`JigsawError` so that
+callers can catch library failures without also swallowing programming errors
+such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class JigsawError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SchemaError(JigsawError):
+    """An attribute is unknown, duplicated, or otherwise inconsistent."""
+
+
+class InvalidQueryError(JigsawError):
+    """A query references attributes or bounds that do not exist."""
+
+
+class InvalidPartitioningError(JigsawError):
+    """A partitioning plan violates the validity constraints of Formula 4."""
+
+
+class StorageError(JigsawError):
+    """A partition file is missing, truncated, or corrupt."""
+
+
+class PartitionNotFoundError(StorageError):
+    """The partition manager has no partition with the requested id."""
+
+
+class CalibrationError(JigsawError):
+    """An I/O or memory model could not be fitted from measurements."""

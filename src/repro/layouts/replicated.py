@@ -1,0 +1,70 @@
+"""Irregular layout with limited cell replication ("Irregular+R").
+
+Builds the standard Jigsaw irregular layout, then runs the
+:class:`~repro.core.replication.ReplicationAdvisor` over the training
+workload and materializes the chosen replica segments.  Queries the advisor
+managed to localize are evaluated partition-locally (no predicate-only
+partitions, no reconstruction hash table); everything else falls back to the
+standard partition-at-a-time engine.
+"""
+
+from __future__ import annotations
+
+from ..core.cost import CostModel
+from ..core.query import Workload
+from ..core.replication import ReplicationAdvisor, ReplicationConfig
+from ..engine.replicated import ReplicatedExecutor
+from ..storage.table_data import ColumnTable
+from .base import BuildContext, LayoutBuilder, MaterializedLayout
+from .irregular import IrregularLayout
+
+__all__ = ["ReplicatedIrregularLayout"]
+
+
+class ReplicatedIrregularLayout(LayoutBuilder):
+    """Jigsaw + the paper's limited-replication future-work extension."""
+
+    name = "Irregular+R"
+
+    def __init__(
+        self,
+        replication: ReplicationConfig | None = None,
+        selection_enabled: bool = True,
+        zone_maps: bool = False,
+    ):
+        self.replication = replication or ReplicationConfig()
+        self.selection_enabled = selection_enabled
+        self.zone_maps = zone_maps
+
+    def build(
+        self, table: ColumnTable, train: Workload, ctx: BuildContext
+    ) -> MaterializedLayout:
+        base = IrregularLayout(
+            selection_enabled=self.selection_enabled, zone_maps=self.zone_maps
+        ).build(table, train, ctx)
+        if base.build_info.get("fallback") == "columnar":
+            # Nothing to replicate on a columnar layout; keep the fallback.
+            base.name = self.name
+            return base
+
+        cost_model = CostModel(
+            table.meta,
+            ctx.device_profile.io_model,
+            memory_model=ctx.memory_model,
+            page_size=ctx.file_segment_bytes,
+        )
+        advisor = ReplicationAdvisor(cost_model, self.replication)
+        report = advisor.plan(base.manager, table, train)
+        if report.replicas:
+            advisor.apply(base.manager, table, report)
+        executor = ReplicatedExecutor(
+            base.manager, table.meta, cpu_model=ctx.cpu_model, zone_maps=self.zone_maps
+        )
+        return MaterializedLayout(
+            self.name,
+            table.meta,
+            base.manager,
+            executor,
+            plan=base.plan,
+            build_info={**base.build_info, "replication": report},
+        )

@@ -1,0 +1,12 @@
+"""Baseline partitioning algorithms: Schism (horizontal) and Peloton
+(vertical)."""
+
+from .peloton import PelotonPartitioner, PelotonStats
+from .schism import SchismPartitioner, SchismStats
+
+__all__ = [
+    "PelotonPartitioner",
+    "PelotonStats",
+    "SchismPartitioner",
+    "SchismStats",
+]

@@ -1,0 +1,207 @@
+"""JSON persistence for workloads and partitioning plans.
+
+Tuning is the expensive step (quadratic in the training workload), so a
+production deployment tunes once and reuses the plan.  This module gives
+plans and workloads stable on-disk representations:
+
+* a workload file records each query's projection, predicates and label;
+* a plan file records, per partition, each segment's attributes, estimated
+  tuple count, and *tightened* intervals (bounds for untouched attributes
+  are implied by the table and reconstructed on load), plus the indices of
+  the training queries accessing it.
+
+Round-tripping a plan through JSON and rematerializing it yields the exact
+same partition files — asserted in the test suite.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Dict, List, Sequence
+
+from .core.partition import Partition, PartitioningPlan
+from .core.query import Query, Workload
+from .core.ranges import Interval
+from .core.schema import TableMeta
+from .core.segment import Segment
+from .errors import JigsawError
+
+__all__ = [
+    "workload_to_dict",
+    "workload_from_dict",
+    "plan_to_dict",
+    "plan_from_dict",
+    "save_workload",
+    "load_workload",
+    "save_plan",
+    "load_plan",
+]
+
+_FORMAT_VERSION = 1
+
+
+# ------------------------------------------------------------------ workload
+
+
+def workload_to_dict(workload: Workload) -> Dict[str, Any]:
+    """A JSON-ready representation of a workload."""
+    return {
+        "format": "jigsaw-workload",
+        "version": _FORMAT_VERSION,
+        "table": workload.table.name,
+        "queries": [
+            {
+                "select": list(query.select),
+                "where": {
+                    name: [interval.lo, interval.hi]
+                    for name, interval in query.where.items()
+                },
+                "label": query.label,
+            }
+            for query in workload
+        ],
+    }
+
+
+def workload_from_dict(table: TableMeta, data: Dict[str, Any]) -> Workload:
+    """Rebuild a workload against ``table``; validates every query."""
+    if data.get("format") != "jigsaw-workload":
+        raise JigsawError("not a jigsaw workload document")
+    if data.get("version") != _FORMAT_VERSION:
+        raise JigsawError(f"unsupported workload version {data.get('version')}")
+    queries = [
+        Query.build(
+            table,
+            entry["select"],
+            {name: tuple(bounds) for name, bounds in entry.get("where", {}).items()},
+            label=entry.get("label", ""),
+        )
+        for entry in data["queries"]
+    ]
+    return Workload(table, queries)
+
+
+# ---------------------------------------------------------------------- plan
+
+
+def plan_to_dict(plan: PartitioningPlan, workload: Workload | None = None) -> Dict[str, Any]:
+    """A JSON-ready representation of a plan.
+
+    With ``workload`` given, each segment also records the indices of its
+    accessing queries so the full tuner state survives the round trip.
+    """
+    query_index = (
+        {id(query): index for index, query in enumerate(workload)} if workload else {}
+    )
+    partitions: List[List[Dict[str, Any]]] = []
+    for partition in plan:
+        segments = []
+        for segment in partition.segments:
+            entry: Dict[str, Any] = {
+                "attributes": list(segment.attributes),
+                "n_tuples": segment.n_tuples,
+                "tight": {
+                    name: [segment.ranges[name].lo, segment.ranges[name].hi]
+                    for name in sorted(segment.tight)
+                },
+            }
+            if workload is not None:
+                indices = sorted(
+                    query_index[id(query)]
+                    for query in segment.queries
+                    if id(query) in query_index
+                )
+                entry["queries"] = indices
+            segments.append(entry)
+        partitions.append(segments)
+    return {
+        "format": "jigsaw-plan",
+        "version": _FORMAT_VERSION,
+        "table": plan.table.name,
+        "kind": plan.kind,
+        "partitions": partitions,
+    }
+
+
+def plan_from_dict(
+    table: TableMeta,
+    data: Dict[str, Any],
+    workload: Workload | None = None,
+) -> PartitioningPlan:
+    """Rebuild a plan against ``table``.
+
+    Untightened attribute bounds are reconstructed from the table's ranges.
+    With ``workload`` given, the recorded query indices are resolved back to
+    the workload's query objects.
+    """
+    if data.get("format") != "jigsaw-plan":
+        raise JigsawError("not a jigsaw plan document")
+    if data.get("version") != _FORMAT_VERSION:
+        raise JigsawError(f"unsupported plan version {data.get('version')}")
+    if data.get("table") != table.name:
+        raise JigsawError(
+            f"plan was saved for table {data.get('table')!r}, not {table.name!r}"
+        )
+    partitions = []
+    for pid, segment_entries in enumerate(data["partitions"]):
+        segments = []
+        for entry in segment_entries:
+            ranges = table.full_range()
+            for name, (lo, hi) in entry.get("tight", {}).items():
+                ranges = ranges.replace(name, Interval(lo, hi))
+            queries = frozenset(
+                workload[index] for index in entry.get("queries", ())
+            ) if workload is not None else frozenset()
+            segments.append(
+                Segment(
+                    attributes=tuple(entry["attributes"]),
+                    n_tuples=float(entry["n_tuples"]),
+                    ranges=ranges,
+                    queries=queries,
+                    tight=frozenset(entry.get("tight", {})),
+                )
+            )
+        partitions.append(Partition(pid, tuple(segments)))
+    return PartitioningPlan(table, partitions, kind=data.get("kind", "irregular"))
+
+
+# ---------------------------------------------------------------- file layer
+
+
+def _dump(document: Dict[str, Any], target: str | IO[str]) -> None:
+    if isinstance(target, str):
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=1)
+    else:
+        json.dump(document, target, indent=1)
+
+
+def _load(source: str | IO[str]) -> Dict[str, Any]:
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    return json.load(source)
+
+
+def save_workload(workload: Workload, target: str | IO[str]) -> None:
+    """Write a workload as JSON to a path or file object."""
+    _dump(workload_to_dict(workload), target)
+
+
+def load_workload(table: TableMeta, source: str | IO[str]) -> Workload:
+    """Read a workload saved by :func:`save_workload`."""
+    return workload_from_dict(table, _load(source))
+
+
+def save_plan(
+    plan: PartitioningPlan, target: str | IO[str], workload: Workload | None = None
+) -> None:
+    """Write a plan as JSON to a path or file object."""
+    _dump(plan_to_dict(plan, workload), target)
+
+
+def load_plan(
+    table: TableMeta, source: str | IO[str], workload: Workload | None = None
+) -> PartitioningPlan:
+    """Read a plan saved by :func:`save_plan`."""
+    return plan_from_dict(table, _load(source), workload)

@@ -1,0 +1,218 @@
+"""A small SQL front end for the query model.
+
+The engines evaluate exactly the query shape the paper assumes — a projection
+plus a conjunction of range predicates — so the supported grammar is:
+
+    SELECT <column [, column ...] | *>
+    FROM <table>
+    [WHERE <predicate> [AND <predicate> ...]]
+
+with predicates of the forms::
+
+    a = 5          a < 5       a <= 5      a > 5       a >= 5
+    a BETWEEN 1 AND 20
+
+Strict-inequality bounds are converted to closed bounds using the
+attribute's integer unit (``a < 5`` on an integer column is ``a <= 4``; on a
+continuous column it is the nearest representable float below 5).  Anything
+outside the grammar — OR, joins, arithmetic, subqueries — raises
+:class:`~repro.errors.InvalidQueryError` with a pointed message, because the
+paper's engine does not evaluate it either.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Tuple
+
+from .core.query import Query
+from .core.schema import TableMeta
+from .errors import InvalidQueryError
+
+__all__ = ["parse_query", "to_sql"]
+
+_TOKEN = re.compile(
+    r"""
+    \s*(?:
+        (?P<number>-?\d+(?:\.\d+)?)
+      | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+      | (?P<op><=|>=|=|<|>)
+      | (?P<comma>,)
+      | (?P<star>\*)
+      | (?P<other>\S)
+    )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"SELECT", "FROM", "WHERE", "AND", "BETWEEN", "OR", "NOT"}
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    for match in _TOKEN.finditer(text):
+        kind = match.lastgroup
+        value = match.group(kind)
+        if kind == "name" and value.upper() in _KEYWORDS:
+            tokens.append(("keyword", value.upper()))
+        elif kind == "other":
+            raise InvalidQueryError(f"unexpected character {value!r} in query")
+        else:
+            tokens.append((kind, value))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, tokens: List[Tuple[str, str]], table: TableMeta):
+        self.tokens = tokens
+        self.position = 0
+        self.table = table
+
+    # ------------------------------------------------------------- helpers
+
+    def _peek(self) -> Tuple[str, str] | None:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def _next(self) -> Tuple[str, str]:
+        token = self._peek()
+        if token is None:
+            raise InvalidQueryError("unexpected end of query")
+        self.position += 1
+        return token
+
+    def _expect_keyword(self, keyword: str) -> None:
+        kind, value = self._next()
+        if kind != "keyword" or value != keyword:
+            raise InvalidQueryError(f"expected {keyword}, found {value!r}")
+
+    def _expect(self, kind: str) -> str:
+        token_kind, value = self._next()
+        if token_kind != kind:
+            raise InvalidQueryError(f"expected {kind}, found {value!r}")
+        return value
+
+    # -------------------------------------------------------------- parser
+
+    def parse(self) -> Query:
+        self._expect_keyword("SELECT")
+        select = self._parse_select_list()
+        self._expect_keyword("FROM")
+        table_name = self._expect("name")
+        if table_name != self.table.name:
+            raise InvalidQueryError(
+                f"query is FROM {table_name!r} but the table is {self.table.name!r}"
+            )
+        where: Dict[str, Tuple[float, float]] = {}
+        token = self._peek()
+        if token is not None:
+            self._expect_keyword("WHERE")
+            where = self._parse_predicates()
+        if self._peek() is not None:
+            _kind, value = self._next()
+            raise InvalidQueryError(f"trailing input starting at {value!r}")
+        return Query.build(self.table, select, where, label="sql")
+
+    def _parse_select_list(self) -> List[str]:
+        token = self._peek()
+        if token is not None and token[0] == "star":
+            self._next()
+            return list(self.table.attribute_names)
+        names = [self._expect("name")]
+        while self._peek() is not None and self._peek()[0] == "comma":
+            self._next()
+            names.append(self._expect("name"))
+        return names
+
+    def _parse_predicates(self) -> Dict[str, Tuple[float, float]]:
+        bounds: Dict[str, Tuple[float, float]] = {}
+        while True:
+            name, (lo, hi) = self._parse_predicate()
+            if name in bounds:
+                # Conjunctions on the same attribute intersect.
+                old_lo, old_hi = bounds[name]
+                lo, hi = max(lo, old_lo), min(hi, old_hi)
+                if hi < lo:
+                    raise InvalidQueryError(
+                        f"predicates on {name!r} are contradictory"
+                    )
+            bounds[name] = (lo, hi)
+            token = self._peek()
+            if token is None:
+                return bounds
+            if token == ("keyword", "AND"):
+                self._next()
+                continue
+            if token[0] == "keyword" and token[1] in ("OR", "NOT"):
+                raise InvalidQueryError(
+                    f"{token[1]} is not supported: the engine evaluates "
+                    "conjunctions of range predicates (the paper's query shape)"
+                )
+            _kind, value = self._next()
+            raise InvalidQueryError(f"unexpected {value!r} in WHERE clause")
+
+    def _parse_predicate(self) -> Tuple[str, Tuple[float, float]]:
+        name = self._expect("name")
+        if name not in self.table.schema:
+            raise InvalidQueryError(f"unknown column {name!r}")
+        unit = self.table.schema[name].unit
+        token = self._next()
+        if token == ("keyword", "BETWEEN"):
+            lo = float(self._expect("number"))
+            self._expect_keyword("AND")
+            hi = float(self._expect("number"))
+            if hi < lo:
+                raise InvalidQueryError(f"BETWEEN bounds on {name!r} are inverted")
+            return name, (lo, hi)
+        kind, op = token
+        if kind != "op":
+            raise InvalidQueryError(f"expected a comparison after {name!r}, found {op!r}")
+        value = float(self._expect("number"))
+        table_interval = self.table.interval(name)
+        if op == "=":
+            return name, (value, value)
+        if op == "<=":
+            return name, (table_interval.lo, value)
+        if op == ">=":
+            return name, (value, table_interval.hi)
+        if op == "<":
+            upper = value - unit if unit else math.nextafter(value, -math.inf)
+            return name, (table_interval.lo, upper)
+        # op == ">"
+        lower = value + unit if unit else math.nextafter(value, math.inf)
+        return name, (lower, table_interval.hi)
+
+
+def to_sql(query: Query, table_name: str) -> str:
+    """Render a :class:`Query` back to the supported SQL subset.
+
+    ``parse_query(table, to_sql(q, table.name))`` reproduces the query's
+    projection and predicate bounds (asserted property-based in the tests).
+    """
+
+    def number(value: float) -> str:
+        return str(int(value)) if float(value).is_integer() else repr(value)
+
+    text = f"SELECT {', '.join(query.select)} FROM {table_name}"
+    if query.where:
+        predicates = " AND ".join(
+            f"{name} BETWEEN {number(interval.lo)} AND {number(interval.hi)}"
+            for name, interval in query.where.items()
+        )
+        text += f" WHERE {predicates}"
+    return text
+
+
+def parse_query(table: TableMeta, sql: str) -> Query:
+    """Parse one SELECT statement against ``table`` into a :class:`Query`.
+
+    >>> query = parse_query(meta, "SELECT a, b FROM t WHERE a BETWEEN 1 AND 9")
+    """
+    tokens = _tokenize(sql)
+    if not tokens:
+        raise InvalidQueryError("empty query")
+    return _Parser(tokens, table).parse()

@@ -1,0 +1,53 @@
+"""Storage substrate: devices, blob stores, the partition file format and the
+partition manager."""
+
+from .blob import BlobStore, DirectoryBlobStore, MemoryBlobStore
+from .device import (
+    BALOS_HDD,
+    EBS_GP2,
+    EBS_IO1,
+    DeviceProfile,
+    StorageDevice,
+    synthetic_profile_measurements,
+)
+from .format import deserialize_partition, segment_row_dtype, serialize_partition
+from .io_stats import IOStats
+from .partition_manager import PartitionInfo, PartitionManager
+from .physical import (
+    TID_CATALOG,
+    TID_EXPLICIT,
+    TID_IMPLICIT,
+    PhysicalPartition,
+    PhysicalSegment,
+    SegmentSpec,
+    build_physical_partition,
+    physical_from_logical,
+)
+from .table_data import ColumnTable
+
+__all__ = [
+    "BALOS_HDD",
+    "BlobStore",
+    "ColumnTable",
+    "DeviceProfile",
+    "DirectoryBlobStore",
+    "EBS_GP2",
+    "EBS_IO1",
+    "IOStats",
+    "MemoryBlobStore",
+    "PartitionInfo",
+    "PartitionManager",
+    "PhysicalPartition",
+    "PhysicalSegment",
+    "SegmentSpec",
+    "StorageDevice",
+    "TID_CATALOG",
+    "TID_EXPLICIT",
+    "TID_IMPLICIT",
+    "build_physical_partition",
+    "deserialize_partition",
+    "physical_from_logical",
+    "segment_row_dtype",
+    "serialize_partition",
+    "synthetic_profile_measurements",
+]

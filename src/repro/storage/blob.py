@@ -1,0 +1,123 @@
+"""Blob stores: where serialized partition files live.
+
+The partition manager is agnostic to whether partitions live in memory (fast,
+for tests and simulations) or on a real filesystem (for inspecting the binary
+format).  Both stores expose the same minimal byte-oriented interface.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from typing import Dict, Iterator
+
+from ..errors import StorageError
+
+__all__ = ["BlobStore", "MemoryBlobStore", "DirectoryBlobStore"]
+
+
+class BlobStore(ABC):
+    """A flat namespace of immutable byte blobs (partition files)."""
+
+    @abstractmethod
+    def put(self, key: str, data: bytes) -> None:
+        """Store ``data`` under ``key``, replacing any previous blob."""
+
+    @abstractmethod
+    def get(self, key: str) -> bytes:
+        """Return the blob stored under ``key``; raise StorageError if absent."""
+
+    @abstractmethod
+    def size(self, key: str) -> int:
+        """Byte size of the blob under ``key``."""
+
+    @abstractmethod
+    def keys(self) -> Iterator[str]:
+        """All stored keys, in no particular order."""
+
+    @abstractmethod
+    def delete(self, key: str) -> None:
+        """Remove ``key``; no-op when absent."""
+
+    def __contains__(self, key: str) -> bool:
+        try:
+            self.size(key)
+        except StorageError:
+            return False
+        return True
+
+    def total_bytes(self) -> int:
+        return sum(self.size(key) for key in self.keys())
+
+
+class MemoryBlobStore(BlobStore):
+    """Blobs in a plain dict; the default for simulations and tests."""
+
+    def __init__(self) -> None:
+        self._blobs: Dict[str, bytes] = {}
+
+    def put(self, key: str, data: bytes) -> None:
+        self._blobs[key] = bytes(data)
+
+    def get(self, key: str) -> bytes:
+        try:
+            return self._blobs[key]
+        except KeyError:
+            raise StorageError(f"no blob stored under {key!r}") from None
+
+    def size(self, key: str) -> int:
+        try:
+            return len(self._blobs[key])
+        except KeyError:
+            raise StorageError(f"no blob stored under {key!r}") from None
+
+    def keys(self) -> Iterator[str]:
+        return iter(tuple(self._blobs))
+
+    def delete(self, key: str) -> None:
+        self._blobs.pop(key, None)
+
+
+class DirectoryBlobStore(BlobStore):
+    """Blobs as real files under a directory (keys may contain ``/``)."""
+
+    def __init__(self, root: str):
+        self.root = os.path.abspath(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    def _path(self, key: str) -> str:
+        path = os.path.abspath(os.path.join(self.root, key))
+        if not path.startswith(self.root + os.sep) and path != self.root:
+            raise StorageError(f"key {key!r} escapes the store root")
+        return path
+
+    def put(self, key: str, data: bytes) -> None:
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "wb") as handle:
+            handle.write(data)
+
+    def get(self, key: str) -> bytes:
+        try:
+            with open(self._path(key), "rb") as handle:
+                return handle.read()
+        except FileNotFoundError:
+            raise StorageError(f"no blob stored under {key!r}") from None
+
+    def size(self, key: str) -> int:
+        try:
+            return os.path.getsize(self._path(key))
+        except FileNotFoundError:
+            raise StorageError(f"no blob stored under {key!r}") from None
+
+    def keys(self) -> Iterator[str]:
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            for filename in filenames:
+                full = os.path.join(dirpath, filename)
+                yield os.path.relpath(full, self.root).replace(os.sep, "/")
+
+    def delete(self, key: str) -> None:
+        try:
+            os.remove(self._path(key))
+        except FileNotFoundError:
+            pass

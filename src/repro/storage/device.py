@@ -1,0 +1,179 @@
+"""Simulated cold-storage devices.
+
+The paper evaluates on three machines whose storage spans 75 MB/s (local HDD)
+to 1 GB/s (EBS io1).  Reproducing I/O-bound experiments faithfully in Python
+is infeasible, so reads go through a :class:`StorageDevice` that charges
+*simulated* seconds using the same linear ``io(x) = alpha*x + beta`` model the
+paper's tuner fits by profiling, while byte counts stay exact.
+
+The device also simulates the OS buffer cache (whole-file granularity, LRU),
+which the warm-data experiment (Figure 11) relies on; the cold-data
+experiments call :meth:`StorageDevice.drop_caches` between queries, mirroring
+the paper's explicit cache flushes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..core.cost import IOModel
+from .io_stats import IOStats
+
+__all__ = [
+    "DeviceProfile",
+    "StorageDevice",
+    "BALOS_HDD",
+    "EBS_GP2",
+    "EBS_IO1",
+    "synthetic_profile_measurements",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class DeviceProfile:
+    """A named I/O performance profile (Table 3 storage column)."""
+
+    name: str
+    io_model: IOModel
+    description: str = ""
+
+    @classmethod
+    def from_throughput(
+        cls, name: str, throughput_mb_per_s: float, latency_s: float, description: str = ""
+    ) -> "DeviceProfile":
+        return cls(name, IOModel.from_throughput(throughput_mb_per_s, latency_s), description)
+
+
+#: Locally attached HDD of the on-premises ``balos`` server (~75 MB/s).
+BALOS_HDD = DeviceProfile.from_throughput("balos-hdd", 75.0, 0.010, "local HDD, 75 MB/s")
+#: EBS gp2 volume of the t2.2xlarge instance (~125 MB/s).
+EBS_GP2 = DeviceProfile.from_throughput("ebs-gp2", 125.0, 0.004, "EBS gp2 SSD, 125 MB/s")
+#: EBS io1 volume of the c5.9xlarge instance (~1 GB/s).
+EBS_IO1 = DeviceProfile.from_throughput("ebs-io1", 1000.0, 0.001, "EBS io1 SSD, 1 GB/s")
+
+
+class StorageDevice:
+    """Charges simulated I/O time for blob reads and tracks statistics.
+
+    Parameters
+    ----------
+    profile:
+        The device's linear I/O model.
+    cache_bytes:
+        Simulated OS buffer cache capacity; 0 disables caching (cold reads
+        only, the default for the paper's main experiments).
+    """
+
+    def __init__(self, profile: DeviceProfile, cache_bytes: int = 0):
+        self.profile = profile
+        self.cache_bytes = int(cache_bytes)
+        self.stats = IOStats()
+        self._cache: "OrderedDict[str, int]" = OrderedDict()
+        self._cached_bytes = 0
+
+    # ------------------------------------------------------------- reading
+
+    def read(self, key: str, n_bytes: int, chunk_size: int | None = None) -> float:
+        """Charge one read of ``n_bytes`` under cache key ``key``.
+
+        Returns the simulated seconds spent on the device.  When
+        ``chunk_size`` is given the read is charged as a sequence of
+        chunk-sized requests (how the natural-order baselines read a column
+        that spans many file segments); otherwise as a single request (how a
+        partition file is read).
+        """
+        if n_bytes <= 0:
+            return 0.0
+        if self.cache_bytes > 0 and key in self._cache:
+            self._cache.move_to_end(key)
+            self.stats.n_cache_hits += 1
+            self.stats.cache_hit_bytes += n_bytes
+            return 0.0
+        model = self.profile.io_model
+        if chunk_size and chunk_size > 0 and n_bytes > chunk_size:
+            n_full, remainder = divmod(n_bytes, chunk_size)
+            elapsed = n_full * model.io_time(chunk_size)
+            if remainder:
+                elapsed += model.io_time(remainder)
+            n_requests = n_full + (1 if remainder else 0)
+        else:
+            elapsed = model.io_time(n_bytes)
+            n_requests = 1
+        self.stats.n_reads += n_requests
+        self.stats.bytes_read += n_bytes
+        self.stats.io_time_s += elapsed
+        if self.cache_bytes > 0:
+            self._insert_cached(key, n_bytes)
+        return elapsed
+
+    def write(self, key: str, n_bytes: int) -> float:
+        """Charge one write; writes also populate the buffer cache."""
+        if n_bytes <= 0:
+            return 0.0
+        elapsed = self.profile.io_model.io_time(n_bytes)
+        self.stats.n_writes += 1
+        self.stats.bytes_written += n_bytes
+        if self.cache_bytes > 0:
+            self._insert_cached(key, n_bytes)
+        return elapsed
+
+    # ------------------------------------------------------------- caching
+
+    def _insert_cached(self, key: str, n_bytes: int) -> None:
+        if n_bytes > self.cache_bytes:
+            return
+        if key in self._cache:
+            self._cached_bytes -= self._cache.pop(key)
+        self._cache[key] = n_bytes
+        self._cached_bytes += n_bytes
+        while self._cached_bytes > self.cache_bytes and self._cache:
+            _evicted_key, evicted_size = self._cache.popitem(last=False)
+            self._cached_bytes -= evicted_size
+
+    def drop_caches(self) -> None:
+        """Simulate ``echo 3 > /proc/sys/vm/drop_caches`` between queries."""
+        self._cache.clear()
+        self._cached_bytes = 0
+
+    def invalidate(self, key: str) -> None:
+        """Drop one key from the cache (file overwritten)."""
+        if key in self._cache:
+            self._cached_bytes -= self._cache.pop(key)
+
+    @property
+    def cached_bytes(self) -> int:
+        return self._cached_bytes
+
+    def reset_stats(self) -> None:
+        self.stats = IOStats()
+
+    def snapshot(self) -> IOStats:
+        return self.stats.copy()
+
+
+def synthetic_profile_measurements(
+    profile: DeviceProfile,
+    sizes: List[int] | None = None,
+    noise: float = 0.02,
+    seed: int = 0,
+) -> Tuple[List[int], List[float]]:
+    """Produce ``(size, time)`` samples as if profiling the file system.
+
+    The paper derives the ``alpha`` and ``beta`` coefficients by measuring
+    reads of files of different sizes and running linear regression.  This
+    helper plays the role of those measurements for the simulated device,
+    adding multiplicative Gaussian noise so that the regression in
+    :func:`repro.core.cost.fit_io_model` has something real to do.
+    """
+    if sizes is None:
+        sizes = [1 << s for s in range(20, 28)]  # 1 MB .. 128 MB
+    rng = np.random.default_rng(seed)
+    times = []
+    for size in sizes:
+        ideal = profile.io_model.io_time(size)
+        times.append(float(ideal * (1.0 + rng.normal(0.0, noise))))
+    return list(sizes), times

@@ -1,0 +1,172 @@
+"""Binary partition file format (Figure 4).
+
+A partition file holds a header followed by one or more *physical segments*.
+Each physical segment stores (i) an attribute bitmap identifying which table
+attributes it contains, (ii) the tuple IDs (unless the order is implicit or
+the layout keeps the mapping in the catalog), and (iii) the cells serialized
+row by row — row-major order, as Section 5.1 prescribes.
+
+Cells occupy their *logical* byte width: a dictionary-encoded 117-byte TPC-H
+comment really takes 117 bytes per row on disk (value in the leading bytes,
+zero padding after), so file sizes — and therefore all simulated I/O — match
+the paper's accounting.
+
+Layout (little endian)::
+
+    magic 'JGSW' | version u16 | pid u32 | n_segments u32 | n_attrs u16
+    per segment:
+      tid_mode u8 | n_tuples u64 | first_tid u64 | bitmap ceil(n_attrs/8)B
+      [tuple ids int64 * n_tuples]        -- tid_mode == explicit only
+      row-major cells (padded widths)
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.schema import TableSchema
+from ..errors import StorageError
+from .physical import PhysicalPartition, PhysicalSegment, TID_CATALOG, TID_EXPLICIT, TID_IMPLICIT
+
+__all__ = ["serialize_partition", "deserialize_partition", "segment_row_dtype", "MAGIC"]
+
+MAGIC = b"JGSW"
+_VERSION = 1
+_HEADER = struct.Struct("<4sHIIH")
+_SEGMENT_HEADER = struct.Struct("<BQQ")
+_TID_MODES = {TID_EXPLICIT: 0, TID_IMPLICIT: 1, TID_CATALOG: 2}
+_TID_MODES_REVERSE = {code: mode for mode, code in _TID_MODES.items()}
+#: high bit of the mode byte marks a replica segment (limited replication).
+_REPLICA_FLAG = 0x80
+
+
+def segment_row_dtype(schema: TableSchema, attributes: Sequence[str]) -> np.dtype:
+    """Row-major structured dtype with logical (padded) byte widths."""
+    names: List[str] = []
+    formats: List[str] = []
+    offsets: List[int] = []
+    cursor = 0
+    for name in attributes:
+        spec = schema[name]
+        names.append(name)
+        formats.append(spec.np_dtype)
+        offsets.append(cursor)
+        cursor += spec.byte_width
+    return np.dtype({"names": names, "formats": formats, "offsets": offsets, "itemsize": cursor})
+
+
+def _attribute_bitmap(schema: TableSchema, attributes: Sequence[str]) -> bytes:
+    bitmap = bytearray((len(schema) + 7) // 8)
+    for name in attributes:
+        position = schema.position(name)
+        bitmap[position // 8] |= 1 << (position % 8)
+    return bytes(bitmap)
+
+
+def _attributes_from_bitmap(schema: TableSchema, bitmap: bytes) -> Tuple[str, ...]:
+    names = []
+    all_names = schema.attribute_names
+    for position, name in enumerate(all_names):
+        if bitmap[position // 8] & (1 << (position % 8)):
+            names.append(name)
+    return tuple(names)
+
+
+def serialize_partition(partition: PhysicalPartition, schema: TableSchema) -> bytes:
+    """Serialize a physical partition into the Figure-4 byte layout."""
+    chunks: List[bytes] = [
+        _HEADER.pack(MAGIC, _VERSION, partition.pid, len(partition.segments), len(schema))
+    ]
+    for segment in partition.segments:
+        mode = _TID_MODES[segment.tid_storage]
+        if segment.replica:
+            mode |= _REPLICA_FLAG
+        first_tid = int(segment.tuple_ids[0]) if segment.n_tuples else 0
+        chunks.append(_SEGMENT_HEADER.pack(mode, segment.n_tuples, first_tid))
+        chunks.append(_attribute_bitmap(schema, segment.attributes))
+        if segment.tid_storage == TID_EXPLICIT:
+            chunks.append(np.ascontiguousarray(segment.tuple_ids, dtype="<i8").tobytes())
+        row_dtype = segment_row_dtype(schema, segment.attributes)
+        rows = np.zeros(segment.n_tuples, dtype=row_dtype)
+        for name in segment.attributes:
+            rows[name] = segment.columns[name]
+        chunks.append(rows.tobytes())
+    return b"".join(chunks)
+
+
+def deserialize_partition(
+    data: bytes,
+    schema: TableSchema,
+    catalog_tids: Dict[int, np.ndarray] | None = None,
+) -> PhysicalPartition:
+    """Parse a partition file back into a :class:`PhysicalPartition`.
+
+    ``catalog_tids`` supplies the tuple-ID arrays (indexed by segment
+    ordinal) for segments whose mapping is kept in the partition manager's
+    catalog instead of the file.
+    """
+    if len(data) < _HEADER.size:
+        raise StorageError("partition file truncated: missing header")
+    magic, version, pid, n_segments, n_attrs = _HEADER.unpack_from(data, 0)
+    if magic != MAGIC:
+        raise StorageError(f"bad magic {magic!r}; not a partition file")
+    if version != _VERSION:
+        raise StorageError(f"unsupported partition format version {version}")
+    if n_attrs != len(schema):
+        raise StorageError(
+            f"partition file written for {n_attrs} attributes, schema has {len(schema)}"
+        )
+    bitmap_bytes = (n_attrs + 7) // 8
+    offset = _HEADER.size
+    segments: List[PhysicalSegment] = []
+    for ordinal in range(n_segments):
+        if offset + _SEGMENT_HEADER.size + bitmap_bytes > len(data):
+            raise StorageError(f"partition {pid}: truncated segment header #{ordinal}")
+        mode_code, n_tuples, first_tid = _SEGMENT_HEADER.unpack_from(data, offset)
+        offset += _SEGMENT_HEADER.size
+        replica = bool(mode_code & _REPLICA_FLAG)
+        try:
+            tid_storage = _TID_MODES_REVERSE[mode_code & ~_REPLICA_FLAG]
+        except KeyError:
+            raise StorageError(f"partition {pid}: unknown tid mode {mode_code}") from None
+        attributes = _attributes_from_bitmap(schema, data[offset:offset + bitmap_bytes])
+        offset += bitmap_bytes
+        if tid_storage == TID_EXPLICIT:
+            tid_bytes = 8 * n_tuples
+            if offset + tid_bytes > len(data):
+                raise StorageError(f"partition {pid}: truncated tuple IDs in segment #{ordinal}")
+            tuple_ids = np.frombuffer(data, dtype="<i8", count=n_tuples, offset=offset).copy()
+            offset += tid_bytes
+        elif tid_storage == TID_IMPLICIT:
+            tuple_ids = np.arange(first_tid, first_tid + n_tuples, dtype=np.int64)
+        else:  # catalog
+            if catalog_tids is None or ordinal not in catalog_tids:
+                raise StorageError(
+                    f"partition {pid}: segment #{ordinal} needs catalog tuple IDs"
+                )
+            tuple_ids = catalog_tids[ordinal]
+            if len(tuple_ids) != n_tuples:
+                raise StorageError(
+                    f"partition {pid}: catalog holds {len(tuple_ids)} tuple IDs, "
+                    f"file says {n_tuples}"
+                )
+        row_dtype = segment_row_dtype(schema, attributes)
+        cell_bytes = row_dtype.itemsize * n_tuples
+        if offset + cell_bytes > len(data):
+            raise StorageError(f"partition {pid}: truncated cells in segment #{ordinal}")
+        rows = np.frombuffer(data, dtype=row_dtype, count=n_tuples, offset=offset)
+        offset += cell_bytes
+        columns = {name: np.ascontiguousarray(rows[name]) for name in attributes}
+        segments.append(
+            PhysicalSegment(
+                attributes=attributes,
+                tuple_ids=np.asarray(tuple_ids, dtype=np.int64),
+                columns=columns,
+                tid_storage=tid_storage,
+                replica=replica,
+            )
+        )
+    return PhysicalPartition(pid=pid, segments=segments)

@@ -1,0 +1,57 @@
+"""I/O accounting shared by the storage device and the query engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["IOStats"]
+
+
+@dataclass(slots=True)
+class IOStats:
+    """Counters for one device or one query execution.
+
+    ``bytes_read`` / ``io_time_s`` only count reads that actually hit the
+    (simulated) device; cache hits are tracked separately so the warm-data
+    experiment can distinguish the two.
+    """
+
+    n_reads: int = 0
+    bytes_read: int = 0
+    io_time_s: float = 0.0
+    n_cache_hits: int = 0
+    cache_hit_bytes: int = 0
+    n_writes: int = 0
+    bytes_written: int = 0
+
+    def add(self, other: "IOStats") -> None:
+        self.n_reads += other.n_reads
+        self.bytes_read += other.bytes_read
+        self.io_time_s += other.io_time_s
+        self.n_cache_hits += other.n_cache_hits
+        self.cache_hit_bytes += other.cache_hit_bytes
+        self.n_writes += other.n_writes
+        self.bytes_written += other.bytes_written
+
+    def diff(self, earlier: "IOStats") -> "IOStats":
+        """Counters accumulated since a snapshot ``earlier``."""
+        return IOStats(
+            n_reads=self.n_reads - earlier.n_reads,
+            bytes_read=self.bytes_read - earlier.bytes_read,
+            io_time_s=self.io_time_s - earlier.io_time_s,
+            n_cache_hits=self.n_cache_hits - earlier.n_cache_hits,
+            cache_hit_bytes=self.cache_hit_bytes - earlier.cache_hit_bytes,
+            n_writes=self.n_writes - earlier.n_writes,
+            bytes_written=self.bytes_written - earlier.bytes_written,
+        )
+
+    def copy(self) -> "IOStats":
+        return IOStats(
+            self.n_reads,
+            self.bytes_read,
+            self.io_time_s,
+            self.n_cache_hits,
+            self.cache_hit_bytes,
+            self.n_writes,
+            self.bytes_written,
+        )

@@ -1,0 +1,272 @@
+"""The partition manager (Section 5.1).
+
+Stores each partition in one file (blob), charges reads through the storage
+device, and maintains the two indexes of the paper: the *attribute-level*
+index (attribute -> partitions storing it) and the *tuple-level* index
+(which partitions store a given tuple's cells).  The tuple-level index is
+kept as per-segment sorted tuple-ID arrays, which supports the projection
+phase's "partitions containing attribute ``a`` of tuple ``t``" lookups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.partition import PartitioningPlan
+from ..core.schema import TableSchema
+from ..errors import PartitionNotFoundError
+from .blob import BlobStore, MemoryBlobStore
+from .device import StorageDevice
+from .io_stats import IOStats
+from .format import deserialize_partition, serialize_partition
+from .physical import (
+    TID_CATALOG,
+    TID_EXPLICIT,
+    PhysicalPartition,
+    SegmentSpec,
+    build_physical_partition,
+    physical_from_logical,
+)
+from .table_data import ColumnTable
+
+__all__ = ["PartitionInfo", "PartitionManager"]
+
+
+@dataclass(slots=True)
+class PartitionInfo:
+    """Catalog entry for one materialized partition.
+
+    ``attributes`` holds the *primary* attribute set; replica segments (the
+    limited-replication extension) are catalogued separately so the paper's
+    indexes keep pointing at each cell's single primary home.
+    ``full_coverage_attrs`` lists the attributes — primary or replica — for
+    which the partition stores a cell for *every* one of its tuples, which is
+    the precondition for evaluating a predicate entirely partition-locally.
+    """
+
+    pid: int
+    key: str
+    n_bytes: int
+    attributes: frozenset
+    n_tuples: int
+    zone_map: Dict[str, Tuple[float, float]]
+    segment_attrs: List[Tuple[str, ...]] = field(default_factory=list)
+    segment_tids: List[np.ndarray] = field(default_factory=list)
+    segment_tid_modes: List[str] = field(default_factory=list)
+    segment_replicas: List[bool] = field(default_factory=list)
+    replica_attributes: frozenset = frozenset()
+    full_coverage_attrs: frozenset = frozenset()
+
+    def tuple_ids(self) -> np.ndarray:
+        """Sorted unique tuple IDs with a primary cell in the partition."""
+        primary = [
+            tids
+            for tids, replica in zip(self.segment_tids, self.segment_replicas)
+            if not replica
+        ] or self.segment_tids
+        if not primary:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(primary))
+
+    def contains_attribute_of(self, attribute: str, tids: np.ndarray) -> bool:
+        """True when a *primary* segment stores ``attribute`` for any ``tids``."""
+        for attrs, seg_tids, replica in zip(
+            self.segment_attrs, self.segment_tids, self.segment_replicas
+        ):
+            if not replica and attribute in attrs and _contains_any(seg_tids, tids):
+                return True
+        return False
+
+
+def _full_coverage(info: PartitionInfo) -> frozenset:
+    """Attributes (primary or replica) stored for every tuple of the partition."""
+    all_tids = info.tuple_ids()
+    if not len(all_tids):
+        return frozenset()
+    coverage: Dict[str, int] = {}
+    for attrs, tids in zip(info.segment_attrs, info.segment_tids):
+        unique = len(np.unique(tids))
+        for attribute in attrs:
+            coverage[attribute] = coverage.get(attribute, 0) + unique
+    return frozenset(a for a, count in coverage.items() if count >= len(all_tids))
+
+
+def _contains_any(sorted_tids: np.ndarray, tids: np.ndarray) -> bool:
+    if not len(sorted_tids) or not len(tids):
+        return False
+    positions = np.searchsorted(sorted_tids, tids)
+    in_bounds = positions < len(sorted_tids)
+    if not np.any(in_bounds):
+        return False
+    return bool(np.any(sorted_tids[positions[in_bounds]] == tids[in_bounds]))
+
+
+class PartitionManager:
+    """Materializes partitions to a blob store and serves indexed reads."""
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        device: StorageDevice,
+        store: BlobStore | None = None,
+        key_prefix: str = "",
+    ):
+        self.schema = schema
+        self.device = device
+        self.store = store if store is not None else MemoryBlobStore()
+        self.key_prefix = key_prefix
+        self._catalog: Dict[int, PartitionInfo] = {}
+        self._attribute_index: Dict[str, List[int]] = {}
+        self._replica_index: Dict[str, List[int]] = {}
+
+    # -------------------------------------------------------- materialize
+
+    def _key(self, pid: int) -> str:
+        return f"{self.key_prefix}p{pid:06d}.jig"
+
+    def add_partition(self, physical: PhysicalPartition) -> PartitionInfo:
+        """Serialize one partition, write it, and index it."""
+        data = serialize_partition(physical, self.schema)
+        key = self._key(physical.pid)
+        self.store.put(key, data)
+        self.device.invalidate(key)
+        replica_attrs: frozenset = frozenset()
+        for segment in physical.segments:
+            if segment.replica:
+                replica_attrs |= frozenset(segment.attributes)
+        info = PartitionInfo(
+            pid=physical.pid,
+            key=key,
+            n_bytes=len(data),
+            attributes=physical.attribute_set(),
+            n_tuples=physical.n_tuples,
+            zone_map=physical.zone_map(),
+            segment_attrs=[tuple(s.attributes) for s in physical.segments],
+            segment_tids=[np.sort(np.asarray(s.tuple_ids, dtype=np.int64))
+                          for s in physical.segments],
+            segment_tid_modes=[s.tid_storage for s in physical.segments],
+            segment_replicas=[s.replica for s in physical.segments],
+            replica_attributes=replica_attrs,
+        )
+        info.full_coverage_attrs = _full_coverage(info)
+        self._catalog[physical.pid] = info
+        for attribute in info.attributes:
+            self._attribute_index.setdefault(attribute, []).append(physical.pid)
+        for attribute in replica_attrs - info.attributes:
+            self._replica_index.setdefault(attribute, []).append(physical.pid)
+        return info
+
+    def replace_partition(self, physical: PhysicalPartition) -> PartitionInfo:
+        """Rewrite an existing partition (e.g. after adding replica segments)."""
+        old = self._catalog.pop(physical.pid, None)
+        if old is not None:
+            for index in (self._attribute_index, self._replica_index):
+                for pids in index.values():
+                    if physical.pid in pids:
+                        pids.remove(physical.pid)
+        return self.add_partition(physical)
+
+    def materialize_plan(
+        self,
+        plan: PartitioningPlan,
+        table: ColumnTable,
+        tid_storage: str = TID_EXPLICIT,
+    ) -> List[PartitionInfo]:
+        """Resolve every logical partition against the data and store it."""
+        return [
+            self.add_partition(physical_from_logical(partition, table, tid_storage))
+            for partition in plan
+        ]
+
+    def materialize_specs(
+        self,
+        spec_groups: Sequence[Sequence[SegmentSpec]],
+        table: ColumnTable,
+        tid_storage: str = TID_CATALOG,
+    ) -> List[PartitionInfo]:
+        """Materialize explicit tuple-assignment partitions (baselines)."""
+        infos = []
+        for pid, specs in enumerate(spec_groups):
+            physical = build_physical_partition(pid, specs, table, tid_storage)
+            infos.append(self.add_partition(physical))
+        return infos
+
+    # -------------------------------------------------------------- reads
+
+    def load(self, pid: int, chunk_size: int | None = None) -> Tuple[PhysicalPartition, "IOStats"]:
+        """Read a partition file, charging simulated device time.
+
+        Returns ``(partition, io_delta)`` where ``io_delta`` holds exactly
+        what this read cost: bytes and simulated seconds when it reached the
+        device, or a cache hit when the simulated OS buffer cache served it.
+        """
+        info = self.info(pid)
+        data = self.store.get(info.key)
+        before = self.device.snapshot()
+        self.device.read(info.key, len(data), chunk_size=chunk_size)
+        delta = self.device.stats.diff(before)
+        catalog_tids = {
+            ordinal: tids
+            for ordinal, (tids, mode) in enumerate(
+                zip(info.segment_tids, info.segment_tid_modes)
+            )
+            if mode == TID_CATALOG
+        }
+        partition = deserialize_partition(data, self.schema, catalog_tids or None)
+        return partition, delta
+
+    # ------------------------------------------------------------ indexes
+
+    def info(self, pid: int) -> PartitionInfo:
+        try:
+            return self._catalog[pid]
+        except KeyError:
+            raise PartitionNotFoundError(f"no partition with id {pid}") from None
+
+    def pids(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._catalog))
+
+    def partitions_for_attribute(self, attribute: str) -> Tuple[int, ...]:
+        """Attribute-level index: partitions storing a *primary* cell of
+        ``attribute`` (replica copies are indexed separately)."""
+        return tuple(self._attribute_index.get(attribute, ()))
+
+    def replica_partitions_for_attribute(self, attribute: str) -> Tuple[int, ...]:
+        """Partitions holding replica-only copies of ``attribute``."""
+        return tuple(self._replica_index.get(attribute, ()))
+
+    def partitions_for_attributes(self, attributes: Iterable[str]) -> Tuple[int, ...]:
+        pids: set = set()
+        for attribute in attributes:
+            pids.update(self._attribute_index.get(attribute, ()))
+        return tuple(sorted(pids))
+
+    def partitions_with_missing_cells(
+        self, attribute: str, tids: np.ndarray
+    ) -> Tuple[int, ...]:
+        """Tuple-level index lookup used by the projection phase.
+
+        Returns the partitions that store ``attribute`` for at least one of
+        the given tuples.
+        """
+        hits = []
+        for pid in self._attribute_index.get(attribute, ()):
+            if self._catalog[pid].contains_attribute_of(attribute, tids):
+                hits.append(pid)
+        return tuple(hits)
+
+    def total_bytes(self) -> int:
+        """Total stored bytes across all partitions (storage footprint)."""
+        return sum(info.n_bytes for info in self._catalog.values())
+
+    def __len__(self) -> int:
+        return len(self._catalog)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PartitionManager({len(self._catalog)} partitions, "
+            f"{self.total_bytes()} bytes, device={self.device.profile.name!r})"
+        )

@@ -1,0 +1,12 @@
+"""Benchmark workloads: HAP and TPC-H."""
+
+from . import tpch
+from .hap import HAPTemplate, hap_templates, hap_workload, make_hap_table
+
+__all__ = [
+    "HAPTemplate",
+    "hap_templates",
+    "hap_workload",
+    "make_hap_table",
+    "tpch",
+]

@@ -1,0 +1,37 @@
+"""TPC-H substrate: data generator, denormalized table, query templates."""
+
+from .dbgen import TPCHDatabase, generate_tpch
+from .denorm import DENORM_SCHEMA, denormalize
+from .encoding import (
+    EPOCH,
+    NATION_TO_REGION,
+    NATIONS,
+    PART_TYPES,
+    REGIONS,
+    RETURN_FLAGS,
+    SEGMENTS,
+    Dictionary,
+    date_of,
+    days,
+)
+from .queries import TPCH_TEMPLATES, TPCHTemplate, tpch_workload
+
+__all__ = [
+    "DENORM_SCHEMA",
+    "Dictionary",
+    "EPOCH",
+    "NATIONS",
+    "NATION_TO_REGION",
+    "PART_TYPES",
+    "REGIONS",
+    "RETURN_FLAGS",
+    "SEGMENTS",
+    "TPCHDatabase",
+    "TPCHTemplate",
+    "TPCH_TEMPLATES",
+    "date_of",
+    "days",
+    "denormalize",
+    "generate_tpch",
+    "tpch_workload",
+]

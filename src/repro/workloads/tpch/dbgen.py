@@ -1,0 +1,260 @@
+"""A from-scratch, scaled-down TPC-H data generator.
+
+Produces the seven base tables (region, nation, supplier, part, customer,
+orders, lineitem) as :class:`~repro.storage.table_data.ColumnTable` objects
+with the value distributions the five evaluated query templates depend on:
+uniform keys, the 1992-01-01 .. 1998-08-02 order-date window, ship dates 1-121
+days after the order date, discounts in [0.00, 0.10], and return flags
+correlated with receipt dates (``'R'`` before the 1995-06-17 cutoff), exactly
+as ``dbgen`` does.
+
+Cardinalities follow the specification's per-scale-factor counts; fractional
+scale factors (e.g. 0.001) give laptop-sized databases with the same shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...core.schema import AttributeSpec, TableSchema
+from ...errors import InvalidQueryError
+from ...storage.table_data import ColumnTable
+from .encoding import NATION_TO_REGION, NATIONS, REGIONS, RETURN_FLAGS, PART_TYPES, SEGMENTS, days
+
+__all__ = ["TPCHDatabase", "generate_tpch"]
+
+#: last order date (spec: STARTDATE .. ENDDATE - 151 days)
+_MAX_ORDERDATE = days(1998, 8, 2)
+_RETURNFLAG_CUTOFF = days(1995, 6, 17)
+
+
+@dataclass(slots=True)
+class TPCHDatabase:
+    """The seven TPC-H base tables."""
+
+    region: ColumnTable
+    nation: ColumnTable
+    supplier: ColumnTable
+    part: ColumnTable
+    customer: ColumnTable
+    orders: ColumnTable
+    lineitem: ColumnTable
+    scale_factor: float
+
+
+def _int_count(base: int, scale_factor: float, minimum: int = 1) -> int:
+    return max(minimum, int(round(base * scale_factor)))
+
+
+def generate_tpch(scale_factor: float = 0.01, seed: int = 0) -> TPCHDatabase:
+    """Generate a TPC-H database at the given (possibly fractional) scale."""
+    if scale_factor <= 0:
+        raise InvalidQueryError("scale factor must be positive")
+    rng = np.random.default_rng(seed)
+
+    region = _make_region()
+    nation = _make_nation()
+    n_supplier = _int_count(10_000, scale_factor)
+    n_part = _int_count(200_000, scale_factor)
+    n_customer = _int_count(150_000, scale_factor)
+    n_orders = _int_count(1_500_000, scale_factor)
+
+    supplier = _make_supplier(n_supplier, rng)
+    part = _make_part(n_part, rng)
+    customer = _make_customer(n_customer, rng)
+    orders = _make_orders(n_orders, n_customer, rng)
+    lineitem = _make_lineitem(orders, n_part, n_supplier, part, rng)
+    return TPCHDatabase(
+        region=region,
+        nation=nation,
+        supplier=supplier,
+        part=part,
+        customer=customer,
+        orders=orders,
+        lineitem=lineitem,
+        scale_factor=scale_factor,
+    )
+
+
+def _make_region() -> ColumnTable:
+    schema = TableSchema(
+        [
+            AttributeSpec("r_regionkey", 4, "int32"),
+            AttributeSpec("r_name", 25, "int8"),
+        ]
+    )
+    keys = np.arange(len(REGIONS), dtype=np.int32)
+    return ColumnTable.build(
+        "region", schema, {"r_regionkey": keys, "r_name": keys.astype(np.int8)}
+    )
+
+
+def _make_nation() -> ColumnTable:
+    schema = TableSchema(
+        [
+            AttributeSpec("n_nationkey", 4, "int32"),
+            AttributeSpec("n_name", 25, "int8"),
+            AttributeSpec("n_regionkey", 4, "int32"),
+        ]
+    )
+    keys = np.arange(len(NATIONS), dtype=np.int32)
+    regions = np.array([NATION_TO_REGION[int(k)] for k in keys], dtype=np.int32)
+    return ColumnTable.build(
+        "nation",
+        schema,
+        {"n_nationkey": keys, "n_name": keys.astype(np.int8), "n_regionkey": regions},
+    )
+
+
+def _make_supplier(n: int, rng: np.random.Generator) -> ColumnTable:
+    schema = TableSchema(
+        [
+            AttributeSpec("s_suppkey", 8, "int64"),
+            AttributeSpec("s_nationkey", 4, "int32"),
+        ]
+    )
+    return ColumnTable.build(
+        "supplier",
+        schema,
+        {
+            "s_suppkey": np.arange(1, n + 1, dtype=np.int64),
+            "s_nationkey": rng.integers(0, len(NATIONS), n, dtype=np.int32),
+        },
+    )
+
+
+def _make_part(n: int, rng: np.random.Generator) -> ColumnTable:
+    schema = TableSchema(
+        [
+            AttributeSpec("p_partkey", 8, "int64"),
+            AttributeSpec("p_type", 25, "int16"),
+            AttributeSpec("p_retailprice", 8, "float64", integer=False),
+        ]
+    )
+    keys = np.arange(1, n + 1, dtype=np.int64)
+    # spec: 90000 + (partkey/10 mod 20001) + 100*(partkey mod 1000), in cents
+    retail = (90_000 + (keys // 10) % 20_001 + 100 * (keys % 1_000)) / 100.0
+    return ColumnTable.build(
+        "part",
+        schema,
+        {
+            "p_partkey": keys,
+            "p_type": rng.integers(0, len(PART_TYPES), n, dtype=np.int16),
+            "p_retailprice": retail.astype(np.float64),
+        },
+    )
+
+
+def _make_customer(n: int, rng: np.random.Generator) -> ColumnTable:
+    schema = TableSchema(
+        [
+            AttributeSpec("c_custkey", 8, "int64"),
+            AttributeSpec("c_name", 25, "int32"),
+            AttributeSpec("c_address", 40, "int32"),
+            AttributeSpec("c_phone", 15, "int32"),
+            AttributeSpec("c_acctbal", 8, "float64", integer=False),
+            AttributeSpec("c_mktsegment", 10, "int8"),
+            AttributeSpec("c_nationkey", 4, "int32"),
+            AttributeSpec("c_comment", 117, "int32"),
+        ]
+    )
+    keys = np.arange(1, n + 1, dtype=np.int64)
+    return ColumnTable.build(
+        "customer",
+        schema,
+        {
+            "c_custkey": keys,
+            # Name/address/phone/comment contents are never filtered on; the
+            # codes are derived from the key so they stay unique and decodable.
+            "c_name": keys.astype(np.int32),
+            "c_address": rng.integers(0, 2**31 - 1, n, dtype=np.int32),
+            "c_phone": rng.integers(0, 2**31 - 1, n, dtype=np.int32),
+            "c_acctbal": rng.uniform(-999.99, 9999.99, n),
+            "c_mktsegment": rng.integers(0, len(SEGMENTS), n, dtype=np.int8),
+            "c_nationkey": rng.integers(0, len(NATIONS), n, dtype=np.int32),
+            "c_comment": rng.integers(0, 2**31 - 1, n, dtype=np.int32),
+        },
+    )
+
+
+def _make_orders(n: int, n_customer: int, rng: np.random.Generator) -> ColumnTable:
+    schema = TableSchema(
+        [
+            AttributeSpec("o_orderkey", 8, "int64"),
+            AttributeSpec("o_custkey", 8, "int64"),
+            AttributeSpec("o_orderdate", 4, "int32"),
+            AttributeSpec("o_shippriority", 4, "int32"),
+        ]
+    )
+    return ColumnTable.build(
+        "orders",
+        schema,
+        {
+            "o_orderkey": np.arange(1, n + 1, dtype=np.int64),
+            "o_custkey": rng.integers(1, n_customer + 1, n, dtype=np.int64),
+            "o_orderdate": rng.integers(0, _MAX_ORDERDATE + 1, n, dtype=np.int32),
+            "o_shippriority": np.zeros(n, dtype=np.int32),
+        },
+    )
+
+
+def _make_lineitem(
+    orders: ColumnTable,
+    n_part: int,
+    n_supplier: int,
+    part: ColumnTable,
+    rng: np.random.Generator,
+) -> ColumnTable:
+    schema = TableSchema(
+        [
+            AttributeSpec("l_orderkey", 8, "int64"),
+            AttributeSpec("l_partkey", 8, "int64"),
+            AttributeSpec("l_suppkey", 8, "int64"),
+            AttributeSpec("l_linenumber", 4, "int32"),
+            AttributeSpec("l_quantity", 8, "float64", integer=False),
+            AttributeSpec("l_extendedprice", 8, "float64", integer=False),
+            AttributeSpec("l_discount", 8, "float64", integer=False),
+            AttributeSpec("l_returnflag", 1, "int8"),
+            AttributeSpec("l_shipdate", 4, "int32"),
+        ]
+    )
+    n_orders = orders.n_tuples
+    lines_per_order = rng.integers(1, 8, n_orders)
+    l_orderkey = np.repeat(orders.column("o_orderkey"), lines_per_order)
+    order_dates = np.repeat(orders.column("o_orderdate"), lines_per_order)
+    n = len(l_orderkey)
+
+    linenumber = np.concatenate(
+        [np.arange(1, k + 1, dtype=np.int32) for k in lines_per_order]
+    ) if n else np.empty(0, dtype=np.int32)
+    partkey = rng.integers(1, n_part + 1, n, dtype=np.int64)
+    quantity = rng.integers(1, 51, n).astype(np.float64)
+    # extendedprice = quantity * part retail price (spec formula).
+    retail = part.column("p_retailprice")[partkey - 1]
+    extendedprice = quantity * retail
+    discount = rng.integers(0, 11, n).astype(np.float64) / 100.0
+    shipdate = order_dates + rng.integers(1, 122, n).astype(np.int32)
+    receiptdate = shipdate + rng.integers(1, 31, n).astype(np.int32)
+    returnflag = np.where(
+        receiptdate <= _RETURNFLAG_CUTOFF,
+        RETURN_FLAGS.code("R"),
+        np.where(rng.random(n) < 0.5, RETURN_FLAGS.code("A"), RETURN_FLAGS.code("N")),
+    ).astype(np.int8)
+
+    return ColumnTable.build(
+        "lineitem",
+        schema,
+        {
+            "l_orderkey": l_orderkey,
+            "l_partkey": partkey,
+            "l_suppkey": rng.integers(1, n_supplier + 1, n, dtype=np.int64),
+            "l_linenumber": linenumber,
+            "l_quantity": quantity,
+            "l_extendedprice": extendedprice,
+            "l_discount": discount,
+            "l_returnflag": returnflag,
+            "l_shipdate": shipdate.astype(np.int32),
+        },
+    )

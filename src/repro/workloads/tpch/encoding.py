@@ -1,0 +1,131 @@
+"""Dictionaries and date encoding for the TPC-H substrate.
+
+The engines are numeric, so categorical TPC-H columns are dictionary-encoded:
+the dictionary maps strings to integer codes, and the schema keeps the
+*logical* byte width (a ``c_comment`` costs 117 bytes on disk even though the
+engine sees an ``int32`` code).  Dictionaries are sorted lexicographically so
+that ``LIKE 'PROMO%'`` becomes a contiguous code range.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Dict, Sequence, Tuple
+
+from ...errors import InvalidQueryError
+
+__all__ = [
+    "Dictionary",
+    "NATIONS",
+    "REGIONS",
+    "NATION_TO_REGION",
+    "SEGMENTS",
+    "RETURN_FLAGS",
+    "PART_TYPES",
+    "EPOCH",
+    "days",
+    "date_of",
+]
+
+#: All dates are integer day offsets from this epoch (TPC-H's first date).
+EPOCH = datetime.date(1992, 1, 1)
+
+
+def days(year: int, month: int, day: int) -> int:
+    """Day offset of a calendar date from the TPC-H epoch."""
+    return (datetime.date(year, month, day) - EPOCH).days
+
+
+def date_of(day_offset: int) -> datetime.date:
+    """Inverse of :func:`days`."""
+    return EPOCH + datetime.timedelta(days=int(day_offset))
+
+
+class Dictionary:
+    """A sorted, immutable string dictionary (value <-> code)."""
+
+    __slots__ = ("values", "_codes")
+
+    def __init__(self, values: Sequence[str], keep_order: bool = False):
+        ordered = tuple(values) if keep_order else tuple(sorted(values))
+        if len(set(ordered)) != len(ordered):
+            raise InvalidQueryError("dictionary values must be unique")
+        self.values: Tuple[str, ...] = ordered
+        self._codes: Dict[str, int] = {value: i for i, value in enumerate(ordered)}
+
+    def code(self, value: str) -> int:
+        try:
+            return self._codes[value]
+        except KeyError:
+            raise InvalidQueryError(f"{value!r} is not in the dictionary") from None
+
+    def value(self, code: int) -> str:
+        return self.values[code]
+
+    def prefix_range(self, prefix: str) -> Tuple[int, int]:
+        """Inclusive code range of values starting with ``prefix`` (LIKE 'p%')."""
+        codes = [i for i, value in enumerate(self.values) if value.startswith(prefix)]
+        if not codes:
+            raise InvalidQueryError(f"no dictionary value starts with {prefix!r}")
+        lo, hi = min(codes), max(codes)
+        if hi - lo + 1 != len(codes):  # pragma: no cover - sorted dict guarantee
+            raise InvalidQueryError(f"prefix {prefix!r} is not a contiguous code range")
+        return lo, hi
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __contains__(self, value: str) -> bool:
+        return value in self._codes
+
+
+# The 25 TPC-H nations with their region assignment (specification order).
+_NATION_REGION_PAIRS = (
+    ("ALGERIA", "AFRICA"),
+    ("ARGENTINA", "AMERICA"),
+    ("BRAZIL", "AMERICA"),
+    ("CANADA", "AMERICA"),
+    ("EGYPT", "MIDDLE EAST"),
+    ("ETHIOPIA", "AFRICA"),
+    ("FRANCE", "EUROPE"),
+    ("GERMANY", "EUROPE"),
+    ("INDIA", "ASIA"),
+    ("INDONESIA", "ASIA"),
+    ("IRAN", "MIDDLE EAST"),
+    ("IRAQ", "MIDDLE EAST"),
+    ("JAPAN", "ASIA"),
+    ("JORDAN", "MIDDLE EAST"),
+    ("KENYA", "AFRICA"),
+    ("MOROCCO", "AFRICA"),
+    ("MOZAMBIQUE", "AFRICA"),
+    ("PERU", "AMERICA"),
+    ("CHINA", "ASIA"),
+    ("ROMANIA", "EUROPE"),
+    ("SAUDI ARABIA", "MIDDLE EAST"),
+    ("VIETNAM", "ASIA"),
+    ("RUSSIA", "EUROPE"),
+    ("UNITED KINGDOM", "EUROPE"),
+    ("UNITED STATES", "AMERICA"),
+)
+
+NATIONS = Dictionary([name for name, _region in _NATION_REGION_PAIRS])
+REGIONS = Dictionary(sorted({region for _name, region in _NATION_REGION_PAIRS}))
+#: nation code -> region code
+NATION_TO_REGION: Dict[int, int] = {
+    NATIONS.code(name): REGIONS.code(region) for name, region in _NATION_REGION_PAIRS
+}
+
+SEGMENTS = Dictionary(["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"])
+RETURN_FLAGS = Dictionary(["A", "N", "R"])
+
+_TYPE_SYLLABLE_1 = ("STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO")
+_TYPE_SYLLABLE_2 = ("ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED")
+_TYPE_SYLLABLE_3 = ("TIN", "NICKEL", "BRASS", "STEEL", "COPPER")
+PART_TYPES = Dictionary(
+    [
+        f"{s1} {s2} {s3}"
+        for s1 in _TYPE_SYLLABLE_1
+        for s2 in _TYPE_SYLLABLE_2
+        for s3 in _TYPE_SYLLABLE_3
+    ]
+)

@@ -1,0 +1,168 @@
+"""TPC-H query templates Q3, Q6, Q8, Q10 and Q14 on the denormalized table.
+
+The templates follow the specification's substitution parameters (random
+segment / date / discount / quantity / type per instance) restricted to the
+scan part the paper evaluates: the conjunctive WHERE clause plus the
+projected attributes.  LIKE predicates (Q14's ``PROMO%``) become contiguous
+dictionary-code ranges; equality predicates become single-value ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from ...core.query import Query, Workload
+from ...core.schema import TableMeta
+from ...errors import InvalidQueryError
+from .encoding import PART_TYPES, REGIONS, RETURN_FLAGS, SEGMENTS, days
+
+__all__ = ["TPCHTemplate", "TPCH_TEMPLATES", "tpch_workload"]
+
+
+@dataclass(frozen=True, slots=True)
+class TPCHTemplate:
+    """One parameterized TPC-H template."""
+
+    name: str
+    make: Callable[[TableMeta, np.random.Generator, str], Query]
+
+
+def _clip(table: TableMeta, attribute: str, lo: float, hi: float) -> tuple:
+    interval = table.interval(attribute)
+    return (max(lo, interval.lo), min(hi, interval.hi))
+
+
+def _q3(table: TableMeta, rng: np.random.Generator, label: str) -> Query:
+    """Shipping priority: segment + order/ship date window."""
+    segment = int(rng.integers(0, len(SEGMENTS)))
+    date = days(1995, 3, 1) + int(rng.integers(0, 31))
+    return Query.build(
+        table,
+        select=["l_orderkey", "l_extendedprice", "l_discount", "o_orderdate", "o_shippriority"],
+        where={
+            "c_mktsegment": (segment, segment),
+            "o_orderdate": _clip(table, "o_orderdate", -(10**9), date - 1),
+            "l_shipdate": _clip(table, "l_shipdate", date + 1, 10**9),
+        },
+        label=label,
+    )
+
+
+def _q6(table: TableMeta, rng: np.random.Generator, label: str) -> Query:
+    """Forecasting revenue change: one ship year, tight discount, quantity cap."""
+    year = 1993 + int(rng.integers(0, 5))
+    discount = rng.integers(2, 10) / 100.0
+    quantity = float(rng.integers(24, 26))
+    return Query.build(
+        table,
+        select=["l_extendedprice", "l_discount"],
+        where={
+            "l_shipdate": _clip(table, "l_shipdate", days(year, 1, 1), days(year + 1, 1, 1) - 1),
+            "l_discount": (discount - 0.01001, discount + 0.01001),
+            "l_quantity": _clip(table, "l_quantity", -(10**9), quantity - 0.5),
+        },
+        label=label,
+    )
+
+
+def _q8(table: TableMeta, rng: np.random.Generator, label: str) -> Query:
+    """National market share: region + part type + two-year order window."""
+    region = int(rng.integers(0, len(REGIONS)))
+    part_type = int(rng.integers(0, len(PART_TYPES)))
+    return Query.build(
+        table,
+        select=["o_orderdate", "l_extendedprice", "l_discount", "s_nation"],
+        where={
+            "o_orderdate": _clip(
+                table, "o_orderdate", days(1995, 1, 1), days(1996, 12, 31)
+            ),
+            "r_name": (region, region),
+            "p_type": (part_type, part_type),
+        },
+        label=label,
+    )
+
+
+def _q10(table: TableMeta, rng: np.random.Generator, label: str) -> Query:
+    """Returned item reporting: one quarter of orders with returned lines."""
+    month_index = int(rng.integers(0, 24))  # first of month in 1993-02 .. 1995-01
+    year, month = divmod(month_index + 1, 12)  # +1: start at February 1993
+    start = days(1993 + year, month + 1, 1)
+    end_index = month_index + 3
+    end_year, end_month = divmod(end_index + 1, 12)
+    end = days(1993 + end_year, end_month + 1, 1) - 1
+    flag = RETURN_FLAGS.code("R")
+    return Query.build(
+        table,
+        select=[
+            "c_custkey",
+            "c_name",
+            "l_extendedprice",
+            "l_discount",
+            "c_acctbal",
+            "n_name",
+            "c_address",
+            "c_phone",
+            "c_comment",
+        ],
+        where={
+            "o_orderdate": _clip(table, "o_orderdate", start, end),
+            "l_returnflag": (flag, flag),
+        },
+        label=label,
+    )
+
+
+def _q14(table: TableMeta, rng: np.random.Generator, label: str) -> Query:
+    """Promotion effect: one ship month, PROMO part types."""
+    month_index = int(rng.integers(0, 60))  # 1993-01 .. 1997-12
+    year, month = divmod(month_index, 12)
+    start = days(1993 + year, month + 1, 1)
+    end_index = month_index + 1
+    end_year, end_month = divmod(end_index, 12)
+    end = days(1993 + end_year, end_month + 1, 1) - 1
+    promo_lo, promo_hi = PART_TYPES.prefix_range("PROMO")
+    return Query.build(
+        table,
+        select=["l_extendedprice", "l_discount", "p_type"],
+        where={
+            "l_shipdate": _clip(table, "l_shipdate", start, end),
+            "p_type": (promo_lo, promo_hi),
+        },
+        label=label,
+    )
+
+
+TPCH_TEMPLATES: Dict[str, TPCHTemplate] = {
+    "Q3": TPCHTemplate("Q3", _q3),
+    "Q6": TPCHTemplate("Q6", _q6),
+    "Q8": TPCHTemplate("Q8", _q8),
+    "Q10": TPCHTemplate("Q10", _q10),
+    "Q14": TPCHTemplate("Q14", _q14),
+}
+
+
+def tpch_workload(
+    table: TableMeta,
+    n_queries: int,
+    seed: int = 0,
+    template_names: Sequence[str] | None = None,
+) -> Workload:
+    """Draw ``n_queries`` equally distributed among the five templates.
+
+    Mirrors the paper's setup of 500 random training queries and 10 random
+    evaluation queries, equally distributed among Q3/Q6/Q8/Q10/Q14.
+    """
+    names = list(template_names) if template_names else list(TPCH_TEMPLATES)
+    unknown = [n for n in names if n not in TPCH_TEMPLATES]
+    if unknown:
+        raise InvalidQueryError(f"unknown TPC-H templates: {unknown}")
+    rng = np.random.default_rng(seed)
+    queries: List[Query] = []
+    for index in range(n_queries):
+        template = TPCH_TEMPLATES[names[index % len(names)]]
+        queries.append(template.make(table, rng, f"{template.name}-{index}"))
+    return Workload(table, queries)

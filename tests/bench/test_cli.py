@@ -1,0 +1,43 @@
+"""Unit tests for the jigsaw-bench CLI."""
+
+import pytest
+
+from repro.cli import _config_for, _parse_value, main
+from repro.bench.experiments import fig10_inmemory
+
+
+class TestParsing:
+    def test_parse_literals(self):
+        assert _parse_value("3") == 3
+        assert _parse_value("0.5") == 0.5
+        assert _parse_value("(1, 2)") == (1, 2)
+        assert _parse_value("balos") == "balos"
+
+    def test_config_overrides(self):
+        config = _config_for(fig10_inmemory, ["n_tuples=123", "selectivities=(0.5,)"])
+        assert config.n_tuples == 123
+        assert config.selectivities == (0.5,)
+
+    def test_bad_override_key_rejected(self):
+        with pytest.raises(SystemExit):
+            _config_for(fig10_inmemory, ["nope=1"])
+
+    def test_bad_override_syntax_rejected(self):
+        with pytest.raises(SystemExit):
+            _config_for(fig10_inmemory, ["justakey"])
+
+
+class TestMain:
+    def test_runs_fig10_quickly(self, capsys):
+        exit_code = main(
+            ["fig10", "--set", "n_tuples=5000", "--set", "n_attrs=4",
+             "--set", "n_summed=3", "--set", "selectivities=(0.5,)"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "fig10" in out
+        assert "Jigsaw-Mem" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])

@@ -1,0 +1,76 @@
+"""Unit tests for machines and context scaling."""
+
+import pytest
+
+from repro.bench.environments import (
+    BALOS,
+    C5_9XLARGE,
+    MACHINES,
+    PAPER_HAP_TABLE_BYTES,
+    T2_2XLARGE,
+    scaled_context,
+)
+
+
+class TestMachines:
+    def test_table_3_configuration(self):
+        assert BALOS.cores == 6 and BALOS.memory_gb == 62
+        assert T2_2XLARGE.cores == 8 and T2_2XLARGE.memory_gb == 32
+        assert C5_9XLARGE.cores == 36 and C5_9XLARGE.memory_gb == 72
+        assert set(MACHINES) == {"balos", "t2.2xlarge", "c5.9xlarge"}
+
+    def test_device_speeds(self):
+        assert BALOS.device.io_model.throughput_mb_per_s == pytest.approx(75.0)
+        assert C5_9XLARGE.device.io_model.throughput_mb_per_s == pytest.approx(1000.0)
+
+
+class TestScaledContext:
+    def test_scale_ratio(self):
+        table_bytes = PAPER_HAP_TABLE_BYTES // 1000
+        ctx, scale = scaled_context(BALOS, table_bytes)
+        assert scale == pytest.approx(1e-3)
+        # alpha untouched; beta scales with the realized segment size so the
+        # per-request share of a segment read stays at the paper's ratio.
+        assert ctx.device_profile.io_model.alpha == BALOS.device.io_model.alpha
+        beta_scale = ctx.file_segment_bytes / (4 * 1024 * 1024)
+        assert ctx.device_profile.io_model.beta == pytest.approx(
+            BALOS.device.io_model.beta * beta_scale
+        )
+
+    def test_beta_preserves_segment_read_composition(self):
+        """io(scaled segment) has the same alpha/beta split as io(4 MB)."""
+        ctx, _scale = scaled_context(BALOS, PAPER_HAP_TABLE_BYTES // 500)
+        model = ctx.device_profile.io_model
+        paper_model = BALOS.device.io_model
+        scaled_share = model.beta / model.io_time(ctx.file_segment_bytes)
+        paper_share = paper_model.beta / paper_model.io_time(4 * 1024 * 1024)
+        assert scaled_share == pytest.approx(paper_share, rel=1e-6)
+
+    def test_segment_scales_with_floor(self):
+        ctx, _scale = scaled_context(BALOS, 1000, min_segment_bytes=32 * 1024)
+        assert ctx.file_segment_bytes == 32 * 1024
+        big_ctx, _s = scaled_context(BALOS, PAPER_HAP_TABLE_BYTES)
+        assert big_ctx.file_segment_bytes == 4 * 1024 * 1024
+
+    def test_jigsaw_window_follows_segment(self):
+        ctx, _scale = scaled_context(BALOS, PAPER_HAP_TABLE_BYTES // 100)
+        assert ctx.min_size == ctx.file_segment_bytes
+        assert ctx.max_size == 8 * ctx.file_segment_bytes
+
+    def test_cpu_model_scaled_by_cores(self):
+        ctx, _scale = scaled_context(C5_9XLARGE, 10**6)
+        assert ctx.cpu_model.cores == 36
+
+    def test_paper_equivalence_rescaling(self):
+        """time / scale recovers paper-magnitude numbers: a full
+        segment-at-a-time scan of the scaled table rescales to a full
+        segment-at-a-time scan of the paper's table."""
+        table_bytes = PAPER_HAP_TABLE_BYTES // 500
+        ctx, scale = scaled_context(BALOS, table_bytes)
+        n_segments = table_bytes / ctx.file_segment_bytes
+        scaled_time = n_segments * ctx.device_profile.io_model.io_time(
+            ctx.file_segment_bytes
+        )
+        paper_segments = PAPER_HAP_TABLE_BYTES / (4 * 1024 * 1024)
+        paper_time = paper_segments * BALOS.device.io_model.io_time(4 * 1024 * 1024)
+        assert scaled_time / scale == pytest.approx(paper_time, rel=1e-6)

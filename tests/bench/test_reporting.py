@@ -1,0 +1,57 @@
+"""Unit tests for experiment result formatting."""
+
+from repro.bench.reporting import (
+    ExperimentResult,
+    format_bytes,
+    format_seconds,
+    format_table,
+)
+
+
+class TestFormatters:
+    def test_format_bytes_units(self):
+        assert format_bytes(512) == "512B"
+        assert format_bytes(2048) == "2.0KiB"
+        assert format_bytes(3 * 1024**2) == "3.0MiB"
+        assert format_bytes(5 * 1024**3) == "5.0GiB"
+
+    def test_format_seconds_ranges(self):
+        assert format_seconds(250) == "250s"
+        assert format_seconds(2.5) == "2.50s"
+        assert format_seconds(0.0042).endswith("ms")
+        assert format_seconds(3e-6).endswith("us")
+
+    def test_format_table_alignment(self):
+        text = format_table(["x", "layout"], [{"x": 1, "layout": "Row"}])
+        lines = text.splitlines()
+        assert len(lines) == 3  # header, rule, one row
+        assert "layout" in lines[0]
+        assert "Row" in lines[2]
+
+    def test_format_table_missing_cell(self):
+        text = format_table(["a", "b"], [{"a": 1}])
+        assert text  # renders without KeyError
+
+
+class TestExperimentResult:
+    def test_add_row_extends_columns(self):
+        result = ExperimentResult("figX", "demo")
+        result.add_row(x=1, layout="Row")
+        result.add_row(x=1, layout="Column", extra=3)
+        assert result.columns == ["x", "layout", "extra"]
+        assert len(result.rows) == 2
+
+    def test_filtered(self):
+        result = ExperimentResult("figX", "demo")
+        result.add_row(x=1, layout="Row")
+        result.add_row(x=2, layout="Row")
+        result.add_row(x=1, layout="Column")
+        assert len(result.filtered(x=1)) == 2
+        assert len(result.filtered(x=1, layout="Row")) == 1
+
+    def test_to_text_includes_params_and_notes(self):
+        result = ExperimentResult("figX", "demo", parameters={"n": 5})
+        result.add_row(x=1)
+        result.notes.append("a caveat")
+        text = result.to_text()
+        assert "figX" in text and "n=5" in text and "a caveat" in text

@@ -1,0 +1,78 @@
+"""Shared fixtures: small tables, workloads and build contexts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CostModel,
+    IOModel,
+    Query,
+    TableMeta,
+    TableSchema,
+    Workload,
+)
+from repro.layouts import BuildContext
+from repro.storage import ColumnTable
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)
+
+
+@pytest.fixture()
+def small_schema() -> TableSchema:
+    return TableSchema.uniform([f"a{i}" for i in range(1, 7)])
+
+
+@pytest.fixture()
+def small_table(small_schema, rng) -> ColumnTable:
+    """6 attributes x 5000 tuples of uniform ints in [0, 9999]."""
+    columns = {
+        name: rng.integers(0, 10_000, 5_000).astype(np.int32)
+        for name in small_schema.attribute_names
+    }
+    return ColumnTable.build("T", small_schema, columns)
+
+
+@pytest.fixture()
+def small_meta(small_table) -> TableMeta:
+    return small_table.meta
+
+
+@pytest.fixture()
+def small_workload(small_meta) -> Workload:
+    q1 = Query.build(small_meta, ["a2", "a3"], {"a1": (0, 1999)}, label="Q1")
+    q2 = Query.build(small_meta, ["a2", "a3"], {"a4": (5000, 9999)}, label="Q2")
+    q3 = Query.build(small_meta, ["a5"], {"a6": (4000, 4999)}, label="Q3")
+    return Workload(small_meta, [q1, q2, q3])
+
+
+@pytest.fixture()
+def cost_model(small_meta) -> CostModel:
+    return CostModel(small_meta, IOModel.from_throughput(75.0, 0.001))
+
+
+@pytest.fixture()
+def ctx() -> BuildContext:
+    """A build context sized for the tiny test tables."""
+    return BuildContext(file_segment_bytes=16 * 1024, schism_sample_size=200)
+
+
+@pytest.fixture()
+def paper_table() -> TableMeta:
+    """The 6x6 example table of Figure 1 / Table 2."""
+    schema = TableSchema.uniform([f"a{i}" for i in range(1, 7)])
+    bounds = {f"a{i}": (i * 10 + 1, i * 10 + 6) for i in range(1, 7)}
+    return TableMeta.from_bounds("T", schema, 6, bounds)
+
+
+@pytest.fixture()
+def paper_queries(paper_table):
+    """Table 2's three example queries."""
+    q1 = Query.build(paper_table, ["a2", "a3"], {"a1": (11, 13)}, label="Q1")
+    q2 = Query.build(paper_table, ["a2", "a3"], {"a4": (44, 46)}, label="Q2")
+    q3 = Query.build(paper_table, ["a5"], {"a6": (64, 65)}, label="Q3")
+    return [q1, q2, q3]

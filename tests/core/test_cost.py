@@ -1,0 +1,144 @@
+"""Unit tests for the cost model (Formulas 1-6)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CostModel,
+    IOModel,
+    MemoryModel,
+    Partition,
+    Query,
+    Segment,
+    fit_io_model,
+)
+from repro.errors import CalibrationError
+
+
+class TestIOModel:
+    def test_linear_prediction(self):
+        model = IOModel(alpha=1e-8, beta=0.01)
+        assert model.io_time(1_000_000) == pytest.approx(0.02)
+        assert model.io_time(0) == 0.0
+
+    def test_from_throughput(self):
+        model = IOModel.from_throughput(100.0, latency_s=0.005)
+        assert model.io_time(100 * 1e6) == pytest.approx(1.005)
+        assert model.throughput_mb_per_s == pytest.approx(100.0)
+
+    def test_rejects_negative_coefficients(self):
+        with pytest.raises(CalibrationError):
+            IOModel(alpha=-1.0, beta=0.0)
+        with pytest.raises(CalibrationError):
+            IOModel.from_throughput(0.0)
+
+
+class TestFitIOModel:
+    def test_recovers_exact_line(self):
+        truth = IOModel(alpha=2e-9, beta=0.004)
+        sizes = [1 << s for s in range(20, 26)]
+        times = [truth.io_time(size) for size in sizes]
+        fitted = fit_io_model(sizes, times)
+        assert fitted.alpha == pytest.approx(truth.alpha, rel=1e-6)
+        assert fitted.beta == pytest.approx(truth.beta, rel=1e-6)
+
+    def test_recovers_noisy_line(self):
+        rng = np.random.default_rng(0)
+        truth = IOModel(alpha=1.3e-8, beta=0.01)
+        sizes = [int(s) for s in np.linspace(1e6, 1e8, 50)]
+        times = [truth.io_time(size) * (1 + rng.normal(0, 0.01)) for size in sizes]
+        fitted = fit_io_model(sizes, times)
+        assert fitted.alpha == pytest.approx(truth.alpha, rel=0.05)
+
+    def test_needs_two_distinct_sizes(self):
+        with pytest.raises(CalibrationError):
+            fit_io_model([100], [1.0])
+        with pytest.raises(CalibrationError):
+            fit_io_model([100, 100], [1.0, 1.1])
+        with pytest.raises(CalibrationError):
+            fit_io_model([100, 200], [1.0])
+
+
+class TestMemoryModel:
+    def test_mem_formula(self):
+        model = MemoryModel(random_writes_per_s=1e6)
+        assert model.mem(500_000) == pytest.approx(0.5)
+        assert model.mem(-5) == 0.0
+
+    def test_materialize(self):
+        model = MemoryModel(seq_bytes_per_s=1e9)
+        assert model.materialize(5e8) == pytest.approx(0.5)
+
+    def test_rejects_non_positive_rates(self):
+        with pytest.raises(CalibrationError):
+            MemoryModel(random_writes_per_s=0)
+
+
+class TestCostModel:
+    def test_sizeof_segment_includes_tuple_ids(self, paper_table, cost_model_paper):
+        segment = Segment(("a1", "a2"), 6.0, paper_table.full_range())
+        # 6 tuples x (8B tid + 4B + 4B)
+        assert cost_model_paper.sizeof_segment(segment) == 6 * 16
+
+    def test_sizeof_partition_sums_segments(self, paper_table, cost_model_paper):
+        seg1 = Segment(("a1",), 6.0, paper_table.full_range())
+        seg2 = Segment(("a2", "a3"), 3.0, paper_table.full_range())
+        partition = Partition(0, (seg1, seg2))
+        expected = 6 * 12 + 3 * 16
+        assert cost_model_paper.sizeof_partition(partition) == expected
+
+    def test_cost_counts_one_read_per_accessing_query(
+        self, paper_table, paper_queries, cost_model_paper
+    ):
+        seg_a1 = Segment(("a1",), 6.0, paper_table.full_range())
+        seg_rest = Segment(("a5", "a6"), 6.0, paper_table.full_range())
+        partitions = [Partition(0, (seg_a1,)), Partition(1, (seg_rest,))]
+        # Q1 reads partition 0 only; Q3 reads partition 1 only; Q2 reads none.
+        io0 = cost_model_paper.io(cost_model_paper.sizeof_partition(partitions[0]))
+        io1 = cost_model_paper.io(cost_model_paper.sizeof_partition(partitions[1]))
+        total = cost_model_paper.cost_partitions(partitions, paper_queries)
+        assert total == pytest.approx(io0 + io1)
+
+    def test_cost_segments_ignores_empty(self, paper_table, paper_queries, cost_model_paper):
+        empty = Segment((), 6.0, paper_table.full_range())
+        assert cost_model_paper.cost_segments([empty], paper_queries) == 0.0
+
+    def test_survived_tuple_num_uniform_estimate(
+        self, paper_table, paper_queries, cost_model_paper
+    ):
+        q1 = paper_queries[0]  # a1 in [11, 13]: half of [11, 16]
+        segment = Segment(("a2",), 6.0, paper_table.full_range())
+        assert cost_model_paper.survived_tuple_num(segment, q1) == pytest.approx(3.0)
+
+    def test_survived_zero_when_not_accessed(
+        self, paper_table, paper_queries, cost_model_paper
+    ):
+        q1 = paper_queries[0]
+        segment = Segment(("a5",), 6.0, paper_table.full_range())  # Q1 never touches a5
+        assert cost_model_paper.survived_tuple_num(segment, q1) == 0.0
+
+    def test_cost_recons_uses_memory_model(self, paper_table, paper_queries):
+        model = CostModel(
+            paper_table,
+            IOModel(0.0, 0.0),
+            memory_model=MemoryModel(random_writes_per_s=1.0),
+        )
+        segment = Segment(("a2",), 6.0, paper_table.full_range())
+        partitions = [Partition(0, (segment,))]
+        q1 = paper_queries[0]
+        # 3 surviving tuples at 1 write/sec -> 3 seconds.
+        assert model.cost_recons(partitions, [q1]) == pytest.approx(3.0)
+
+    def test_cost_column_formula_6(self, paper_table):
+        model = CostModel(
+            paper_table, IOModel(alpha=0.0, beta=1.0), page_size=8
+        )
+        query = Query.build(paper_table, ["a2"], {"a1": (11, 13)})
+        # two attributes accessed, each 6 x 4 = 24 bytes = 3 pages of 8B,
+        # at beta=1s per page -> 6 seconds.
+        assert model.cost_column([query]) == pytest.approx(6.0)
+
+
+@pytest.fixture()
+def cost_model_paper(paper_table):
+    return CostModel(paper_table, IOModel.from_throughput(75.0, 0.01))

@@ -1,0 +1,74 @@
+"""The process-parallel partitioning phase must replicate the serial plan."""
+
+import pytest
+
+from repro.core import CostModel, IOModel, JigsawPartitioner, PartitionerConfig
+from repro.core.parallel_tuner import ParallelJigsawPartitioner
+from repro.workloads.hap import hap_workload, make_hap_table
+
+
+def canonical(plan):
+    """Order-insensitive structural fingerprint of a plan."""
+    return sorted(
+        tuple(
+            sorted(
+                (
+                    segment.attributes,
+                    tuple(
+                        sorted(
+                            (a, segment.ranges[a].lo, segment.ranges[a].hi)
+                            for a in segment.tight
+                        )
+                    ),
+                )
+                for segment in partition.segments
+            )
+        )
+        for partition in plan
+    )
+
+
+@pytest.fixture(scope="module")
+def tuning_setup():
+    table = make_hap_table(8_000, 32, seed=3)
+    workload, _t = hap_workload(table.meta, 0.1, 6, 2, 30, seed=4)
+    cost_model = CostModel(table.meta, IOModel.from_throughput(75.0, 0.0001))
+    config = PartitionerConfig(
+        min_size=16 * 1024, max_size=128 * 1024, selection_enabled=False
+    )
+    return table, workload, cost_model, config
+
+
+class TestParallelTuner:
+    def test_identical_plan_to_serial(self, tuning_setup):
+        table, workload, cost_model, config = tuning_setup
+        serial = JigsawPartitioner(cost_model, config).partition(table.meta, workload)
+        parallel = ParallelJigsawPartitioner(cost_model, config, n_workers=3).partition(
+            table.meta, workload
+        )
+        assert canonical(parallel) == canonical(serial)
+
+    def test_single_worker_uses_serial_path(self, tuning_setup):
+        table, workload, cost_model, config = tuning_setup
+        tuner = ParallelJigsawPartitioner(cost_model, config, n_workers=1)
+        plan = tuner.partition(table.meta, workload)
+        plan.validate_disjoint()
+        plan.validate_attribute_cover()
+
+    def test_stats_populated(self, tuning_setup):
+        table, workload, cost_model, config = tuning_setup
+        tuner = ParallelJigsawPartitioner(cost_model, config, n_workers=2)
+        tuner.partition(table.meta, workload)
+        assert tuner.stats.n_split_evaluations > 0
+        assert tuner.stats.n_candidates_costed > 0
+        assert tuner.stats.n_partitions > 0
+
+    def test_deterministic_across_runs(self, tuning_setup):
+        table, workload, cost_model, config = tuning_setup
+        first = ParallelJigsawPartitioner(cost_model, config, n_workers=2).partition(
+            table.meta, workload
+        )
+        second = ParallelJigsawPartitioner(cost_model, config, n_workers=2).partition(
+            table.meta, workload
+        )
+        assert canonical(first) == canonical(second)

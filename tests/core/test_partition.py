@@ -1,0 +1,93 @@
+"""Unit tests for partitions, plans and the Formula-4 validity checks."""
+
+import pytest
+
+from repro.core import Partition, PartitioningPlan, Segment, segments_disjoint
+from repro.core.partitioner import make_columnar_plan
+from repro.errors import InvalidPartitioningError
+
+
+def seg(paper_table, attrs, tight=frozenset(), box=None):
+    return Segment(tuple(attrs), 6.0, box or paper_table.full_range(), tight=frozenset(tight))
+
+
+class TestSegmentsDisjoint:
+    def test_disjoint_attribute_sets(self, paper_table):
+        assert segments_disjoint(seg(paper_table, ["a1"]), seg(paper_table, ["a2"]))
+
+    def test_shared_attributes_overlapping_boxes(self, paper_table):
+        assert not segments_disjoint(seg(paper_table, ["a1"]), seg(paper_table, ["a1", "a2"]))
+
+    def test_shared_attributes_disjoint_boxes(self, paper_table):
+        lower_box = paper_table.full_range().replace(
+            "a1", paper_table.interval("a1").split(13, 1.0)[0]
+        )
+        upper_box = paper_table.full_range().replace(
+            "a1", paper_table.interval("a1").split(13, 1.0)[1]
+        )
+        left = Segment(("a2",), 3.0, lower_box, tight=frozenset({"a1"}))
+        right = Segment(("a2",), 3.0, upper_box, tight=frozenset({"a1"}))
+        assert segments_disjoint(left, right)
+
+
+class TestPartition:
+    def test_needs_segments(self):
+        with pytest.raises(InvalidPartitioningError):
+            Partition(0, ())
+
+    def test_attribute_union(self, paper_table):
+        partition = Partition(0, (seg(paper_table, ["a1"]), seg(paper_table, ["a2", "a3"])))
+        assert partition.attribute_set == {"a1", "a2", "a3"}
+
+    def test_rectangular_detection(self, paper_table):
+        rect = Partition(0, (seg(paper_table, ["a1"]), seg(paper_table, ["a1"])))
+        irregular = Partition(1, (seg(paper_table, ["a1"]), seg(paper_table, ["a1", "a2"])))
+        assert rect.is_rectangular()
+        assert not irregular.is_rectangular()
+
+    def test_accessed_by_any_segment(self, paper_table, paper_queries):
+        q3 = paper_queries[2]  # predicate a6, projects a5
+        partition = Partition(0, (seg(paper_table, ["a2"]), seg(paper_table, ["a6"])))
+        assert partition.accessed_by(q3)
+        unrelated = Partition(1, (seg(paper_table, ["a2"]),))
+        assert not unrelated.accessed_by(q3)
+
+
+class TestPartitioningPlan:
+    def test_columnar_plan_shape(self, paper_table):
+        plan = make_columnar_plan(paper_table)
+        assert plan.kind == "columnar"
+        assert len(plan) == 6
+        plan.validate_disjoint()
+        plan.validate_attribute_cover()
+
+    def test_validate_disjoint_catches_overlap(self, paper_table):
+        overlapping = PartitioningPlan.from_segment_groups(
+            paper_table,
+            [[seg(paper_table, ["a1"])], [seg(paper_table, ["a1"])]],
+        )
+        with pytest.raises(InvalidPartitioningError):
+            overlapping.validate_disjoint()
+
+    def test_validate_cover_catches_missing_attribute(self, paper_table):
+        partial = PartitioningPlan.from_segment_groups(
+            paper_table, [[seg(paper_table, ["a1"])]]
+        )
+        with pytest.raises(InvalidPartitioningError):
+            partial.validate_attribute_cover()
+
+    def test_from_segment_groups_skips_empty_groups(self, paper_table):
+        plan = PartitioningPlan.from_segment_groups(
+            paper_table, [[seg(paper_table, ["a1"])], []]
+        )
+        assert len(plan) == 1
+
+    def test_n_irregular_partitions(self, paper_table):
+        plan = PartitioningPlan.from_segment_groups(
+            paper_table,
+            [
+                [seg(paper_table, ["a1"]), seg(paper_table, ["a2", "a3"])],
+                [seg(paper_table, ["a4"])],
+            ],
+        )
+        assert plan.n_irregular_partitions() == 1

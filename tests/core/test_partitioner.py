@@ -1,0 +1,181 @@
+"""Unit tests for the Jigsaw partitioner (Algorithms 2-4)."""
+
+import pytest
+
+from repro.core import (
+    CostModel,
+    IOModel,
+    JigsawPartitioner,
+    MemoryModel,
+    PartitionerConfig,
+    Query,
+    Segment,
+    TableMeta,
+    TableSchema,
+    Workload,
+    partition_segment,
+)
+from repro.errors import InvalidPartitioningError
+
+
+def big_table(n=10_000_000, n_attrs=6) -> TableMeta:
+    schema = TableSchema.uniform([f"a{i}" for i in range(1, n_attrs + 1)])
+    bounds = {f"a{i}": (0, 99_999) for i in range(1, n_attrs + 1)}
+    return TableMeta.from_bounds("T", schema, n, bounds)
+
+
+def byte_dominated_model(table) -> CostModel:
+    """No fixed I/O cost: any redundancy reduction is a benefit."""
+    return CostModel(table, IOModel(alpha=1e-8, beta=0.0))
+
+
+class TestPartitionSegment:
+    def test_vertical_and_horizontal_split(self):
+        table = big_table()
+        q = Query.build(table, ["a2", "a3"], {"a1": (0, 9_999)})
+        root = Segment(table.attribute_names, float(table.n_tuples),
+                       table.full_range(), queries=frozenset([q]))
+        children, benefit = partition_segment(root, byte_dominated_model(table))
+        assert benefit > 0
+        assert len(children) >= 2
+        attr_sets = [set(c.attributes) for c in children]
+        assert {"a1"} in attr_sets  # the sigma segment
+        # Every attribute is still stored somewhere (horizontally split
+        # children share attribute sets with disjoint ranges).
+        union = set().union(*attr_sets)
+        assert union == set(table.attribute_names)
+
+    def test_children_carry_reassigned_queries(self):
+        table = big_table()
+        q = Query.build(table, ["a2", "a3"], {"a1": (0, 9_999)})
+        root = Segment(table.attribute_names, float(table.n_tuples),
+                       table.full_range(), queries=frozenset([q]))
+        children, _benefit = partition_segment(root, byte_dominated_model(table))
+        sigma = next(c for c in children if set(c.attributes) == {"a1"})
+        assert q in sigma.queries
+        rest = next(c for c in children if "a5" in c.attributes)
+        assert q not in rest.queries
+
+    def test_no_queries_returns_zero_benefit(self):
+        table = big_table()
+        root = Segment(table.attribute_names, float(table.n_tuples), table.full_range())
+        children, benefit = partition_segment(root, byte_dominated_model(table))
+        assert benefit == 0.0
+        assert children == [root]
+
+    def test_beta_dominated_model_freezes_small_tables(self):
+        """With high per-request cost and a tiny table, splitting only adds
+        I/O requests, so the benefit is non-positive."""
+        table = big_table(n=6)
+        q = Query.build(table, ["a2", "a3"], {"a1": (0, 9_999)})
+        root = Segment(table.attribute_names, 6.0, table.full_range(),
+                       queries=frozenset([q]))
+        model = CostModel(table, IOModel(alpha=1e-8, beta=1.0))
+        _children, benefit = partition_segment(root, model)
+        assert benefit <= 0
+
+
+class TestJigsawPartitioner:
+    def make_workload(self, table):
+        q1 = Query.build(table, ["a2", "a3"], {"a1": (0, 9_999)}, label="Q1")
+        q2 = Query.build(table, ["a2", "a3"], {"a4": (50_000, 99_999)}, label="Q2")
+        q3 = Query.build(table, ["a5"], {"a6": (40_000, 49_999)}, label="Q3")
+        return Workload(table, [q1, q2, q3])
+
+    def test_plan_is_valid(self):
+        table = big_table()
+        workload = self.make_workload(table)
+        tuner = JigsawPartitioner(
+            CostModel(table, IOModel.from_throughput(75.0, 0.01)),
+            PartitionerConfig(selection_enabled=False),
+        )
+        plan = tuner.partition(table, workload)
+        plan.validate_disjoint()
+        plan.validate_attribute_cover()
+        assert plan.kind == "irregular"
+        assert len(plan) == tuner.stats.n_partitions
+
+    def test_resizing_respects_max_size(self):
+        table = big_table()
+        workload = self.make_workload(table)
+        config = PartitionerConfig(
+            min_size=4 * 1024 * 1024, max_size=32 * 1024 * 1024, selection_enabled=False
+        )
+        model = CostModel(table, IOModel.from_throughput(75.0, 0.01))
+        tuner = JigsawPartitioner(model, config)
+        plan = tuner.partition(table, workload)
+        for partition in plan:
+            for segment in partition.segments:
+                # individual segments were split below MAX_SIZE
+                assert model.sizeof_segment(segment) <= config.max_size * 1.001
+
+    def test_merging_can_produce_irregular_partitions(self):
+        """Small same-access-pattern segments with different schemas must be
+        merged into one partition, producing a non-rectangular shape."""
+        table = big_table(n=200_000, n_attrs=8)
+        q1 = Query.build(table, ["a2", "a3", "a5"], {"a1": (0, 4_999)}, label="Q1")
+        q2 = Query.build(table, ["a2", "a3", "a5"], {"a4": (0, 4_999)}, label="Q2")
+        workload = Workload(table, [q1, q2])
+        config = PartitionerConfig(
+            min_size=512 * 1024, max_size=4 * 1024 * 1024, selection_enabled=False
+        )
+        tuner = JigsawPartitioner(
+            CostModel(table, IOModel.from_throughput(75.0, 0.001)), config
+        )
+        plan = tuner.partition(table, workload)
+        plan.validate_disjoint()
+        plan.validate_attribute_cover()
+        assert tuner.stats.n_merges > 0
+
+    def test_selection_phase_falls_back_to_columnar(self):
+        """A tiny table with huge per-request overhead makes the columnar
+        layout cheaper, so Algorithm 2 line 26 must fire."""
+        table = big_table(n=100)
+        workload = self.make_workload(table)
+        tuner = JigsawPartitioner(
+            CostModel(table, IOModel(alpha=1e-8, beta=10.0), page_size=1 << 20),
+            PartitionerConfig(selection_enabled=True),
+        )
+        plan = tuner.partition(table, workload)
+        assert plan.kind == "columnar"
+        assert tuner.stats.chose_columnar
+
+    def test_selection_disabled_keeps_irregular(self):
+        table = big_table(n=100)
+        workload = self.make_workload(table)
+        tuner = JigsawPartitioner(
+            CostModel(table, IOModel(alpha=1e-8, beta=10.0), page_size=1 << 20),
+            PartitionerConfig(selection_enabled=False),
+        )
+        plan = tuner.partition(table, workload)
+        assert plan.kind == "irregular"
+
+    def test_max_segments_cap(self):
+        table = big_table()
+        workload = self.make_workload(table)
+        config = PartitionerConfig(
+            min_size=1, max_size=1 << 40, max_segments=4, selection_enabled=False
+        )
+        tuner = JigsawPartitioner(byte_dominated_model(table), config)
+        plan = tuner.partition(table, workload)
+        plan.validate_attribute_cover()
+
+    def test_config_validation(self):
+        with pytest.raises(InvalidPartitioningError):
+            PartitionerConfig(min_size=0)
+        with pytest.raises(InvalidPartitioningError):
+            PartitionerConfig(min_size=10, max_size=5)
+
+    def test_stats_costs_populated(self):
+        table = big_table()
+        workload = self.make_workload(table)
+        tuner = JigsawPartitioner(
+            CostModel(table, IOModel.from_throughput(75.0, 0.01)),
+            PartitionerConfig(selection_enabled=True),
+        )
+        tuner.partition(table, workload)
+        stats = tuner.stats
+        assert stats.irregular_cost > 0
+        assert stats.columnar_cost > 0
+        assert stats.elapsed_s > 0
+        assert stats.n_split_evaluations > 0

@@ -1,0 +1,76 @@
+"""Unit tests for query metadata (Algorithm 1's Query struct)."""
+
+import pytest
+
+from repro.core import Query, Workload
+from repro.core.ranges import Interval
+from repro.errors import InvalidQueryError
+
+
+class TestQueryBuild:
+    def test_sigma_and_pi_sets(self, paper_table):
+        query = Query.build(paper_table, ["a2", "a3"], {"a1": (11, 13)})
+        assert query.sigma_attributes == {"a1"}
+        assert query.pi_attributes == {"a2", "a3"}
+        assert query.accessed_attributes == {"a1", "a2", "a3"}
+
+    def test_range_box_covers_every_attribute(self, paper_table):
+        """The paper's example: Q1.range has predicate bounds on a1 and table
+        bounds everywhere else."""
+        query = Query.build(paper_table, ["a2", "a3"], {"a1": (11, 13)})
+        assert query.ranges["a1"] == Interval(11, 13)
+        for i in range(2, 7):
+            assert query.ranges[f"a{i}"] == paper_table.interval(f"a{i}")
+
+    def test_predicates_clipped_to_table_range(self, paper_table):
+        query = Query.build(paper_table, ["a2"], {"a1": (0, 1000)})
+        assert query.ranges["a1"] == paper_table.interval("a1")
+
+    def test_disjoint_predicate_rejected(self, paper_table):
+        with pytest.raises(InvalidQueryError):
+            Query.build(paper_table, ["a2"], {"a1": (1000, 2000)})
+
+    def test_unknown_attribute_rejected(self, paper_table):
+        with pytest.raises(Exception):
+            Query.build(paper_table, ["zz"])
+
+    def test_empty_projection_rejected(self, paper_table):
+        with pytest.raises(InvalidQueryError):
+            Query.build(paper_table, [])
+
+    def test_no_where_clause(self, paper_table):
+        query = Query.build(paper_table, ["a1"])
+        assert not query.sigma_attributes
+        assert query.ranges["a1"] == paper_table.interval("a1")
+
+    def test_duplicate_projection_deduplicated(self, paper_table):
+        query = Query.build(paper_table, ["a2", "a2", "a3"])
+        assert query.select == ("a2", "a3")
+
+    def test_predicate_interval_accessor(self, paper_table):
+        query = Query.build(paper_table, ["a2"], {"a1": (11, 13)})
+        assert query.predicate_interval("a1") == Interval(11, 13)
+        with pytest.raises(InvalidQueryError):
+            query.predicate_interval("a2")
+
+    def test_queries_hash_by_identity(self, paper_table):
+        a = Query.build(paper_table, ["a2"], {"a1": (11, 13)})
+        b = Query.build(paper_table, ["a2"], {"a1": (11, 13)})
+        assert a != b and len({a, b}) == 2
+
+
+class TestWorkload:
+    def test_accessed_attributes_union(self, paper_table, paper_queries):
+        workload = Workload(paper_table, paper_queries)
+        assert workload.accessed_attributes() == {"a1", "a2", "a3", "a4", "a5", "a6"}
+
+    def test_predicate_frequency(self, paper_table, paper_queries):
+        workload = Workload(paper_table, paper_queries + [paper_queries[0]])
+        frequency = workload.predicate_attribute_frequency()
+        assert frequency["a1"] == 2 and frequency["a4"] == 1 and frequency["a6"] == 1
+
+    def test_indexing_and_len(self, paper_table, paper_queries):
+        workload = Workload(paper_table, paper_queries)
+        assert len(workload) == 3
+        assert workload[0].label == "Q1"
+        assert [q.label for q in workload] == ["Q1", "Q2", "Q3"]

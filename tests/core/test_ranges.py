@@ -1,0 +1,106 @@
+"""Unit tests for the interval / range-box algebra."""
+
+import math
+
+import pytest
+
+from repro.core.ranges import Interval, RangeMap
+
+
+class TestInterval:
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError):
+            Interval(5.0, 4.0)
+        with pytest.raises(ValueError):
+            Interval(float("nan"), 1.0)
+
+    def test_single_point_interval_is_valid(self):
+        interval = Interval(3.0, 3.0)
+        assert interval.contains(3.0)
+        assert interval.width(unit=1.0) == 1.0
+        assert interval.width(unit=0.0) == 0.0
+
+    def test_intersects_is_symmetric_and_closed(self):
+        a = Interval(0, 10)
+        b = Interval(10, 20)  # touching endpoints count (closed intervals)
+        c = Interval(11, 20)
+        assert a.intersects(b) and b.intersects(a)
+        assert not a.intersects(c) and not c.intersects(a)
+
+    def test_intersect_returns_overlap(self):
+        assert Interval(0, 10).intersect(Interval(5, 15)) == Interval(5, 10)
+        assert Interval(0, 4).intersect(Interval(5, 15)) is None
+
+    def test_covers(self):
+        assert Interval(0, 10).covers(Interval(2, 8))
+        assert not Interval(0, 10).covers(Interval(2, 12))
+
+    def test_overlap_fraction_uniform_integer(self):
+        # [0, 99] overlapping [0, 49] with integer unit -> exactly half.
+        assert Interval(0, 99).overlap_fraction(Interval(0, 49), unit=1.0) == pytest.approx(0.5)
+
+    def test_overlap_fraction_disjoint_is_zero(self):
+        assert Interval(0, 10).overlap_fraction(Interval(20, 30)) == 0.0
+
+    def test_overlap_fraction_degenerate_float_interval(self):
+        # A zero-width float interval fully inside the other counts as 1.
+        assert Interval(5.0, 5.0).overlap_fraction(Interval(0, 10)) == 1.0
+
+    def test_split_integer_leaves_no_gap_or_overlap(self):
+        lower, upper = Interval(0, 99).split(49, unit=1.0)
+        assert lower == Interval(0, 49)
+        assert upper == Interval(50, 99)
+
+    def test_split_integer_floors_fractional_cut(self):
+        lower, upper = Interval(0, 99).split(49.7, unit=1.0)
+        assert lower.hi == 49.0 and upper.lo == 50.0
+
+    def test_split_float_uses_nextafter(self):
+        lower, upper = Interval(0.0, 1.0).split(0.5, unit=0.0)
+        assert lower.hi == 0.5
+        assert upper.lo == math.nextafter(0.5, math.inf)
+
+    def test_split_rejects_out_of_range_cut(self):
+        with pytest.raises(ValueError):
+            Interval(0, 10).split(10, unit=1.0)  # upper child would be empty
+        with pytest.raises(ValueError):
+            Interval(0, 10).split(-1, unit=1.0)
+
+
+class TestRangeMap:
+    def test_from_bounds_roundtrip(self):
+        box = RangeMap.from_bounds({"a": (0, 10), "b": (5, 6)})
+        assert box["a"] == Interval(0, 10)
+        assert set(box.attributes) == {"a", "b"}
+        assert "a" in box and "c" not in box
+
+    def test_intersects_requires_every_shared_attribute(self):
+        box = RangeMap.from_bounds({"a": (0, 10), "b": (0, 10)})
+        other = RangeMap.from_bounds({"a": (5, 15), "b": (20, 30)})
+        assert not box.intersects(other)
+        overlapping = RangeMap.from_bounds({"a": (5, 15), "b": (0, 1)})
+        assert box.intersects(overlapping)
+
+    def test_intersects_ignores_unshared_attributes(self):
+        box = RangeMap.from_bounds({"a": (0, 10)})
+        other = RangeMap.from_bounds({"b": (100, 200)})
+        assert box.intersects(other)
+
+    def test_replace_is_persistent(self):
+        box = RangeMap.from_bounds({"a": (0, 10)})
+        updated = box.replace("a", Interval(0, 5))
+        assert box["a"].hi == 10 and updated["a"].hi == 5
+        with pytest.raises(KeyError):
+            box.replace("zz", Interval(0, 1))
+
+    def test_overlap_fraction_is_product_over_attributes(self):
+        box = RangeMap.from_bounds({"a": (0, 99), "b": (0, 99)})
+        query = RangeMap.from_bounds({"a": (0, 49), "b": (0, 49)})
+        units = {"a": 1.0, "b": 1.0}
+        assert box.overlap_fraction(query, units) == pytest.approx(0.25)
+
+    def test_equality_and_hash(self):
+        left = RangeMap.from_bounds({"a": (0, 1)})
+        right = RangeMap.from_bounds({"a": (0, 1)})
+        assert left == right and hash(left) == hash(right)
+        assert left != RangeMap.from_bounds({"a": (0, 2)})

@@ -1,0 +1,113 @@
+"""Unit tests for segments, the access() predicate and horizontal splits."""
+
+import pytest
+
+from repro.core import Query, Segment, access, horizontal_split
+from repro.core.segment import box_intersects, box_overlap_fraction
+from repro.errors import InvalidPartitioningError
+
+
+def make_segment(paper_table, attrs, n=6.0, tight=frozenset()):
+    return Segment(tuple(attrs), n, paper_table.full_range(), tight=tight)
+
+
+class TestSegmentBasics:
+    def test_empty_detection(self, paper_table):
+        assert make_segment(paper_table, []).is_empty
+        # A zero *estimate* does not make a segment empty: narrow boxes can
+        # still match real tuples (see Segment.is_empty).
+        assert not make_segment(paper_table, ["a1"], n=0.0).is_empty
+        assert not make_segment(paper_table, ["a1"], n=1.0).is_empty
+
+    def test_negative_tuples_rejected(self, paper_table):
+        with pytest.raises(InvalidPartitioningError):
+            make_segment(paper_table, ["a1"], n=-1.0)
+
+    def test_sizeof_formula_2(self, paper_table):
+        segment = make_segment(paper_table, ["a1", "a2"], n=10.0)
+        widths = {name: 4 for name in paper_table.attribute_names}
+        assert segment.sizeof(widths, tuple_id_bytes=8) == 10 * (8 + 8)
+        assert segment.sizeof(widths) == 10 * 8
+
+    def test_restrict_attributes_keeps_schema_order(self, paper_table):
+        segment = make_segment(paper_table, ["a1", "a2", "a3"])
+        assert segment.restrict_attributes(["a3", "a1"]).attributes == ("a1", "a3")
+
+
+class TestAccess:
+    """Formula 3.2, using the paper's Q1/Q2/Q3 on example segments."""
+
+    def test_predicate_attribute_always_accessed(self, paper_table, paper_queries):
+        q1 = paper_queries[0]  # predicate on a1, projects a2, a3
+        sigma_segment = make_segment(paper_table, ["a1"])
+        assert access(sigma_segment, q1)
+
+    def test_projection_needs_range_overlap(self, paper_table, paper_queries):
+        q1 = paper_queries[0]  # a1 in [11, 13]
+        pi_segment = Segment(
+            ("a2", "a3"),
+            3.0,
+            paper_table.full_range().replace("a1", paper_table.interval("a1").split(13, 1.0)[1]),
+            tight=frozenset({"a1"}),
+        )  # covers a1 in [14, 16] only
+        assert not access(pi_segment, q1)
+        low_segment = Segment(
+            ("a2", "a3"),
+            3.0,
+            paper_table.full_range().replace("a1", paper_table.interval("a1").split(13, 1.0)[0]),
+            tight=frozenset({"a1"}),
+        )
+        assert access(low_segment, q1)
+
+    def test_unrelated_segment_not_accessed(self, paper_table, paper_queries):
+        q3 = paper_queries[2]  # predicate a6, projects a5
+        segment = make_segment(paper_table, ["a2", "a3"])
+        assert not access(segment, q3)
+
+    def test_box_intersects_checks_predicate_attributes_even_untight(
+        self, paper_table, paper_queries
+    ):
+        q1 = paper_queries[0]
+        # Even with an empty tight set, the query's predicate attributes are
+        # compared, so a disjoint a1 interval is detected.
+        segment = Segment(
+            ("a2",),
+            3.0,
+            paper_table.full_range().replace("a1", paper_table.interval("a1").split(13, 1.0)[1]),
+            tight=frozenset(),
+        )
+        assert not box_intersects(segment, q1)
+
+    def test_box_overlap_fraction(self, paper_table, paper_queries):
+        q1 = paper_queries[0]  # a1 in [11, 13] of [11, 16] -> 0.5
+        segment = make_segment(paper_table, ["a2"])
+        units = paper_table.schema.units()
+        assert box_overlap_fraction(segment, q1, units) == pytest.approx(0.5)
+
+
+class TestHorizontalSplit:
+    def test_split_partitions_tuples_uniformly(self, paper_table):
+        segment = make_segment(paper_table, ["a1", "a2"], n=6.0)
+        units = paper_table.schema.units()
+        lower, upper = horizontal_split(segment, "a1", 13, units)
+        assert lower.n_tuples == pytest.approx(3.0)
+        assert upper.n_tuples == pytest.approx(3.0)
+        assert lower.ranges["a1"].hi == 13 and upper.ranges["a1"].lo == 14
+
+    def test_split_marks_attribute_tight(self, paper_table):
+        segment = make_segment(paper_table, ["a2"], n=6.0)
+        units = paper_table.schema.units()
+        lower, upper = horizontal_split(segment, "a1", 13, units)
+        assert lower.tight == {"a1"} == upper.tight
+
+    def test_split_preserves_total_tuples(self, paper_table):
+        segment = make_segment(paper_table, ["a1"], n=7.0)
+        units = paper_table.schema.units()
+        lower, upper = horizontal_split(segment, "a1", 12, units)
+        assert lower.n_tuples + upper.n_tuples == pytest.approx(7.0)
+
+    def test_children_have_empty_query_sets(self, paper_table, paper_queries):
+        segment = make_segment(paper_table, ["a1"]).with_queries(paper_queries)
+        units = paper_table.schema.units()
+        lower, upper = horizontal_split(segment, "a1", 13, units)
+        assert not lower.queries and not upper.queries

@@ -1,0 +1,134 @@
+"""Tests for histogram-based cardinality estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core import EquiWidthHistogram, TableStatistics
+from repro.core.ranges import Interval
+from repro.errors import CalibrationError
+from repro.workloads.hap import make_hap_table
+
+
+class TestHistogram:
+    def test_total_matches_column(self):
+        column = np.arange(1000, dtype=np.int32)
+        histogram = EquiWidthHistogram.from_column(column, n_bins=16)
+        assert histogram.total == 1000
+
+    def test_mass_on_uniform_data_matches_width(self):
+        rng = np.random.default_rng(0)
+        column = rng.integers(0, 10_000, 100_000).astype(np.int32)
+        histogram = EquiWidthHistogram.from_column(column, n_bins=50)
+        mass = histogram.mass(0, 5_000)
+        assert mass == pytest.approx(50_000, rel=0.03)
+
+    def test_mass_whole_range_is_total(self):
+        column = np.array([1, 5, 5, 9], dtype=np.int32)
+        histogram = EquiWidthHistogram.from_column(column, n_bins=4)
+        assert histogram.mass(1, 10) == pytest.approx(4.0)
+
+    def test_mass_outside_range_is_zero(self):
+        histogram = EquiWidthHistogram.from_column(np.array([10, 20]), n_bins=2)
+        assert histogram.mass(30, 40) == 0.0
+        assert histogram.mass(0, 5) == 0.0
+
+    def test_skew_is_captured(self):
+        """90% of values in the bottom 1% of the range: a half-range split
+        must be estimated as ~90/10, not 50/50."""
+        rng = np.random.default_rng(1)
+        low = rng.integers(0, 100, 90_000)
+        high = rng.integers(100, 10_000, 10_000)
+        column = np.concatenate([low, high]).astype(np.int32)
+        histogram = EquiWidthHistogram.from_column(column, n_bins=128)
+        fraction = histogram.fraction(Interval(0, 4_999), Interval(0, 9_999), unit=1.0)
+        true_fraction = float((column <= 4_999).mean())
+        assert fraction == pytest.approx(true_fraction, abs=0.02)
+
+    def test_single_value_column(self):
+        histogram = EquiWidthHistogram.from_column(np.full(10, 7, dtype=np.int32))
+        assert histogram.mass(7, 8) == 10.0
+        assert histogram.mass(8, 9) == 0.0
+
+    def test_empty_column(self):
+        histogram = EquiWidthHistogram.from_column(np.empty(0, dtype=np.int32))
+        assert histogram.total == 0.0
+        assert histogram.mass(0, 100) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(CalibrationError):
+            EquiWidthHistogram(10.0, 5.0, np.array([1.0]))
+        with pytest.raises(CalibrationError):
+            EquiWidthHistogram(0.0, 1.0, np.empty(0))
+
+
+class TestTableStatistics:
+    def test_from_table(self, small_table):
+        statistics = TableStatistics.from_table(small_table, n_bins=32)
+        assert len(statistics) == len(small_table.schema)
+        assert "a1" in statistics
+        assert statistics.histogram("a1").total == small_table.n_tuples
+
+    def test_fraction_fallback_without_histogram(self, small_table):
+        statistics = TableStatistics.from_table(small_table, attributes=["a1"])
+        piece, whole = Interval(0, 49), Interval(0, 99)
+        # a2 has no histogram -> uniform model.
+        assert statistics.fraction("a2", piece, whole, unit=1.0) == pytest.approx(0.5)
+
+    def test_subset_of_attributes(self, small_table):
+        statistics = TableStatistics.from_table(small_table, attributes=["a1", "a2"])
+        assert len(statistics) == 2
+        assert "a3" not in statistics
+
+
+class TestTunerIntegration:
+    def test_histograms_fix_skewed_size_estimates(self):
+        """On Zipf data, histogram-backed splitting estimates partition sizes
+        accurately where the uniform model is off by multiples."""
+        import statistics as stdlib_stats
+
+        from repro.bench.environments import BALOS, scaled_context
+        from repro.layouts import IrregularLayout
+        from repro.workloads.hap import hap_workload
+
+        table = make_hap_table(12_000, 16, seed=3, distribution="zipf")
+        train, _t = hap_workload(table.meta, 0.1, 4, 2, 30, seed=4)
+        ctx, _s = scaled_context(BALOS, table.sizeof(), seed=5)
+        errors = {}
+        for flag in (False, True):
+            layout = IrregularLayout(
+                selection_enabled=False, use_histograms=flag
+            ).build(table, train, ctx)
+            estimated = {
+                p.pid: sum(s.n_tuples for s in p.segments) for p in layout.plan
+            }
+            actual = {
+                pid: sum(len(t) for t in layout.manager.info(pid).segment_tids)
+                for pid in layout.manager.pids()
+            }
+            errors[flag] = stdlib_stats.median(
+                abs(estimated[pid] - actual[pid]) / max(actual[pid], 1)
+                for pid in actual
+                if actual[pid] > 50
+            )
+        assert errors[True] < errors[False] / 5
+
+    def test_uniform_data_unchanged_answers(self):
+        """With or without histograms, query answers are identical."""
+        from repro.bench.environments import BALOS, scaled_context
+        from repro.layouts import IrregularLayout
+        from repro.workloads.hap import hap_workload
+
+        table = make_hap_table(6_000, 16, seed=6)
+        train, templates = hap_workload(table.meta, 0.2, 4, 2, 20, seed=7)
+        eval_wl, _t = hap_workload(
+            table.meta, 0.2, 4, 2, 3, seed=8, templates=templates
+        )
+        ctx, _s = scaled_context(BALOS, table.sizeof(), seed=9)
+        plain = IrregularLayout(selection_enabled=False).build(table, train, ctx)
+        with_stats = IrregularLayout(
+            selection_enabled=False, use_histograms=True
+        ).build(table, train, ctx)
+        for query in eval_wl:
+            expected, _st = plain.execute(query)
+            actual, _st = with_stats.execute(query)
+            assert actual.equals(expected)

@@ -1,0 +1,49 @@
+"""Unit tests for result sets."""
+
+import numpy as np
+import pytest
+
+from repro.engine import ResultSet
+from repro.errors import JigsawError
+
+
+class TestResultSet:
+    def test_sorted_by_tuple_id(self):
+        result = ResultSet(
+            np.array([5, 1, 3]), {"a": np.array([50, 10, 30])}
+        )
+        assert np.array_equal(result.tuple_ids, [1, 3, 5])
+        assert np.array_equal(result.column("a"), [10, 30, 50])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(JigsawError):
+            ResultSet(np.array([1, 2]), {"a": np.array([1])})
+
+    def test_missing_column_raises(self):
+        result = ResultSet(np.array([1]), {"a": np.array([1])})
+        with pytest.raises(JigsawError):
+            result.column("b")
+
+    def test_equals(self):
+        left = ResultSet(np.array([2, 1]), {"a": np.array([20, 10])})
+        right = ResultSet(np.array([1, 2]), {"a": np.array([10, 20])})
+        assert left.equals(right)
+
+    def test_equals_detects_value_difference(self):
+        left = ResultSet(np.array([1]), {"a": np.array([10])})
+        right = ResultSet(np.array([1]), {"a": np.array([11])})
+        assert not left.equals(right)
+
+    def test_equals_detects_column_set_difference(self):
+        left = ResultSet(np.array([1]), {"a": np.array([10])})
+        right = ResultSet(np.array([1]), {"b": np.array([10])})
+        assert not left.equals(right)
+
+    def test_equals_detects_tuple_difference(self):
+        left = ResultSet(np.array([1]), {"a": np.array([10])})
+        right = ResultSet(np.array([2]), {"a": np.array([10])})
+        assert not left.equals(right)
+
+    def test_empty_result(self):
+        result = ResultSet(np.empty(0, np.int64), {"a": np.empty(0)})
+        assert result.n_tuples == 0 and len(result) == 0

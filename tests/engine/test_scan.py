@@ -1,0 +1,131 @@
+"""Unit tests for the baseline scan engine (zone maps, skipping, reuse)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Query
+from repro.engine import ScanExecutor
+from repro.storage import (
+    BALOS_HDD,
+    PartitionManager,
+    SegmentSpec,
+    StorageDevice,
+    TID_CATALOG,
+    TID_IMPLICIT,
+)
+
+
+def sorted_table_manager(small_table, sort_by="a1", n_groups=4):
+    """Column-H-like layout over value-sorted groups => tight zone maps."""
+    device = StorageDevice(BALOS_HDD)
+    manager = PartitionManager(small_table.schema, device)
+    order = np.argsort(small_table.column(sort_by), kind="stable").astype(np.int64)
+    groups = np.array_split(order, n_groups)
+    specs = [
+        [SegmentSpec((attr,), tids)]
+        for tids in groups
+        for attr in small_table.schema.attribute_names
+    ]
+    manager.materialize_specs(specs, small_table, tid_storage=TID_CATALOG)
+    return manager
+
+
+def reference_answer(table, query):
+    mask = np.ones(table.n_tuples, dtype=bool)
+    for name, interval in query.where.items():
+        column = table.column(name)
+        mask &= (column >= interval.lo) & (column <= interval.hi)
+    tids = np.nonzero(mask)[0]
+    return tids, {name: table.column(name)[tids] for name in query.select}
+
+
+class TestCorrectness:
+    def test_column_layout_answer(self, small_table):
+        device = StorageDevice(BALOS_HDD)
+        manager = PartitionManager(small_table.schema, device)
+        everyone = np.arange(small_table.n_tuples, dtype=np.int64)
+        specs = [
+            [SegmentSpec((a,), everyone)] for a in small_table.schema.attribute_names
+        ]
+        manager.materialize_specs(specs, small_table, tid_storage=TID_IMPLICIT)
+        executor = ScanExecutor(manager, small_table.meta, zone_maps=False)
+        query = Query.build(small_table.meta, ["a2", "a5"], {"a1": (0, 1999)})
+        result, _stats = executor.execute(query)
+        tids, columns = reference_answer(small_table, query)
+        assert np.array_equal(result.tuple_ids, tids)
+        assert np.array_equal(result.column("a5"), columns["a5"])
+
+    def test_sorted_groups_answer(self, small_table):
+        manager = sorted_table_manager(small_table)
+        executor = ScanExecutor(manager, small_table.meta, zone_maps=True)
+        query = Query.build(small_table.meta, ["a2"], {"a1": (0, 2499)})
+        result, _stats = executor.execute(query)
+        tids, columns = reference_answer(small_table, query)
+        assert np.array_equal(result.tuple_ids, tids)
+        assert np.array_equal(result.column("a2"), columns["a2"])
+
+    def test_no_where_clause(self, small_table):
+        manager = sorted_table_manager(small_table)
+        executor = ScanExecutor(manager, small_table.meta)
+        query = Query.build(small_table.meta, ["a3"])
+        result, _stats = executor.execute(query)
+        assert result.n_tuples == small_table.n_tuples
+
+
+class TestZoneMaps:
+    def test_skips_non_matching_partitions(self, small_table):
+        manager = sorted_table_manager(small_table, n_groups=4)
+        with_maps = ScanExecutor(manager, small_table.meta, zone_maps=True)
+        query = Query.build(small_table.meta, ["a1"], {"a1": (0, 1000)})
+        _result, stats = with_maps.execute(query)
+        assert stats.n_partitions_skipped > 0
+
+    def test_skipping_reduces_bytes(self, small_table):
+        manager = sorted_table_manager(small_table, n_groups=4)
+        query = Query.build(small_table.meta, ["a2"], {"a1": (0, 1000)})
+        _r, skipping = ScanExecutor(manager, small_table.meta, zone_maps=True).execute(query)
+        manager.device.reset_stats()
+        _r, full = ScanExecutor(manager, small_table.meta, zone_maps=False).execute(query)
+        assert skipping.bytes_read < full.bytes_read
+
+    def test_results_identical_with_and_without_maps(self, small_table):
+        manager = sorted_table_manager(small_table, n_groups=8)
+        query = Query.build(small_table.meta, ["a2", "a4"], {"a1": (3000, 6000)})
+        with_maps, _s = ScanExecutor(manager, small_table.meta, zone_maps=True).execute(query)
+        without, _s = ScanExecutor(manager, small_table.meta, zone_maps=False).execute(query)
+        assert with_maps.equals(without)
+
+
+class TestIOAccounting:
+    def test_partition_reused_across_phases(self, small_table):
+        """A partition read for predicates is not re-read for projection."""
+        manager = sorted_table_manager(small_table, n_groups=2)
+        executor = ScanExecutor(manager, small_table.meta, zone_maps=False)
+        # a1 is both predicate and projected: its partitions load once.
+        query = Query.build(small_table.meta, ["a1"], {"a1": (0, 9999)})
+        _result, stats = executor.execute(query)
+        assert stats.n_partition_reads == 2  # the two a1 column pieces only
+
+    def test_projection_skips_partitions_without_selected_tuples(self, small_table):
+        manager = sorted_table_manager(small_table, n_groups=4)
+        executor = ScanExecutor(manager, small_table.meta, zone_maps=True)
+        query = Query.build(small_table.meta, ["a2"], {"a1": (0, 1000)})
+        _result, stats = executor.execute(query)
+        # a2 pieces of groups with no matching a1 values are skipped.
+        loaded_bytes = stats.bytes_read
+        all_bytes = manager.total_bytes()
+        assert loaded_bytes < all_bytes / 2
+
+    def test_chunked_reads_increase_request_count(self, small_table):
+        device = StorageDevice(BALOS_HDD)
+        manager = PartitionManager(small_table.schema, device)
+        everyone = np.arange(small_table.n_tuples, dtype=np.int64)
+        manager.materialize_specs(
+            [[SegmentSpec(("a1",), everyone)]], small_table, tid_storage=TID_IMPLICIT
+        )
+        chunked = ScanExecutor(
+            manager, small_table.meta, zone_maps=False, chunk_size=1024
+        )
+        query = Query.build(small_table.meta, ["a1"], {"a1": (0, 9999)})
+        chunked.execute(query)
+        assert device.stats.n_reads > 1

@@ -1,0 +1,75 @@
+"""Tests for the zone-map extension of the partition-at-a-time engine."""
+
+import numpy as np
+import pytest
+
+from repro.core import Query, Workload
+from repro.engine import PartitionAtATimeExecutor
+from repro.layouts import BuildContext, IrregularLayout
+from repro.storage import ColumnTable
+
+
+@pytest.fixture(scope="module")
+def layout_setup():
+    rng = np.random.default_rng(33)
+    from repro.core import TableSchema
+
+    schema = TableSchema.uniform([f"a{i}" for i in range(8)])
+    # a0 sorted-ish so horizontal slices get tight, skippable zones.
+    columns = {
+        name: rng.integers(0, 100_000, 10_000).astype(np.int32)
+        for name in schema.attribute_names
+    }
+    table = ColumnTable.build("t", schema, columns)
+    queries = [
+        Query.build(table.meta, ["a1", "a2"], {"a0": (lo, lo + 9_999)}, label=f"q{lo}")
+        for lo in range(0, 90_001, 10_000)
+    ]
+    train = Workload(table.meta, queries)
+    ctx = BuildContext(file_segment_bytes=4 * 1024)
+    layout = IrregularLayout(selection_enabled=False).build(table, train, ctx)
+    return table, layout
+
+
+class TestZoneVerdict:
+    def test_results_identical_with_and_without(self, layout_setup):
+        table, layout = layout_setup
+        plain = PartitionAtATimeExecutor(layout.manager, table.meta, zone_maps=False)
+        mapped = PartitionAtATimeExecutor(layout.manager, table.meta, zone_maps=True)
+        for lo in (0, 25_000, 70_000):
+            query = Query.build(table.meta, ["a1", "a3"], {"a0": (lo, lo + 5_000)})
+            expected, _s = plain.execute(query)
+            actual, _s = mapped.execute(query)
+            assert actual.equals(expected), lo
+
+    def test_multi_predicate_queries(self, layout_setup):
+        table, layout = layout_setup
+        plain = PartitionAtATimeExecutor(layout.manager, table.meta, zone_maps=False)
+        mapped = PartitionAtATimeExecutor(layout.manager, table.meta, zone_maps=True)
+        query = Query.build(
+            table.meta, ["a2"], {"a0": (10_000, 30_000), "a4": (0, 50_000)}
+        )
+        expected, _s = plain.execute(query)
+        actual, _s = mapped.execute(query)
+        assert actual.equals(expected)
+
+    def test_skipping_reduces_io(self, layout_setup):
+        """Predicate partitions sliced on a0 outside the query window can be
+        resolved from the catalog without I/O."""
+        table, layout = layout_setup
+        plain = PartitionAtATimeExecutor(layout.manager, table.meta, zone_maps=False)
+        mapped = PartitionAtATimeExecutor(layout.manager, table.meta, zone_maps=True)
+        query = Query.build(table.meta, ["a1"], {"a0": (0, 4_999)})
+        layout.drop_caches()
+        _r, plain_stats = plain.execute(query)
+        layout.drop_caches()
+        _r, mapped_stats = mapped.execute(query)
+        assert mapped_stats.n_partitions_skipped > 0
+        assert mapped_stats.bytes_read < plain_stats.bytes_read
+
+    def test_disabled_by_default(self, layout_setup):
+        table, layout = layout_setup
+        executor = PartitionAtATimeExecutor(layout.manager, table.meta)
+        query = Query.build(table.meta, ["a1"], {"a0": (0, 4_999)})
+        _r, stats = executor.execute(query)
+        assert stats.n_partitions_skipped == 0

@@ -1,0 +1,81 @@
+"""Integration: all seven layouts must answer every query identically."""
+
+import numpy as np
+import pytest
+
+from repro.core import Query, Workload
+from repro.layouts import ALL_LAYOUTS, BuildContext
+from repro.storage import ColumnTable
+from repro.workloads.hap import hap_workload, make_hap_table
+
+
+@pytest.fixture(scope="module")
+def hap_setup():
+    table = make_hap_table(8_000, n_attrs=24, seed=11)
+    train, templates = hap_workload(
+        table.meta, selectivity=0.2, projectivity=6, n_templates=2, n_queries=24, seed=12
+    )
+    eval_wl, _t = hap_workload(
+        table.meta, selectivity=0.2, projectivity=6, n_templates=2, n_queries=4,
+        seed=13, templates=templates,
+    )
+    ctx = BuildContext(file_segment_bytes=32 * 1024, schism_sample_size=400)
+    layouts = {}
+    for builder_cls in ALL_LAYOUTS:
+        layout = builder_cls().build(table, train, ctx)
+        layouts[layout.name] = layout
+    return table, layouts, list(eval_wl)
+
+
+class TestCrossLayoutAgreement:
+    def test_trained_template_queries(self, hap_setup):
+        _table, layouts, queries = hap_setup
+        reference = layouts["Row"]
+        for query in queries:
+            expected, _s = reference.execute(query)
+            for name, layout in layouts.items():
+                actual, _s = layout.execute(query)
+                assert actual.equals(expected), (name, query.label)
+
+    def test_untrained_query(self, hap_setup):
+        table, layouts, _queries = hap_setup
+        query = Query.build(
+            table.meta,
+            ["a000", "a010", "a023"],
+            {"a005": (100_000, 600_000), "a017": (0, 800_000)},
+        )
+        reference, _s = layouts["Row"].execute(query)
+        for name, layout in layouts.items():
+            actual, _s = layout.execute(query)
+            assert actual.equals(reference), name
+
+    def test_full_table_query(self, hap_setup):
+        table, layouts, _queries = hap_setup
+        query = Query.build(table.meta, ["a001"])
+        for name, layout in layouts.items():
+            result, _s = layout.execute(query)
+            assert result.n_tuples == table.n_tuples, name
+            assert np.array_equal(result.column("a001"), table.column("a001")), name
+
+    def test_io_accounting_positive(self, hap_setup):
+        _table, layouts, queries = hap_setup
+        for name, layout in layouts.items():
+            layout.drop_caches()
+            _r, stats = layout.execute(queries[0])
+            assert stats.bytes_read > 0, name
+            assert stats.io_time_s > 0, name
+            assert stats.simulated_time_s >= stats.io_time_s, name
+
+    def test_cells_stored_exactly_once(self, hap_setup):
+        """Across any layout, every (tuple, attribute) cell is stored in
+        exactly one partition (Formula 4's validity constraints)."""
+        table, layouts, _queries = hap_setup
+        for name, layout in layouts.items():
+            cells = 0
+            for pid in layout.manager.pids():
+                info = layout.manager.info(pid)
+                cells += sum(
+                    len(attrs) * len(tids)
+                    for attrs, tids in zip(info.segment_attrs, info.segment_tids)
+                )
+            assert cells == table.n_tuples * len(table.schema), name

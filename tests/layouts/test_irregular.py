@@ -1,0 +1,84 @@
+"""Unit tests for the Jigsaw Irregular layout builder."""
+
+import pytest
+
+from repro.core import IOModel, Query, Workload
+from repro.layouts import BuildContext, IrregularLayout, RowLayout
+from repro.storage import TID_EXPLICIT, DeviceProfile
+
+
+@pytest.fixture()
+def flat_ctx():
+    """Byte-dominated device so splitting pays off at test scale."""
+    return BuildContext(
+        device_profile=DeviceProfile("flat", IOModel(alpha=1e-8, beta=0.0)),
+        file_segment_bytes=8 * 1024,
+    )
+
+
+class TestBuild:
+    def test_same_answers_as_row(self, small_table, small_workload, flat_ctx):
+        irregular = IrregularLayout(selection_enabled=False).build(
+            small_table, small_workload, flat_ctx
+        )
+        row = RowLayout().build(small_table, small_workload, flat_ctx)
+        for query in small_workload:
+            expected, _s = row.execute(query)
+            actual, _s = irregular.execute(query)
+            assert actual.equals(expected)
+
+    def test_unseen_query_still_correct(self, small_table, small_workload, flat_ctx):
+        irregular = IrregularLayout(selection_enabled=False).build(
+            small_table, small_workload, flat_ctx
+        )
+        row = RowLayout().build(small_table, small_workload, flat_ctx)
+        unseen = Query.build(
+            small_table.meta, ["a6", "a1"], {"a3": (2500, 7500), "a5": (0, 8000)}
+        )
+        expected, _s = row.execute(unseen)
+        actual, _s = irregular.execute(unseen)
+        assert actual.equals(expected)
+
+    def test_tuple_ids_stored_explicitly(self, small_table, small_workload, flat_ctx):
+        irregular = IrregularLayout(selection_enabled=False).build(
+            small_table, small_workload, flat_ctx
+        )
+        modes = [
+            mode
+            for pid in irregular.manager.pids()
+            for mode in irregular.manager.info(pid).segment_tid_modes
+        ]
+        assert modes and all(mode == TID_EXPLICIT for mode in modes)
+
+    def test_storage_includes_tuple_id_overhead(self, small_table, small_workload, flat_ctx):
+        irregular = IrregularLayout(selection_enabled=False).build(
+            small_table, small_workload, flat_ctx
+        )
+        assert irregular.storage_bytes() > small_table.sizeof()
+
+    def test_plan_and_tuner_stats_attached(self, small_table, small_workload, flat_ctx):
+        irregular = IrregularLayout(selection_enabled=False).build(
+            small_table, small_workload, flat_ctx
+        )
+        assert irregular.plan is not None
+        assert irregular.plan.kind == "irregular"
+        assert irregular.build_info["tuner"].n_split_evaluations > 0
+
+
+class TestColumnarFallback:
+    def test_fallback_builds_column_layout(self, small_table, small_workload):
+        # Huge per-request latency: the tuner must prefer the columnar layout.
+        ctx = BuildContext(
+            device_profile=DeviceProfile("slow", IOModel(alpha=1e-8, beta=10.0)),
+            file_segment_bytes=1 << 20,
+        )
+        layout = IrregularLayout(selection_enabled=True).build(
+            small_table, small_workload, ctx
+        )
+        assert layout.build_info.get("fallback") == "columnar"
+        assert layout.plan.kind == "columnar"
+        assert layout.n_partitions == len(small_table.schema)
+        # And it still answers queries correctly.
+        query = small_workload[0]
+        result, _s = layout.execute(query)
+        assert result.n_tuples > 0

@@ -1,0 +1,71 @@
+"""Unit tests for the Row and Column natural-order layouts."""
+
+import numpy as np
+import pytest
+
+from repro.core import Query
+from repro.layouts import BuildContext, ColumnLayout, RowLayout
+from repro.storage import TID_IMPLICIT
+
+
+class TestRowLayout:
+    def test_partitions_are_file_segment_sized(self, small_table, small_workload, ctx):
+        layout = RowLayout().build(small_table, small_workload, ctx)
+        rows_per = layout.build_info["rows_per_segment"]
+        assert rows_per == ctx.file_segment_bytes // small_table.schema.row_width()
+        expected = int(np.ceil(small_table.n_tuples / rows_per))
+        assert layout.n_partitions == expected
+
+    def test_every_partition_stores_all_attributes(self, small_table, small_workload, ctx):
+        layout = RowLayout().build(small_table, small_workload, ctx)
+        for pid in layout.manager.pids():
+            info = layout.manager.info(pid)
+            assert info.attributes == set(small_table.schema.attribute_names)
+
+    def test_tuple_ids_are_implicit(self, small_table, small_workload, ctx):
+        layout = RowLayout().build(small_table, small_workload, ctx)
+        info = layout.manager.info(0)
+        assert info.segment_tid_modes == [TID_IMPLICIT]
+
+    def test_query_reads_whole_table(self, small_table, small_workload, ctx):
+        layout = RowLayout().build(small_table, small_workload, ctx)
+        _result, stats = layout.execute(small_workload[0])
+        assert stats.bytes_read == layout.storage_bytes()
+
+    def test_storage_has_no_tuple_id_overhead(self, small_table, small_workload, ctx):
+        layout = RowLayout().build(small_table, small_workload, ctx)
+        raw = small_table.sizeof()
+        overhead = layout.storage_bytes() - raw
+        # only headers/bitmaps, well under 1%
+        assert 0 <= overhead < raw * 0.01
+
+
+class TestColumnLayout:
+    def test_one_partition_per_attribute(self, small_table, small_workload, ctx):
+        layout = ColumnLayout().build(small_table, small_workload, ctx)
+        assert layout.n_partitions == len(small_table.schema)
+
+    def test_query_reads_only_needed_columns(self, small_table, small_workload, ctx):
+        layout = ColumnLayout().build(small_table, small_workload, ctx)
+        query = small_workload[0]  # touches a1, a2, a3
+        _result, stats = layout.execute(query)
+        per_column = small_table.n_tuples * 4
+        assert stats.bytes_read == pytest.approx(3 * per_column, rel=0.01)
+
+    def test_column_reads_are_chunked(self, small_table, small_workload, ctx):
+        layout = ColumnLayout().build(small_table, small_workload, ctx)
+        query = Query.build(small_table.meta, ["a1"], {"a1": (0, 9999)})
+        layout.drop_caches()
+        layout.manager.device.reset_stats()
+        layout.execute(query)
+        column_bytes = small_table.n_tuples * 4
+        expected_chunks = int(np.ceil(column_bytes / ctx.file_segment_bytes))
+        assert layout.manager.device.stats.n_reads >= expected_chunks
+
+    def test_same_answers_as_row(self, small_table, small_workload, ctx):
+        row = RowLayout().build(small_table, small_workload, ctx)
+        column = ColumnLayout().build(small_table, small_workload, ctx)
+        for query in small_workload:
+            expected, _s = row.execute(query)
+            actual, _s = column.execute(query)
+            assert actual.equals(expected)

@@ -1,0 +1,115 @@
+"""Unit tests for Row-H, Column-H, Row-V and Hierarchical layouts."""
+
+import numpy as np
+import pytest
+
+from repro.core import Query, Workload
+from repro.layouts import (
+    BuildContext,
+    ColumnHLayout,
+    HierarchicalLayout,
+    RowHLayout,
+    RowLayout,
+    RowVLayout,
+)
+
+
+@pytest.fixture()
+def reference(small_table, small_workload, ctx):
+    return RowLayout().build(small_table, small_workload, ctx)
+
+
+class TestRowH:
+    def test_same_answers_as_row(self, small_table, small_workload, ctx, reference):
+        layout = RowHLayout().build(small_table, small_workload, ctx)
+        for query in small_workload:
+            expected, _s = reference.execute(query)
+            actual, _s = layout.execute(query)
+            assert actual.equals(expected)
+
+    def test_groups_cover_table(self, small_table, small_workload, ctx):
+        layout = RowHLayout().build(small_table, small_workload, ctx)
+        total = sum(layout.manager.info(p).n_tuples for p in layout.manager.pids())
+        assert total == small_table.n_tuples
+
+
+class TestColumnH:
+    def test_same_answers_as_row(self, small_table, small_workload, ctx, reference):
+        layout = ColumnHLayout().build(small_table, small_workload, ctx)
+        for query in small_workload:
+            expected, _s = reference.execute(query)
+            actual, _s = layout.execute(query)
+            assert actual.equals(expected)
+
+    def test_single_attribute_per_partition(self, small_table, small_workload, ctx):
+        layout = ColumnHLayout().build(small_table, small_workload, ctx)
+        for pid in layout.manager.pids():
+            assert len(layout.manager.info(pid).attributes) == 1
+
+    def test_partition_count_is_groups_times_attrs(self, small_table, small_workload, ctx):
+        layout = ColumnHLayout().build(small_table, small_workload, ctx)
+        groups = layout.build_info["n_groups"]
+        assert layout.n_partitions == groups * len(small_table.schema)
+
+
+class TestRowV:
+    def test_same_answers_as_row(self, small_table, small_workload, ctx, reference):
+        layout = RowVLayout().build(small_table, small_workload, ctx)
+        for query in small_workload:
+            expected, _s = reference.execute(query)
+            actual, _s = layout.execute(query)
+            assert actual.equals(expected)
+
+    def test_column_groups_follow_peloton(self, small_table, small_workload, ctx):
+        layout = RowVLayout().build(small_table, small_workload, ctx)
+        groups = layout.build_info["column_groups"]
+        flattened = [a for g in groups for a in g]
+        assert sorted(flattened) == sorted(small_table.schema.attribute_names)
+
+    def test_reads_whole_groups(self, small_table, small_workload, ctx):
+        """Row-V reads redundant attributes: the whole group containing any
+        accessed attribute."""
+        layout = RowVLayout().build(small_table, small_workload, ctx)
+        query = small_workload[0]
+        _r, stats = layout.execute(query)
+        accessed_groups = [
+            g for g in layout.build_info["column_groups"]
+            if set(g) & query.accessed_attributes
+        ]
+        expected = sum(
+            small_table.n_tuples * small_table.schema.row_width(g)
+            for g in accessed_groups
+        )
+        assert stats.bytes_read == pytest.approx(expected, rel=0.01)
+
+
+class TestHierarchical:
+    def test_same_answers_as_row(self, small_table, small_workload, ctx, reference):
+        layout = HierarchicalLayout().build(small_table, small_workload, ctx)
+        for query in small_workload:
+            expected, _s = reference.execute(query)
+            actual, _s = layout.execute(query)
+            assert actual.equals(expected)
+
+    def test_produces_many_small_partitions(self, small_table, small_workload, ctx):
+        """The paper's point: hierarchical partitioning fragments files."""
+        hierarchical = HierarchicalLayout().build(small_table, small_workload, ctx)
+        row_h = RowHLayout().build(small_table, small_workload, ctx)
+        assert hierarchical.n_partitions >= row_h.n_partitions
+
+    def test_vertical_split_per_group(self, small_table, small_workload, ctx):
+        layout = HierarchicalLayout().build(small_table, small_workload, ctx)
+        counts = layout.build_info["vertical_groups_per_partition"]
+        assert len(counts) == layout.build_info["n_horizontal_groups"]
+        assert all(c >= 1 for c in counts)
+
+
+class TestNoWorkload:
+    def test_layouts_build_with_empty_training_set(self, small_table, small_meta, ctx):
+        empty = Workload(small_meta, [])
+        for builder in (RowHLayout(), ColumnHLayout(), RowVLayout(), HierarchicalLayout()):
+            layout = builder.build(small_table, empty, ctx)
+            query = Query.build(small_meta, ["a1"], {"a1": (0, 4999)})
+            result, _s = layout.execute(query)
+            expected = int((small_table.column("a1") <= 4999).sum())
+            assert result.n_tuples == expected

@@ -1,0 +1,54 @@
+"""Unit tests for the Peloton-style greedy vertical partitioner."""
+
+from repro.core import Query, Workload
+from repro.partitioning import PelotonPartitioner
+
+
+class TestGrouping:
+    def test_groups_cover_all_attributes(self, small_meta, small_workload):
+        groups = PelotonPartitioner().partition(small_meta, small_workload)
+        flattened = [a for group in groups for a in group]
+        assert sorted(flattened) == sorted(small_meta.attribute_names)
+        assert len(set(flattened)) == len(flattened)  # no attribute twice
+
+    def test_costliest_template_claims_its_columns_first(self, small_meta):
+        expensive = [
+            Query.build(small_meta, ["a1", "a2", "a3", "a4"], {"a1": (0, 9999)})
+            for _ in range(5)
+        ]
+        cheap = [Query.build(small_meta, ["a4", "a5"], {"a5": (0, 9999)})]
+        workload = Workload(small_meta, expensive + cheap)
+        groups = PelotonPartitioner().partition(small_meta, workload)
+        # First group belongs to the expensive template; a4 is claimed there,
+        # so the cheap template's group keeps only a5.
+        assert set(groups[0]) == {"a1", "a2", "a3", "a4"}
+        assert ("a5",) in groups
+
+    def test_leftover_columns_form_final_group(self, small_meta):
+        workload = Workload(
+            small_meta, [Query.build(small_meta, ["a1"], {"a1": (0, 9999)})]
+        )
+        groups = PelotonPartitioner().partition(small_meta, workload)
+        assert groups[0] == ("a1",)
+        assert set(groups[-1]) == {"a2", "a3", "a4", "a5", "a6"}
+
+    def test_empty_workload_yields_single_group(self, small_meta):
+        groups = PelotonPartitioner().partition(small_meta, Workload(small_meta, []))
+        assert len(groups) == 1
+        assert set(groups[0]) == set(small_meta.attribute_names)
+
+    def test_duplicate_templates_collapse(self, small_meta):
+        queries = [
+            Query.build(small_meta, ["a1", "a2"], {"a1": (0, 9999)}) for _ in range(4)
+        ]
+        partitioner = PelotonPartitioner()
+        partitioner.partition(small_meta, Workload(small_meta, queries))
+        assert partitioner.stats.n_templates == 1
+
+    def test_group_order_follows_schema(self, small_meta):
+        workload = Workload(
+            small_meta,
+            [Query.build(small_meta, ["a3", "a1"], {"a1": (0, 9999)})],
+        )
+        groups = PelotonPartitioner().partition(small_meta, workload)
+        assert groups[0] == ("a1", "a3")

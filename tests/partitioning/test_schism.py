@@ -1,0 +1,78 @@
+"""Unit tests for the Schism-style graph partitioner."""
+
+import numpy as np
+import pytest
+
+from repro.core import Query, Workload
+from repro.errors import InvalidPartitioningError
+from repro.partitioning import SchismPartitioner
+
+
+def checks_cover(groups, n):
+    combined = np.concatenate(groups) if groups else np.empty(0, np.int64)
+    assert len(combined) == n
+    assert len(np.unique(combined)) == n
+
+
+class TestBasics:
+    def test_groups_partition_the_table(self, small_table, small_workload):
+        partitioner = SchismPartitioner(n_partitions=4, sample_size=300)
+        groups = partitioner.partition(small_table, small_workload)
+        checks_cover(groups, small_table.n_tuples)
+        assert 1 <= len(groups) <= 4
+
+    def test_single_partition(self, small_table, small_workload):
+        groups = SchismPartitioner(n_partitions=1).partition(small_table, small_workload)
+        assert len(groups) == 1
+        checks_cover(groups, small_table.n_tuples)
+
+    def test_empty_workload_splits_evenly(self, small_table, small_meta):
+        workload = Workload(small_meta, [])
+        groups = SchismPartitioner(n_partitions=3).partition(small_table, workload)
+        assert len(groups) == 3
+        checks_cover(groups, small_table.n_tuples)
+
+    def test_rejects_zero_partitions(self):
+        with pytest.raises(InvalidPartitioningError):
+            SchismPartitioner(n_partitions=0)
+
+    def test_deterministic_for_fixed_seed(self, small_table, small_workload):
+        a = SchismPartitioner(4, sample_size=200, seed=5).partition(
+            small_table, small_workload
+        )
+        b = SchismPartitioner(4, sample_size=200, seed=5).partition(
+            small_table, small_workload
+        )
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+    def test_more_partitions_than_samples_clamped(self, small_table, small_workload):
+        partitioner = SchismPartitioner(n_partitions=100, sample_size=16)
+        groups = partitioner.partition(small_table, small_workload)
+        checks_cover(groups, small_table.n_tuples)
+        assert len(groups) <= 16
+
+
+class TestCoAccessClustering:
+    def test_coaccessed_tuples_gravitate_together(self, small_table, small_meta):
+        """Queries that repeatedly select the low half of a1 should pull those
+        tuples into the same partitions."""
+        queries = [
+            Query.build(small_meta, ["a2"], {"a1": (0, 4999)}, label=f"q{i}")
+            for i in range(8)
+        ]
+        workload = Workload(small_meta, queries)
+        partitioner = SchismPartitioner(n_partitions=2, sample_size=500, seed=1)
+        groups = partitioner.partition(small_table, workload)
+        checks_cover(groups, small_table.n_tuples)
+        a1 = small_table.column("a1")
+        # One group should be clearly enriched in matching tuples.
+        fractions = sorted(float((a1[g] <= 4999).mean()) for g in groups)
+        assert fractions[-1] > 0.8
+
+    def test_stats_record_quadratic_work(self, small_table, small_workload):
+        partitioner = SchismPartitioner(n_partitions=2, sample_size=128)
+        partitioner.partition(small_table, small_workload)
+        stats = partitioner.stats
+        assert stats.n_sampled == 128
+        assert stats.affinity_flops == 128 * 128 * len(small_workload)
+        assert stats.elapsed_s > 0

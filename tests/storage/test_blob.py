@@ -1,0 +1,56 @@
+"""Unit tests for blob stores."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import DirectoryBlobStore, MemoryBlobStore
+
+
+@pytest.fixture(params=["memory", "directory"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        return MemoryBlobStore()
+    return DirectoryBlobStore(str(tmp_path / "blobs"))
+
+
+class TestBlobStore:
+    def test_put_get_roundtrip(self, store):
+        store.put("a/p1.jig", b"hello")
+        assert store.get("a/p1.jig") == b"hello"
+        assert store.size("a/p1.jig") == 5
+
+    def test_overwrite(self, store):
+        store.put("k", b"one")
+        store.put("k", b"two!")
+        assert store.get("k") == b"two!"
+        assert store.size("k") == 4
+
+    def test_missing_key_raises(self, store):
+        with pytest.raises(StorageError):
+            store.get("missing")
+        with pytest.raises(StorageError):
+            store.size("missing")
+
+    def test_contains(self, store):
+        store.put("k", b"x")
+        assert "k" in store
+        assert "nope" not in store
+
+    def test_delete_is_idempotent(self, store):
+        store.put("k", b"x")
+        store.delete("k")
+        store.delete("k")
+        assert "k" not in store
+
+    def test_keys_and_total_bytes(self, store):
+        store.put("x", b"ab")
+        store.put("dir/y", b"cdef")
+        assert sorted(store.keys()) == ["dir/y", "x"]
+        assert store.total_bytes() == 6
+
+
+class TestDirectoryStore:
+    def test_rejects_escaping_keys(self, tmp_path):
+        store = DirectoryBlobStore(str(tmp_path / "root"))
+        with pytest.raises(StorageError):
+            store.put("../escape", b"x")

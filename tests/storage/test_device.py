@@ -1,0 +1,111 @@
+"""Unit tests for the simulated storage device and its cache."""
+
+import pytest
+
+from repro.core import fit_io_model
+from repro.storage import (
+    BALOS_HDD,
+    EBS_GP2,
+    EBS_IO1,
+    DeviceProfile,
+    StorageDevice,
+    synthetic_profile_measurements,
+)
+
+
+class TestProfiles:
+    def test_presets_match_table_3_throughputs(self):
+        assert BALOS_HDD.io_model.throughput_mb_per_s == pytest.approx(75.0)
+        assert EBS_GP2.io_model.throughput_mb_per_s == pytest.approx(125.0)
+        assert EBS_IO1.io_model.throughput_mb_per_s == pytest.approx(1000.0)
+
+    def test_profile_ordering(self):
+        """Faster devices take less time for the same read."""
+        size = 64 * 1024 * 1024
+        t_hdd = BALOS_HDD.io_model.io_time(size)
+        t_gp2 = EBS_GP2.io_model.io_time(size)
+        t_io1 = EBS_IO1.io_model.io_time(size)
+        assert t_hdd > t_gp2 > t_io1
+
+
+class TestStorageDevice:
+    def test_read_charges_linear_time(self):
+        device = StorageDevice(DeviceProfile.from_throughput("d", 100.0, 0.01))
+        elapsed = device.read("f", 100 * 10**6)
+        assert elapsed == pytest.approx(1.01)
+        assert device.stats.bytes_read == 100 * 10**6
+        assert device.stats.n_reads == 1
+
+    def test_chunked_read_pays_latency_per_chunk(self):
+        device = StorageDevice(DeviceProfile.from_throughput("d", 100.0, 0.01))
+        elapsed = device.read("f", 10 * 2**20, chunk_size=2**20)
+        single = StorageDevice(DeviceProfile.from_throughput("d", 100.0, 0.01)).read(
+            "f", 10 * 2**20
+        )
+        assert elapsed > single
+        assert device.stats.n_reads == 10
+
+    def test_chunked_read_with_remainder(self):
+        device = StorageDevice(DeviceProfile.from_throughput("d", 100.0, 0.0))
+        device.read("f", 2**20 + 1, chunk_size=2**20)
+        assert device.stats.n_reads == 2
+
+    def test_zero_byte_read_free(self):
+        device = StorageDevice(BALOS_HDD)
+        assert device.read("f", 0) == 0.0
+        assert device.stats.n_reads == 0
+
+
+class TestBufferCache:
+    def test_second_read_hits_cache(self):
+        device = StorageDevice(BALOS_HDD, cache_bytes=10**6)
+        first = device.read("f", 500_000)
+        second = device.read("f", 500_000)
+        assert first > 0 and second == 0.0
+        assert device.stats.n_cache_hits == 1
+        assert device.stats.bytes_read == 500_000
+
+    def test_lru_eviction(self):
+        device = StorageDevice(BALOS_HDD, cache_bytes=1000)
+        device.read("a", 600)
+        device.read("b", 600)  # evicts a
+        assert device.read("a", 600) > 0.0  # miss again
+        assert device.stats.n_cache_hits == 0
+
+    def test_oversized_file_never_cached(self):
+        device = StorageDevice(BALOS_HDD, cache_bytes=100)
+        device.read("big", 1000)
+        assert device.read("big", 1000) > 0.0
+        assert device.cached_bytes == 0
+
+    def test_drop_caches(self):
+        device = StorageDevice(BALOS_HDD, cache_bytes=10**6)
+        device.read("f", 1000)
+        device.drop_caches()
+        assert device.read("f", 1000) > 0.0
+        assert device.stats.n_cache_hits == 0
+
+    def test_invalidate_single_key(self):
+        device = StorageDevice(BALOS_HDD, cache_bytes=10**6)
+        device.read("f", 1000)
+        device.read("g", 1000)
+        device.invalidate("f")
+        assert device.read("f", 1000) > 0.0  # miss
+        assert device.read("g", 1000) == 0.0  # still cached
+
+    def test_write_populates_cache(self):
+        device = StorageDevice(BALOS_HDD, cache_bytes=10**6)
+        device.write("f", 1000)
+        assert device.read("f", 1000) == 0.0
+
+    def test_cache_disabled_by_default(self):
+        device = StorageDevice(BALOS_HDD)
+        device.read("f", 1000)
+        assert device.read("f", 1000) > 0.0
+
+
+class TestCalibration:
+    def test_fitting_synthetic_measurements_recovers_profile(self):
+        sizes, times = synthetic_profile_measurements(BALOS_HDD, noise=0.01, seed=3)
+        fitted = fit_io_model(sizes, times)
+        assert fitted.alpha == pytest.approx(BALOS_HDD.io_model.alpha, rel=0.1)

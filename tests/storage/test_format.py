@@ -1,0 +1,141 @@
+"""Unit tests for the binary partition file format (Figure 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import AttributeSpec, TableSchema
+from repro.errors import StorageError
+from repro.storage import (
+    PhysicalPartition,
+    PhysicalSegment,
+    TID_CATALOG,
+    TID_EXPLICIT,
+    TID_IMPLICIT,
+    deserialize_partition,
+    segment_row_dtype,
+    serialize_partition,
+)
+
+
+@pytest.fixture()
+def schema():
+    return TableSchema(
+        [
+            AttributeSpec("k", 8, "int64"),
+            AttributeSpec("v", 4, "int32"),
+            AttributeSpec("comment", 20, "int32"),  # padded width
+            AttributeSpec("x", 8, "float64", integer=False),
+        ]
+    )
+
+
+def make_segment(schema, attrs, tids, tid_storage=TID_EXPLICIT, seed=0):
+    rng = np.random.default_rng(seed)
+    columns = {}
+    for name in attrs:
+        dtype = schema[name].np_dtype
+        if dtype == "float64":
+            columns[name] = rng.random(len(tids))
+        else:
+            columns[name] = rng.integers(0, 1000, len(tids)).astype(dtype)
+    return PhysicalSegment(
+        attributes=tuple(attrs),
+        tuple_ids=np.asarray(tids, dtype=np.int64),
+        columns=columns,
+        tid_storage=tid_storage,
+    )
+
+
+class TestRowDtype:
+    def test_itemsize_uses_logical_widths(self, schema):
+        dtype = segment_row_dtype(schema, ("k", "comment"))
+        assert dtype.itemsize == 28
+
+    def test_field_offsets_are_cumulative(self, schema):
+        dtype = segment_row_dtype(schema, ("v", "comment", "x"))
+        assert dtype.fields["v"][1] == 0
+        assert dtype.fields["comment"][1] == 4
+        assert dtype.fields["x"][1] == 24
+
+
+class TestRoundtrip:
+    def test_explicit_tids(self, schema):
+        segment = make_segment(schema, ["k", "x"], [5, 9, 17])
+        partition = PhysicalPartition(3, [segment])
+        data = serialize_partition(partition, schema)
+        restored = deserialize_partition(data, schema)
+        assert restored.pid == 3
+        out = restored.segments[0]
+        assert out.attributes == ("k", "x")
+        assert np.array_equal(out.tuple_ids, [5, 9, 17])
+        assert np.array_equal(out.columns["k"], segment.columns["k"])
+        assert np.allclose(out.columns["x"], segment.columns["x"])
+
+    def test_implicit_tids(self, schema):
+        segment = make_segment(schema, ["v"], [100, 101, 102], TID_IMPLICIT)
+        data = serialize_partition(PhysicalPartition(0, [segment]), schema)
+        restored = deserialize_partition(data, schema)
+        assert np.array_equal(restored.segments[0].tuple_ids, [100, 101, 102])
+
+    def test_catalog_tids_come_from_caller(self, schema):
+        segment = make_segment(schema, ["v"], [7, 3, 99], TID_CATALOG)
+        data = serialize_partition(PhysicalPartition(0, [segment]), schema)
+        restored = deserialize_partition(
+            data, schema, catalog_tids={0: np.array([7, 3, 99], np.int64)}
+        )
+        assert np.array_equal(restored.segments[0].tuple_ids, [7, 3, 99])
+
+    def test_catalog_tids_missing_raises(self, schema):
+        segment = make_segment(schema, ["v"], [7, 3], TID_CATALOG)
+        data = serialize_partition(PhysicalPartition(0, [segment]), schema)
+        with pytest.raises(StorageError):
+            deserialize_partition(data, schema)
+
+    def test_multiple_segments(self, schema):
+        segments = [
+            make_segment(schema, ["k", "v", "comment", "x"], [0, 1]),
+            make_segment(schema, ["v"], [2, 3, 4], seed=1),
+        ]
+        data = serialize_partition(PhysicalPartition(1, segments), schema)
+        restored = deserialize_partition(data, schema)
+        assert len(restored.segments) == 2
+        assert restored.segments[1].attributes == ("v",)
+
+    def test_empty_segment(self, schema):
+        segment = make_segment(schema, ["v"], [])
+        data = serialize_partition(PhysicalPartition(0, [segment]), schema)
+        restored = deserialize_partition(data, schema)
+        assert restored.segments[0].n_tuples == 0
+
+    def test_file_size_includes_padding(self, schema):
+        """A 'comment' cell must really occupy 20 bytes on disk."""
+        narrow = make_segment(schema, ["v"], [0, 1, 2])
+        wide = make_segment(schema, ["comment"], [0, 1, 2])
+        narrow_size = len(serialize_partition(PhysicalPartition(0, [narrow]), schema))
+        wide_size = len(serialize_partition(PhysicalPartition(0, [wide]), schema))
+        assert wide_size - narrow_size == 3 * (20 - 4)
+
+
+class TestCorruption:
+    def test_bad_magic(self, schema):
+        segment = make_segment(schema, ["v"], [0])
+        data = serialize_partition(PhysicalPartition(0, [segment]), schema)
+        with pytest.raises(StorageError):
+            deserialize_partition(b"XXXX" + data[4:], schema)
+
+    def test_truncated_header(self, schema):
+        with pytest.raises(StorageError):
+            deserialize_partition(b"JG", schema)
+
+    def test_truncated_cells(self, schema):
+        segment = make_segment(schema, ["comment"], [0, 1, 2])
+        data = serialize_partition(PhysicalPartition(0, [segment]), schema)
+        with pytest.raises(StorageError):
+            deserialize_partition(data[:-8], schema)
+
+    def test_schema_mismatch(self, schema):
+        segment = make_segment(schema, ["v"], [0])
+        data = serialize_partition(PhysicalPartition(0, [segment]), schema)
+        other = TableSchema.uniform(["a", "b"])
+        with pytest.raises(StorageError):
+            deserialize_partition(data, other)

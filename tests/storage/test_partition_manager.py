@@ -1,0 +1,108 @@
+"""Unit tests for the partition manager and its two indexes."""
+
+import numpy as np
+import pytest
+
+from repro.core import CostModel, IOModel, JigsawPartitioner, PartitionerConfig
+from repro.errors import PartitionNotFoundError
+from repro.storage import (
+    BALOS_HDD,
+    PartitionManager,
+    SegmentSpec,
+    StorageDevice,
+    TID_CATALOG,
+)
+
+
+@pytest.fixture()
+def manager(small_table):
+    device = StorageDevice(BALOS_HDD)
+    return PartitionManager(small_table.schema, device)
+
+
+def materialize_two_partitions(manager, small_table):
+    n = small_table.n_tuples
+    first_half = np.arange(n // 2, dtype=np.int64)
+    second_half = np.arange(n // 2, n, dtype=np.int64)
+    manager.materialize_specs(
+        [
+            [SegmentSpec(("a1", "a2"), first_half)],
+            [SegmentSpec(("a1", "a3"), second_half)],
+        ],
+        small_table,
+        tid_storage=TID_CATALOG,
+    )
+
+
+class TestMaterializeAndLoad:
+    def test_load_roundtrip_charges_io(self, manager, small_table):
+        materialize_two_partitions(manager, small_table)
+        partition, io_delta = manager.load(0)
+        assert io_delta.io_time_s > 0
+        assert io_delta.bytes_read == manager.info(0).n_bytes
+        assert manager.device.stats.bytes_read == manager.info(0).n_bytes
+        segment = partition.segments[0]
+        assert np.array_equal(
+            segment.columns["a1"], small_table.column("a1")[segment.tuple_ids]
+        )
+
+    def test_unknown_pid_raises(self, manager, small_table):
+        materialize_two_partitions(manager, small_table)
+        with pytest.raises(PartitionNotFoundError):
+            manager.load(99)
+        with pytest.raises(PartitionNotFoundError):
+            manager.info(99)
+
+    def test_total_bytes_matches_store(self, manager, small_table):
+        materialize_two_partitions(manager, small_table)
+        assert manager.total_bytes() == manager.store.total_bytes()
+
+    def test_materialize_plan_covers_all_cells(self, small_table, small_workload):
+        cost_model = CostModel(small_table.meta, IOModel.from_throughput(75, 0.001))
+        tuner = JigsawPartitioner(
+            cost_model,
+            PartitionerConfig(min_size=1024, max_size=1 << 20, selection_enabled=False),
+        )
+        plan = tuner.partition(small_table.meta, small_workload)
+        manager = PartitionManager(small_table.schema, StorageDevice(BALOS_HDD))
+        infos = manager.materialize_plan(plan, small_table)
+        cells = sum(
+            len(attrs) * len(tids)
+            for info in infos
+            for attrs, tids in zip(info.segment_attrs, info.segment_tids)
+        )
+        assert cells == small_table.n_tuples * len(small_table.schema)
+
+
+class TestIndexes:
+    def test_attribute_level_index(self, manager, small_table):
+        materialize_two_partitions(manager, small_table)
+        assert set(manager.partitions_for_attribute("a1")) == {0, 1}
+        assert manager.partitions_for_attribute("a2") == (0,)
+        assert manager.partitions_for_attribute("a3") == (1,)
+        assert manager.partitions_for_attribute("a6") == ()
+
+    def test_partitions_for_attributes_union(self, manager, small_table):
+        materialize_two_partitions(manager, small_table)
+        assert manager.partitions_for_attributes(["a2", "a3"]) == (0, 1)
+
+    def test_tuple_level_index(self, manager, small_table):
+        materialize_two_partitions(manager, small_table)
+        n = small_table.n_tuples
+        low_tids = np.array([0, 1], np.int64)
+        high_tids = np.array([n - 1], np.int64)
+        assert manager.partitions_with_missing_cells("a2", low_tids) == (0,)
+        assert manager.partitions_with_missing_cells("a2", high_tids) == ()
+        assert manager.partitions_with_missing_cells("a3", high_tids) == (1,)
+
+    def test_tuple_index_with_empty_request(self, manager, small_table):
+        materialize_two_partitions(manager, small_table)
+        empty = np.empty(0, np.int64)
+        assert manager.partitions_with_missing_cells("a1", empty) == ()
+
+    def test_info_exposes_zone_maps(self, manager, small_table):
+        materialize_two_partitions(manager, small_table)
+        info = manager.info(0)
+        lo, hi = info.zone_map["a1"]
+        half = small_table.column("a1")[: small_table.n_tuples // 2]
+        assert lo == half.min() and hi == half.max()

@@ -1,0 +1,42 @@
+"""The exception hierarchy: everything catchable via JigsawError."""
+
+import pytest
+
+from repro.errors import (
+    CalibrationError,
+    InvalidPartitioningError,
+    InvalidQueryError,
+    JigsawError,
+    PartitionNotFoundError,
+    SchemaError,
+    StorageError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            CalibrationError,
+            InvalidPartitioningError,
+            InvalidQueryError,
+            PartitionNotFoundError,
+            SchemaError,
+            StorageError,
+        ],
+    )
+    def test_all_derive_from_jigsaw_error(self, exc):
+        assert issubclass(exc, JigsawError)
+
+    def test_partition_not_found_is_storage_error(self):
+        assert issubclass(PartitionNotFoundError, StorageError)
+
+    def test_library_failures_are_catchable(self, paper_table):
+        from repro.core import Query
+
+        with pytest.raises(JigsawError):
+            Query.build(paper_table, [])
+        from repro.core import fit_io_model
+
+        with pytest.raises(JigsawError):
+            fit_io_model([1], [1.0])

@@ -1,0 +1,110 @@
+"""Tests for workload/plan JSON persistence."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.core import CostModel, IOModel, JigsawPartitioner, PartitionerConfig
+from repro.errors import JigsawError
+from repro.persistence import (
+    load_plan,
+    load_workload,
+    plan_from_dict,
+    plan_to_dict,
+    save_plan,
+    save_workload,
+    workload_from_dict,
+    workload_to_dict,
+)
+
+
+class TestWorkloadRoundtrip:
+    def test_roundtrip_preserves_queries(self, small_meta, small_workload):
+        buffer = io.StringIO()
+        save_workload(small_workload, buffer)
+        buffer.seek(0)
+        restored = load_workload(small_meta, buffer)
+        assert len(restored) == len(small_workload)
+        for original, copy in zip(small_workload, restored):
+            assert copy.select == original.select
+            assert copy.label == original.label
+            assert {n: (i.lo, i.hi) for n, i in copy.where.items()} == {
+                n: (i.lo, i.hi) for n, i in original.where.items()
+            }
+
+    def test_file_roundtrip(self, small_meta, small_workload, tmp_path):
+        path = str(tmp_path / "workload.json")
+        save_workload(small_workload, path)
+        restored = load_workload(small_meta, path)
+        assert len(restored) == len(small_workload)
+
+    def test_rejects_wrong_document(self, small_meta):
+        with pytest.raises(JigsawError):
+            workload_from_dict(small_meta, {"format": "something-else"})
+
+
+class TestPlanRoundtrip:
+    @pytest.fixture()
+    def tuned(self, small_table, small_workload):
+        cost_model = CostModel(small_table.meta, IOModel.from_throughput(75, 1e-4))
+        tuner = JigsawPartitioner(
+            cost_model,
+            PartitionerConfig(min_size=8 * 1024, max_size=64 * 1024, selection_enabled=False),
+        )
+        return tuner.partition(small_table.meta, small_workload)
+
+    def test_structure_survives(self, small_meta, small_workload, tuned):
+        data = plan_to_dict(tuned, small_workload)
+        restored = plan_from_dict(small_meta, data, small_workload)
+        assert restored.kind == tuned.kind
+        assert len(restored) == len(tuned)
+        for original, copy in zip(tuned, restored):
+            assert len(copy.segments) == len(original.segments)
+            for seg_a, seg_b in zip(original.segments, copy.segments):
+                assert seg_b.attributes == seg_a.attributes
+                assert seg_b.tight == seg_a.tight
+                assert seg_b.n_tuples == pytest.approx(seg_a.n_tuples)
+                for name in seg_a.tight:
+                    assert seg_b.ranges[name] == seg_a.ranges[name]
+
+    def test_queries_resolved_back(self, small_meta, small_workload, tuned):
+        data = plan_to_dict(tuned, small_workload)
+        restored = plan_from_dict(small_meta, data, small_workload)
+        for original, copy in zip(tuned, restored):
+            for seg_a, seg_b in zip(original.segments, copy.segments):
+                assert {q.label for q in seg_b.queries} == {
+                    q.label for q in seg_a.queries
+                }
+
+    def test_rematerialization_is_identical(
+        self, small_table, small_meta, small_workload, tuned, tmp_path
+    ):
+        """The acid test: a reloaded plan materializes byte-identical files."""
+        from repro.storage import BALOS_HDD, PartitionManager, StorageDevice
+
+        path = str(tmp_path / "plan.json")
+        save_plan(tuned, path, small_workload)
+        restored = load_plan(small_meta, path, small_workload)
+
+        first = PartitionManager(small_table.schema, StorageDevice(BALOS_HDD))
+        second = PartitionManager(small_table.schema, StorageDevice(BALOS_HDD))
+        first.materialize_plan(tuned, small_table)
+        second.materialize_plan(restored, small_table)
+        assert first.pids() == second.pids()
+        for pid in first.pids():
+            assert first.store.get(first.info(pid).key) == second.store.get(
+                second.info(pid).key
+            )
+
+    def test_rejects_wrong_table(self, small_meta, tuned):
+        data = plan_to_dict(tuned)
+        data["table"] = "another_table"
+        with pytest.raises(JigsawError):
+            plan_from_dict(small_meta, data)
+
+    def test_rejects_bad_version(self, small_meta, tuned):
+        data = plan_to_dict(tuned)
+        data["version"] = 99
+        with pytest.raises(JigsawError):
+            plan_from_dict(small_meta, data)

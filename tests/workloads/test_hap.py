@@ -1,0 +1,105 @@
+"""Unit tests for the HAP benchmark generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidQueryError
+from repro.workloads.hap import (
+    NARROW_ATTRS,
+    VALUE_MAX,
+    WIDE_ATTRS,
+    hap_templates,
+    hap_workload,
+    make_hap_table,
+)
+
+
+class TestTable:
+    def test_wide_table_shape(self):
+        table = make_hap_table(1000, seed=1)
+        assert table.n_tuples == 1000
+        assert len(table.schema) == WIDE_ATTRS
+        assert all(spec.byte_width == 4 for spec in table.schema)
+
+    def test_narrow_table(self):
+        table = make_hap_table(500, n_attrs=NARROW_ATTRS, seed=1)
+        assert len(table.schema) == 16
+
+    def test_values_are_uniform_ints_in_range(self):
+        table = make_hap_table(20_000, n_attrs=4, seed=2)
+        column = table.column("a000")
+        assert column.dtype == np.int32
+        assert column.min() >= 0 and column.max() <= VALUE_MAX
+        # Roughly uniform: the mean of U[0, VALUE_MAX] is VALUE_MAX/2.
+        assert abs(column.mean() / (VALUE_MAX / 2) - 1.0) < 0.05
+
+    def test_deterministic_for_seed(self):
+        a = make_hap_table(100, n_attrs=4, seed=9)
+        b = make_hap_table(100, n_attrs=4, seed=9)
+        assert np.array_equal(a.column("a002"), b.column("a002"))
+
+
+class TestTemplates:
+    def test_template_shape(self):
+        table = make_hap_table(1000, n_attrs=32, seed=3)
+        rng = np.random.default_rng(4)
+        templates = hap_templates(table.meta, projectivity=8, n_templates=3, rng=rng)
+        assert len(templates) == 3
+        for template in templates:
+            assert len(template.projected) == 8
+            # paper: the predicate attribute is one of the projected ones
+            assert template.predicate_attribute in template.projected
+
+    def test_bad_projectivity_rejected(self):
+        table = make_hap_table(100, n_attrs=8, seed=3)
+        rng = np.random.default_rng(0)
+        with pytest.raises(InvalidQueryError):
+            hap_templates(table.meta, projectivity=0, n_templates=1, rng=rng)
+        with pytest.raises(InvalidQueryError):
+            hap_templates(table.meta, projectivity=9, n_templates=1, rng=rng)
+
+
+class TestWorkload:
+    def test_selectivity_is_respected(self):
+        table = make_hap_table(50_000, n_attrs=8, seed=5)
+        workload, _templates = hap_workload(
+            table.meta, selectivity=0.25, projectivity=4, n_templates=1,
+            n_queries=10, seed=6,
+        )
+        for query in workload:
+            (attr, interval), = query.where.items()
+            matches = (
+                (table.column(attr) >= interval.lo) & (table.column(attr) <= interval.hi)
+            ).mean()
+            assert matches == pytest.approx(0.25, abs=0.03)
+
+    def test_templates_reused_across_workloads(self):
+        table = make_hap_table(1000, n_attrs=16, seed=7)
+        train, templates = hap_workload(
+            table.meta, 0.1, 4, 2, 10, seed=8
+        )
+        eval_wl, same = hap_workload(
+            table.meta, 0.1, 4, 2, 5, seed=9, templates=templates
+        )
+        assert same is templates
+        train_projections = {q.pi_attributes for q in train}
+        eval_projections = {q.pi_attributes for q in eval_wl}
+        assert eval_projections <= train_projections
+
+    def test_bad_selectivity_rejected(self):
+        table = make_hap_table(100, n_attrs=8, seed=3)
+        with pytest.raises(InvalidQueryError):
+            hap_workload(table.meta, 0.0, 4, 1, 1)
+        with pytest.raises(InvalidQueryError):
+            hap_workload(table.meta, 1.5, 4, 1, 1)
+
+    def test_full_selectivity_selects_everything(self):
+        table = make_hap_table(5_000, n_attrs=8, seed=5)
+        workload, _t = hap_workload(
+            table.meta, selectivity=1.0, projectivity=2, n_templates=1,
+            n_queries=3, seed=6,
+        )
+        for query in workload:
+            (attr, interval), = query.where.items()
+            assert interval.lo <= table.meta.interval(attr).lo
+            assert interval.hi >= table.meta.interval(attr).hi

@@ -1,0 +1,190 @@
+"""Unit tests for the TPC-H substrate: dbgen, denormalization, templates."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidQueryError
+from repro.workloads.tpch import (
+    DENORM_SCHEMA,
+    NATION_TO_REGION,
+    NATIONS,
+    PART_TYPES,
+    REGIONS,
+    RETURN_FLAGS,
+    SEGMENTS,
+    Dictionary,
+    date_of,
+    days,
+    denormalize,
+    generate_tpch,
+    tpch_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def db():
+    return generate_tpch(scale_factor=0.002, seed=3)
+
+
+@pytest.fixture(scope="module")
+def denorm(db):
+    return denormalize(db)
+
+
+class TestEncoding:
+    def test_calendar_roundtrip(self):
+        assert days(1992, 1, 1) == 0
+        assert date_of(days(1995, 6, 17)).isoformat() == "1995-06-17"
+
+    def test_dictionary_is_sorted_and_bijective(self):
+        d = Dictionary(["b", "a", "c"])
+        assert d.values == ("a", "b", "c")
+        assert d.code("b") == 1 and d.value(1) == "b"
+        assert "a" in d and "z" not in d
+
+    def test_dictionary_rejects_duplicates(self):
+        with pytest.raises(InvalidQueryError):
+            Dictionary(["x", "x"])
+
+    def test_unknown_value_raises(self):
+        with pytest.raises(InvalidQueryError):
+            SEGMENTS.code("NOPE")
+
+    def test_promo_prefix_is_contiguous(self):
+        lo, hi = PART_TYPES.prefix_range("PROMO")
+        assert hi - lo + 1 == 25  # 5 x 5 PROMO types
+        assert all(PART_TYPES.value(c).startswith("PROMO") for c in range(lo, hi + 1))
+
+    def test_cardinalities_match_spec(self):
+        assert len(NATIONS) == 25
+        assert len(REGIONS) == 5
+        assert len(PART_TYPES) == 150
+        assert len(SEGMENTS) == 5
+        assert len(RETURN_FLAGS) == 3
+
+    def test_nation_region_mapping(self):
+        assert NATION_TO_REGION[NATIONS.code("FRANCE")] == REGIONS.code("EUROPE")
+        assert NATION_TO_REGION[NATIONS.code("BRAZIL")] == REGIONS.code("AMERICA")
+        # Each region has exactly 5 nations.
+        counts = {}
+        for region in NATION_TO_REGION.values():
+            counts[region] = counts.get(region, 0) + 1
+        assert all(count == 5 for count in counts.values())
+
+
+class TestDbgen:
+    def test_cardinality_ratios(self, db):
+        assert db.customer.n_tuples == 300  # 150_000 x 0.002
+        assert db.orders.n_tuples == 3_000
+        assert db.supplier.n_tuples == 20
+        assert db.part.n_tuples == 400
+        # 1-7 lineitems per order, mean ~4
+        ratio = db.lineitem.n_tuples / db.orders.n_tuples
+        assert 3.0 < ratio < 5.0
+
+    def test_foreign_keys_resolve(self, db):
+        assert db.orders.column("o_custkey").max() <= db.customer.n_tuples
+        assert db.lineitem.column("l_partkey").max() <= db.part.n_tuples
+        assert db.lineitem.column("l_suppkey").max() <= db.supplier.n_tuples
+
+    def test_dates_in_spec_window(self, db):
+        orderdates = db.orders.column("o_orderdate")
+        assert orderdates.min() >= 0
+        assert orderdates.max() <= days(1998, 8, 2)
+        shipdates = db.lineitem.column("l_shipdate")
+        order_of_line = db.orders.column("o_orderdate")[
+            db.lineitem.column("l_orderkey") - 1
+        ]
+        deltas = shipdates - order_of_line
+        assert deltas.min() >= 1 and deltas.max() <= 121
+
+    def test_returnflag_correlated_with_dates(self, db):
+        """'R' only before the 1995-06-17 receipt cutoff, as in dbgen."""
+        flags = db.lineitem.column("l_returnflag")
+        ship = db.lineitem.column("l_shipdate")
+        r_code = RETURN_FLAGS.code("R")
+        late = ship > days(1995, 6, 17)  # shipped after cutoff => received after
+        assert not np.any(flags[late] == r_code)
+
+    def test_discounts_in_range(self, db):
+        discount = db.lineitem.column("l_discount")
+        assert discount.min() >= 0.0 and discount.max() <= 0.10
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(InvalidQueryError):
+            generate_tpch(0.0)
+
+
+class TestDenormalize:
+    def test_19_attributes(self, denorm):
+        assert len(denorm.schema) == 19
+        assert denorm.schema == DENORM_SCHEMA
+
+    def test_row_count_matches_lineitem(self, db, denorm):
+        assert denorm.n_tuples == db.lineitem.n_tuples
+
+    def test_paper_projection_widths(self):
+        """Q3 projects 36 bytes/tuple, Q10 projects 254 (paper, Section 6.3.1)."""
+        q3 = ["l_orderkey", "l_extendedprice", "l_discount", "o_orderdate", "o_shippriority"]
+        q10 = [
+            "c_custkey", "c_name", "l_extendedprice", "l_discount", "c_acctbal",
+            "n_name", "c_address", "c_phone", "c_comment",
+        ]
+        assert DENORM_SCHEMA.row_width(q3) == 36
+        assert DENORM_SCHEMA.row_width(q10) == 254
+
+    def test_join_values_consistent(self, db, denorm):
+        """Spot-check the lineitem -> orders -> customer join chain."""
+        idx = 7
+        orderkey = int(denorm.column("l_orderkey")[idx])
+        custkey = int(db.orders.column("o_custkey")[orderkey - 1])
+        assert int(denorm.column("c_custkey")[idx]) == custkey
+        nation = int(db.customer.column("c_nationkey")[custkey - 1])
+        assert int(denorm.column("n_name")[idx]) == nation
+        assert int(denorm.column("r_name")[idx]) == NATION_TO_REGION[nation]
+
+
+class TestTemplates:
+    def test_workload_round_robins_templates(self, denorm):
+        workload = tpch_workload(denorm.meta, 10, seed=1)
+        labels = [q.label.split("-")[0] for q in workload]
+        assert labels == ["Q3", "Q6", "Q8", "Q10", "Q14"] * 2
+
+    def test_unknown_template_rejected(self, denorm):
+        with pytest.raises(InvalidQueryError):
+            tpch_workload(denorm.meta, 2, template_names=["Q99"])
+
+    def test_q3_filters_and_projection(self, denorm):
+        (query,) = tpch_workload(denorm.meta, 1, seed=2, template_names=["Q3"])
+        assert query.sigma_attributes == {"c_mktsegment", "o_orderdate", "l_shipdate"}
+        assert len(query.select) == 5
+
+    def test_q10_filters_and_projection(self, denorm):
+        (query,) = tpch_workload(denorm.meta, 1, seed=2, template_names=["Q10"])
+        assert query.sigma_attributes == {"o_orderdate", "l_returnflag"}
+        assert len(query.select) == 9
+
+    def test_q14_promo_range(self, denorm):
+        (query,) = tpch_workload(denorm.meta, 1, seed=2, template_names=["Q14"])
+        interval = query.predicate_interval("p_type")
+        lo, hi = PART_TYPES.prefix_range("PROMO")
+        assert (interval.lo, interval.hi) == (lo, hi)
+
+    def test_q6_is_highly_selective(self, denorm):
+        (query,) = tpch_workload(denorm.meta, 1, seed=4, template_names=["Q6"])
+        ship = query.predicate_interval("l_shipdate")
+        assert 360 <= ship.hi - ship.lo <= 366  # one ship year
+        discount = query.predicate_interval("l_discount")
+        assert discount.hi - discount.lo < 0.03
+
+    def test_queries_have_matches_at_small_scale(self, denorm):
+        """Every template should usually select something even at SF 0.002."""
+        workload = tpch_workload(denorm.meta, 10, seed=5)
+        total = 0
+        for query in workload:
+            mask = np.ones(denorm.n_tuples, dtype=bool)
+            for name, interval in query.where.items():
+                column = denorm.column(name)
+                mask &= (column >= interval.lo) & (column <= interval.hi)
+            total += int(mask.sum())
+        assert total > 0
