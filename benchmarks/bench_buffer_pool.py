@@ -1,0 +1,189 @@
+"""Microbenchmark: buffer pool + lazy columns on a repeated-query workload.
+
+Unlike the ``bench_figXX`` scripts this does not reproduce a paper figure —
+it measures the *real* wall-clock effect of the two read-path optimizations
+on a warm repeated-query workload, which the simulated device model cannot
+see:
+
+* ``eager``      — partitions fully re-decoded on every load (seed behaviour),
+* ``lazy``       — projection pushdown, no pool (cold every time),
+* ``lazy+pool``  — projection pushdown plus the deserialized-partition pool.
+
+Simulated per-query accounting (``bytes_read`` / ``io_time_s``) must be
+identical for ``eager`` and ``lazy`` and must drop to zero for warm
+``lazy+pool`` repeats — that composition contract is asserted here and in
+``tests/``.
+
+Run standalone for JSON output: ``PYTHONPATH=src python benchmarks/bench_buffer_pool.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bench.reporting import ExperimentResult
+from repro.core import Query, TableSchema
+from repro.engine import PartitionAtATimeExecutor
+from repro.storage import (
+    BALOS_HDD,
+    BufferPool,
+    ColumnTable,
+    PartitionManager,
+    SegmentSpec,
+    StorageDevice,
+    TID_EXPLICIT,
+)
+
+try:
+    from conftest import emit
+except ImportError:  # standalone script run, not under pytest
+    emit = print
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    n_tuples: int = 48_000
+    n_attrs: int = 96
+    n_partitions: int = 96
+    n_repeats: int = 15
+    selectivity: float = 0.02
+    projectivity: int = 4
+    pool_bytes: int = 1 << 28
+    seed: int = 7
+
+
+def _build_manager(table: ColumnTable, cfg: BenchConfig, pool: BufferPool | None):
+    manager = PartitionManager(
+        table.schema, StorageDevice(BALOS_HDD), buffer_pool=pool
+    )
+    bounds = np.linspace(0, table.n_tuples, cfg.n_partitions + 1, dtype=np.int64)
+    attrs = table.schema.attribute_names
+    manager.materialize_specs(
+        [
+            [SegmentSpec(attrs, np.arange(lo, hi, dtype=np.int64))]
+            for lo, hi in zip(bounds[:-1], bounds[1:])
+        ],
+        table,
+        tid_storage=TID_EXPLICIT,
+    )
+    return manager
+
+
+class _EagerExecutor(PartitionAtATimeExecutor):
+    """Seed-equivalent engine: full eager decode on every partition load."""
+
+    class _EagerManager:
+        def __init__(self, manager):
+            self._manager = manager
+
+        def load(self, pid, chunk_size=None, columns=None):
+            return self._manager.load(pid, chunk_size=chunk_size)
+
+        def __getattr__(self, name):
+            return getattr(self._manager, name)
+
+    def __init__(self, manager, table, **kwargs):
+        super().__init__(self._EagerManager(manager), table, **kwargs)
+
+
+def _timed_repeats(executor, query, n_repeats):
+    """(total wall seconds, last ExecutionStats) over n_repeats executions."""
+    stats = None
+    started = time.perf_counter()
+    for _ in range(n_repeats):
+        _result, stats = executor.execute(query)
+    return time.perf_counter() - started, stats
+
+
+def run(cfg: BenchConfig | None = None) -> ExperimentResult:
+    cfg = cfg or BenchConfig()
+    rng = np.random.default_rng(cfg.seed)
+    schema = TableSchema.uniform([f"a{i}" for i in range(1, cfg.n_attrs + 1)])
+    columns = {
+        name: rng.integers(0, 100_000, cfg.n_tuples).astype(np.int32)
+        for name in schema.attribute_names
+    }
+    table = ColumnTable.build("T", schema, columns)
+    hi = int(100_000 * cfg.selectivity)
+    query = Query.build(
+        table.meta,
+        [f"a{i}" for i in range(2, 2 + cfg.projectivity)],
+        {"a1": (0, hi - 1)},
+    )
+
+    result = ExperimentResult(
+        experiment="buffer_pool",
+        title="Buffer pool + lazy columns, repeated-query wall clock",
+        parameters={
+            "n_tuples": cfg.n_tuples,
+            "n_attrs": cfg.n_attrs,
+            "n_partitions": cfg.n_partitions,
+            "n_repeats": cfg.n_repeats,
+            "selectivity": cfg.selectivity,
+            "projectivity": cfg.projectivity,
+        },
+    )
+
+    configs = {
+        "eager": lambda: _EagerExecutor(
+            _build_manager(table, cfg, None), table.meta
+        ),
+        "lazy": lambda: PartitionAtATimeExecutor(
+            _build_manager(table, cfg, None), table.meta
+        ),
+        "lazy+pool": lambda: PartitionAtATimeExecutor(
+            _build_manager(table, cfg, BufferPool(cfg.pool_bytes)), table.meta
+        ),
+    }
+    for name, make in configs.items():
+        executor = make()
+        _cold_s, cold_stats = _timed_repeats(executor, query, 1)
+        warm_s, warm_stats = _timed_repeats(executor, query, cfg.n_repeats)
+        result.add_row(
+            config=name,
+            cold_io_s=round(cold_stats.io_time_s, 6),
+            cold_mb_read=round(cold_stats.bytes_read / 1e6, 3),
+            warm_total_s=round(warm_s, 4),
+            warm_per_query_ms=round(1e3 * warm_s / cfg.n_repeats, 3),
+            last_io_s=round(warm_stats.io_time_s, 6),
+            last_pool_hits=warm_stats.n_pool_hits,
+        )
+
+    rows = {row["config"]: row for row in result.rows}
+    result.notes.append(
+        "speedup lazy+pool vs lazy (warm): "
+        f"{rows['lazy']['warm_total_s'] / max(rows['lazy+pool']['warm_total_s'], 1e-9):.1f}x"
+    )
+    return result
+
+
+def test_bench_buffer_pool(benchmark):
+    cfg = BenchConfig()
+    result = benchmark.pedantic(run, args=(cfg,), rounds=1, iterations=1)
+    emit(result)
+    rows = {row["config"]: row for row in result.rows}
+    # Cold simulated accounting identical across all three configurations.
+    for name in ("lazy", "lazy+pool"):
+        assert rows[name]["cold_io_s"] == rows["eager"]["cold_io_s"]
+        assert rows[name]["cold_mb_read"] == rows["eager"]["cold_mb_read"]
+    # Warm pool repeats never touch the simulated device...
+    assert rows["lazy+pool"]["last_io_s"] == 0.0
+    assert rows["lazy+pool"]["last_pool_hits"] == cfg.n_partitions
+    # ...and win at least the acceptance threshold in real wall clock.
+    assert rows["lazy+pool"]["warm_total_s"] * 3 <= rows["lazy"]["warm_total_s"]
+
+
+if __name__ == "__main__":
+    outcome = run()
+    print(outcome.to_text())
+    document = {
+        "experiment": outcome.experiment,
+        "parameters": outcome.parameters,
+        "rows": outcome.rows,
+        "notes": outcome.notes,
+    }
+    print(json.dumps(document, indent=1))

@@ -102,17 +102,25 @@ class ThreadedPartitionEngine:
 
     # --------------------------------------------------------- internals
 
-    def _load(self, pid: int, load_lock: threading.Lock):
+    def _load(self, pid: int, load_lock: threading.Lock, columns: frozenset | None = None):
         with load_lock:  # manager/device counters are not thread-safe
-            partition, _io_delta = self.manager.load(pid)
+            partition, _io_delta = self.manager.load(pid, columns=columns)
         return partition
 
-    def _tuple_rows(self, partition):
-        """Yield (tid, {attr: value}) for every tuple of the partition."""
+    def _tuple_rows(self, partition, wanted: frozenset | None = None):
+        """Yield (tid, {attr: value}) for every tuple of the partition.
+
+        ``wanted`` restricts the per-tuple cell dict to the attributes the
+        caller will actually read (predicates + projection); other columns
+        stay undecoded when the partition was loaded lazily.
+        """
         for segment in partition.segments:
             attrs = segment.attributes
+            if wanted is not None:
+                attrs = tuple(a for a in attrs if a in wanted)
+            columns = {name: segment.columns[name] for name in attrs}
             for row, tid in enumerate(segment.tuple_ids):
-                yield int(tid), {name: segment.columns[name][row] for name in attrs}
+                yield int(tid), {name: columns[name][row] for name in attrs}
 
     def _process_tuple(
         self,
@@ -148,6 +156,7 @@ class ThreadedPartitionEngine:
         queue = list(pred_pids)
         queue_lock = threading.Lock()
         bucket_locks = [threading.Lock() for _ in range(self.n_buckets)]
+        wanted = frozenset(conjunction.attributes) | frozenset(projected)
 
         def worker() -> None:
             while True:
@@ -155,8 +164,8 @@ class ThreadedPartitionEngine:
                     if not queue:
                         return
                     pid = queue.pop(0)
-                partition = self._load(pid, load_lock)
-                for tid, cells in self._tuple_rows(partition):
+                partition = self._load(pid, load_lock, columns=wanted)
+                for tid, cells in self._tuple_rows(partition, wanted):
                     with bucket_locks[tid % self.n_buckets]:
                         self._process_tuple(tid, cells, conjunction, projected, status, ret)
 
@@ -168,6 +177,7 @@ class ThreadedPartitionEngine:
         load_queue = list(enumerate(pred_pids))
         queue_lock = threading.Lock()
         barrier = threading.Barrier(self.n_threads)
+        wanted = frozenset(conjunction.attributes) | frozenset(projected)
 
         def worker(thread_id: int) -> None:
             while True:
@@ -175,12 +185,12 @@ class ThreadedPartitionEngine:
                     if not load_queue:
                         break
                     index, pid = load_queue.pop(0)
-                partitions[index] = self._load(pid, load_lock)
+                partitions[index] = self._load(pid, load_lock, columns=wanted)
             barrier.wait()
             for partition in partitions:
                 if partition is None:
                     continue
-                for tid, cells in self._tuple_rows(partition):
+                for tid, cells in self._tuple_rows(partition, wanted):
                     if tid % self.n_threads != thread_id:
                         continue
                     self._process_tuple(tid, cells, conjunction, projected, status, ret)
@@ -202,11 +212,12 @@ class ThreadedPartitionEngine:
         pids = sorted(missing_pids)
         if not pids:
             return
+        wanted = frozenset(projected)
 
         def worker(thread_id: int) -> None:
             for pid in pids:
-                partition = self._load(pid, load_lock)
-                for tid, cells in self._tuple_rows(partition):
+                partition = self._load(pid, load_lock, columns=wanted)
+                for tid, cells in self._tuple_rows(partition, wanted):
                     if tid % self.n_threads != thread_id:
                         continue
                     if status[tid] != _VALID:

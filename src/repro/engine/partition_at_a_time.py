@@ -153,14 +153,19 @@ class PartitionAtATimeExecutor:
     ) -> None:
         pred_pids = self.manager.partitions_for_attributes(conjunction.attributes)
         projected_set = set(projected)
+        # Projection pushdown: the selection phase touches predicate cells
+        # plus any projected cells stored alongside them (Algorithm 5 line
+        # 16); no other column needs decoding.
+        needed = frozenset(conjunction.attributes) | projected_set
         for pid in sorted(pred_pids):
             if self.zone_maps and self._zone_verdict(pid, conjunction, status, stats):
                 stats.n_partitions_skipped += 1
                 continue
-            partition, io_delta = self.manager.load(pid)
+            partition, io_delta = self.manager.load(pid, columns=needed)
             stats.io_time_s += io_delta.io_time_s
             stats.bytes_read += io_delta.bytes_read
             stats.n_cache_hits += io_delta.n_cache_hits
+            stats.n_pool_hits += io_delta.n_pool_hits
             stats.n_partition_reads += 1
             for segment in partition.segments:
                 tids = segment.tuple_ids
@@ -209,18 +214,24 @@ class PartitionAtATimeExecutor:
         if not len(valid):
             return
         proj_pids: Set[int] = set()
+        missing_attrs: Set[str] = set()
         for name in projected:
             missing = valid[~present[name][valid]]
             if len(missing):
+                missing_attrs.add(name)
                 proj_pids.update(
                     self.manager.partitions_with_missing_cells(name, missing)
                 )
         projected_set = set(projected)
+        # Only the still-missing projected attributes need decoding here;
+        # everything else in these partitions is dead weight for this phase.
+        needed = frozenset(missing_attrs)
         for pid in sorted(proj_pids):
-            partition, io_delta = self.manager.load(pid)
+            partition, io_delta = self.manager.load(pid, columns=needed)
             stats.io_time_s += io_delta.io_time_s
             stats.bytes_read += io_delta.bytes_read
             stats.n_cache_hits += io_delta.n_cache_hits
+            stats.n_pool_hits += io_delta.n_pool_hits
             stats.n_partition_reads += 1
             for segment in partition.segments:
                 tids = segment.tuple_ids

@@ -86,6 +86,8 @@ class ReplicatedExecutor:
         conjunction = Conjunction.from_query(query)
         projected = tuple(query.select)
         projected_set = set(projected)
+        # Local evaluation touches predicate cells and projected cells only.
+        needed = frozenset(conjunction.attributes) | projected_set
         matched = np.zeros(n, dtype=bool)
         values: Dict[str, np.ndarray] = {
             name: np.zeros(n, dtype=self.table.schema[name].np_dtype)
@@ -118,10 +120,11 @@ class ReplicatedExecutor:
             if pruned:
                 stats.n_partitions_skipped += 1
                 continue
-            partition, io_delta = self.manager.load(pid)
+            partition, io_delta = self.manager.load(pid, columns=needed)
             stats.io_time_s += io_delta.io_time_s
             stats.bytes_read += io_delta.bytes_read
             stats.n_cache_hits += io_delta.n_cache_hits
+            stats.n_pool_hits += io_delta.n_pool_hits
             stats.n_partition_reads += 1
             # 1. scatter the partition's predicate cells by tuple ID.
             local_tids = self.manager.info(pid).tuple_ids()

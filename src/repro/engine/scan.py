@@ -75,14 +75,23 @@ class ScanExecutor:
         pid: int,
         loaded: Dict[int, PhysicalPartition],
         stats: ExecutionStats,
+        columns: frozenset | None = None,
     ) -> PhysicalPartition:
-        """Load a partition, reusing within-query working memory."""
+        """Load a partition, reusing within-query working memory.
+
+        ``columns`` is the projection pushdown; a partition first loaded for
+        the selection phase decodes further columns on demand when the
+        gather phase revisits it, so the within-query reuse stays sound.
+        """
         if pid in loaded:
             return loaded[pid]
-        partition, io_delta = self.manager.load(pid, chunk_size=self.chunk_size)
+        partition, io_delta = self.manager.load(
+            pid, chunk_size=self.chunk_size, columns=columns
+        )
         stats.io_time_s += io_delta.io_time_s
         stats.bytes_read += io_delta.bytes_read
         stats.n_cache_hits += io_delta.n_cache_hits
+        stats.n_pool_hits += io_delta.n_pool_hits
         stats.n_partition_reads += 1
         loaded[pid] = partition
         return partition
@@ -139,12 +148,13 @@ class ScanExecutor:
             return np.ones(n, dtype=bool)
         masks = {name: np.zeros(n, dtype=bool) for name in conjunction.attributes}
         pred_pids = self.manager.partitions_for_attributes(conjunction.attributes)
+        pred_attrs = frozenset(conjunction.attributes)
         for pid in sorted(pred_pids):
             info = self.manager.info(pid)
             if self._zone_skip(info, conjunction):
                 stats.n_partitions_skipped += 1
                 continue
-            partition = self._load(pid, loaded, stats)
+            partition = self._load(pid, loaded, stats, columns=pred_attrs)
             for segment in partition.segments:
                 tids = segment.tuple_ids
                 if not len(tids):
@@ -177,7 +187,7 @@ class ScanExecutor:
         present: Dict[str, np.ndarray],
         stats: ExecutionStats,
     ) -> None:
-        projected_set = set(projected)
+        projected_set = frozenset(projected)
         proj_pids: Set[int] = set()
         for name in projected:
             proj_pids.update(self.manager.partitions_for_attribute(name))
@@ -193,7 +203,12 @@ class ScanExecutor:
                 if not len(selected):
                     stats.n_partitions_skipped += 1
                     continue
-            partition = self._load(pid, loaded, stats)
+            elif not len(selected) or not self._any_selected(info, selection):
+                # Already loaded for the selection phase but no tuple here
+                # survived it: re-scanning would gather nothing.  Not counted
+                # as a skip — no read was avoided, only working-memory churn.
+                continue
+            partition = self._load(pid, loaded, stats, columns=projected_set)
             for segment in partition.segments:
                 tids = segment.tuple_ids
                 if not len(tids):

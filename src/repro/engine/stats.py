@@ -75,6 +75,7 @@ class ExecutionStats:
     n_partition_reads: int = 0
     n_partitions_skipped: int = 0
     n_cache_hits: int = 0
+    n_pool_hits: int = 0
     cells_scanned: int = 0
     cells_gathered: int = 0
     hash_inserts: int = 0

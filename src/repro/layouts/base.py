@@ -25,6 +25,7 @@ from ..core.schema import TableMeta
 from ..engine.result import ResultSet
 from ..engine.stats import CpuModel, ExecutionStats
 from ..storage.blob import BlobStore, MemoryBlobStore
+from ..storage.buffer_pool import BufferPool
 from ..storage.device import BALOS_HDD, DeviceProfile, StorageDevice
 from ..storage.partition_manager import PartitionManager
 from ..storage.table_data import ColumnTable
@@ -38,6 +39,9 @@ class BuildContext:
 
     device_profile: DeviceProfile = BALOS_HDD
     cache_bytes: int = 0
+    #: real (not simulated) deserialized-partition cache; 0 disables the
+    #: buffer pool so cold benchmarks keep paying full decode cost.
+    buffer_pool_bytes: int = 0
     file_segment_bytes: int = 4 * 1024 * 1024
     jigsaw_min_size: int | None = None
     jigsaw_max_size: int | None = None
@@ -63,8 +67,12 @@ class BuildContext:
         self, table: TableMeta, store: BlobStore | None = None
     ) -> Tuple[PartitionManager, StorageDevice]:
         device = self.make_device()
+        pool = BufferPool(self.buffer_pool_bytes) if self.buffer_pool_bytes > 0 else None
         manager = PartitionManager(
-            table.schema, device, store if store is not None else MemoryBlobStore()
+            table.schema,
+            device,
+            store if store is not None else MemoryBlobStore(),
+            buffer_pool=pool,
         )
         return manager, device
 
@@ -93,8 +101,11 @@ class MaterializedLayout:
         return self.executor.execute(query)
 
     def drop_caches(self) -> None:
-        """Flush the simulated OS cache (between cold-data queries)."""
+        """Flush every caching layer (between cold-data queries): the
+        simulated OS cache and, when enabled, the real buffer pool."""
         self.manager.device.drop_caches()
+        if self.manager.buffer_pool is not None:
+            self.manager.buffer_pool.clear()
 
     def storage_bytes(self) -> int:
         """On-disk footprint of every partition file."""

@@ -2,6 +2,7 @@
 partition manager."""
 
 from .blob import BlobStore, DirectoryBlobStore, MemoryBlobStore
+from .buffer_pool import BufferPool, BufferPoolStats
 from .device import (
     BALOS_HDD,
     EBS_GP2,
@@ -10,7 +11,12 @@ from .device import (
     StorageDevice,
     synthetic_profile_measurements,
 )
-from .format import deserialize_partition, segment_row_dtype, serialize_partition
+from .format import (
+    LazyColumnBlock,
+    deserialize_partition,
+    segment_row_dtype,
+    serialize_partition,
+)
 from .io_stats import IOStats
 from .partition_manager import PartitionInfo, PartitionManager
 from .physical import (
@@ -28,12 +34,15 @@ from .table_data import ColumnTable
 __all__ = [
     "BALOS_HDD",
     "BlobStore",
+    "BufferPool",
+    "BufferPoolStats",
     "ColumnTable",
     "DeviceProfile",
     "DirectoryBlobStore",
     "EBS_GP2",
     "EBS_IO1",
     "IOStats",
+    "LazyColumnBlock",
     "MemoryBlobStore",
     "PartitionInfo",
     "PartitionManager",

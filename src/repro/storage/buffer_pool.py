@@ -1,0 +1,209 @@
+"""A byte-budgeted buffer pool of *deserialized* partitions.
+
+The simulated :class:`~repro.storage.device.StorageDevice` already models the
+OS page cache at the byte level (the Figure 11 warm-data experiment), but it
+cannot model the very real Python-side cost of re-decoding a partition file
+on every access — which dominates wall-clock time in repeated-query
+workloads.  The :class:`BufferPool` sits *above* the device and caches whole
+deserialized :class:`~repro.storage.physical.PhysicalPartition` objects keyed
+by partition id, the way cloud engines cache decoded micro-partitions.
+
+Accounting composes with the device model as follows:
+
+* **pool miss** — the read is charged through the simulated device exactly as
+  without a pool (the simulated OS cache still applies), the partition is
+  decoded, and the result is inserted into the pool.
+* **pool hit** — neither simulated I/O nor decode work happens; the hit is
+  reported through ``IOStats.n_pool_hits`` / ``pool_hit_bytes`` so engines
+  can surface it in ``ExecutionStats``.
+
+Entries can be *pinned* while an engine is actively scanning them; pinned
+entries are never evicted, so a concurrent query cannot push a partition out
+from under another thread mid-scan.  Eviction is LRU over the unpinned
+entries, bounded by ``capacity_bytes`` of *file* bytes (the serialized size
+is the natural budget unit: it is what the catalog already tracks and a good
+proxy for the decoded footprint).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from .physical import PhysicalPartition
+
+__all__ = ["BufferPool", "BufferPoolStats"]
+
+
+@dataclass(slots=True)
+class BufferPoolStats:
+    """Lifetime counters of one pool (all monotonically increasing)."""
+
+    n_hits: int = 0
+    n_misses: int = 0
+    n_insertions: int = 0
+    n_evictions: int = 0
+    n_invalidations: int = 0
+    hit_bytes: int = 0
+    evicted_bytes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.n_hits + self.n_misses
+        return self.n_hits / lookups if lookups else 0.0
+
+
+class _Entry:
+    __slots__ = ("partition", "n_bytes", "pins")
+
+    def __init__(self, partition: PhysicalPartition, n_bytes: int):
+        self.partition = partition
+        self.n_bytes = n_bytes
+        self.pins = 0
+
+
+class BufferPool:
+    """Thread-safe LRU cache of deserialized partitions, keyed by pid."""
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes <= 0:
+            raise ValueError("buffer pool capacity must be positive")
+        self.capacity_bytes = int(capacity_bytes)
+        self.stats = BufferPoolStats()
+        self._lock = threading.RLock()
+        self._entries: "OrderedDict[int, _Entry]" = OrderedDict()
+        self._current_bytes = 0
+
+    # ------------------------------------------------------------- lookups
+
+    def get(self, pid: int, pin: bool = False) -> Optional[PhysicalPartition]:
+        """Return the cached partition (refreshing LRU order) or ``None``.
+
+        With ``pin=True`` a hit also pins the entry; the caller must
+        :meth:`unpin` it (or use :meth:`pinned`) when done scanning.
+        """
+        with self._lock:
+            entry = self._entries.get(pid)
+            if entry is None:
+                self.stats.n_misses += 1
+                return None
+            self._entries.move_to_end(pid)
+            self.stats.n_hits += 1
+            self.stats.hit_bytes += entry.n_bytes
+            if pin:
+                entry.pins += 1
+            return entry.partition
+
+    def put(
+        self, pid: int, partition: PhysicalPartition, n_bytes: int, pin: bool = False
+    ) -> None:
+        """Insert (or refresh) an entry, evicting LRU unpinned entries.
+
+        A partition larger than the whole budget is not admitted — callers
+        still hold the object they passed in, so nothing breaks; the pool
+        just refuses to be wiped by one oversized partition.
+        """
+        n_bytes = int(n_bytes)
+        with self._lock:
+            old = self._entries.pop(pid, None)
+            if old is not None:
+                self._current_bytes -= old.n_bytes
+            if n_bytes > self.capacity_bytes:
+                return
+            entry = _Entry(partition, n_bytes)
+            if pin:
+                entry.pins += 1
+            self._entries[pid] = entry
+            self._current_bytes += n_bytes
+            self.stats.n_insertions += 1
+            self._evict_over_budget()
+
+    def _evict_over_budget(self) -> None:
+        """Drop unpinned entries oldest-first until back under budget."""
+        if self._current_bytes <= self.capacity_bytes:
+            return
+        for pid in list(self._entries):
+            if self._current_bytes <= self.capacity_bytes:
+                break
+            entry = self._entries[pid]
+            if entry.pins > 0:
+                continue
+            del self._entries[pid]
+            self._current_bytes -= entry.n_bytes
+            self.stats.n_evictions += 1
+            self.stats.evicted_bytes += entry.n_bytes
+
+    # ------------------------------------------------------------- pinning
+
+    def pin(self, pid: int) -> bool:
+        """Pin a resident entry; returns False when the pid is not cached."""
+        with self._lock:
+            entry = self._entries.get(pid)
+            if entry is None:
+                return False
+            entry.pins += 1
+            return True
+
+    def unpin(self, pid: int) -> None:
+        with self._lock:
+            entry = self._entries.get(pid)
+            if entry is None:
+                return
+            entry.pins = max(0, entry.pins - 1)
+            self._evict_over_budget()
+
+    @contextmanager
+    def pinned(self, pid: int) -> Iterator[Optional[PhysicalPartition]]:
+        """``with pool.pinned(pid) as partition:`` — pin for the block."""
+        partition = self.get(pid, pin=True)
+        try:
+            yield partition
+        finally:
+            if partition is not None:
+                self.unpin(pid)
+
+    # -------------------------------------------------------- invalidation
+
+    def invalidate(self, pid: int) -> None:
+        """Drop one pid (partition file rewritten); pins do not protect it —
+        a rewrite means the cached object is stale and must not be served."""
+        with self._lock:
+            entry = self._entries.pop(pid, None)
+            if entry is not None:
+                self._current_bytes -= entry.n_bytes
+                self.stats.n_invalidations += 1
+
+    def clear(self) -> None:
+        """Drop everything (e.g. between cold benchmark repetitions)."""
+        with self._lock:
+            self._entries.clear()
+            self._current_bytes = 0
+
+    # ----------------------------------------------------------- inspection
+
+    @property
+    def current_bytes(self) -> int:
+        return self._current_bytes
+
+    def pids(self) -> tuple:
+        """Resident pids in LRU → MRU order."""
+        with self._lock:
+            return tuple(self._entries)
+
+    def __contains__(self, pid: int) -> bool:
+        with self._lock:
+            return pid in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BufferPool({len(self._entries)} partitions, "
+            f"{self._current_bytes}/{self.capacity_bytes} bytes, "
+            f"hit_rate={self.stats.hit_rate:.2f})"
+        )

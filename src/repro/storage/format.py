@@ -23,7 +23,9 @@ Layout (little endian)::
 from __future__ import annotations
 
 import struct
-from typing import Dict, List, Sequence, Tuple
+from collections.abc import Mapping
+from functools import lru_cache
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 import numpy as np
 
@@ -31,7 +33,13 @@ from ..core.schema import TableSchema
 from ..errors import StorageError
 from .physical import PhysicalPartition, PhysicalSegment, TID_CATALOG, TID_EXPLICIT, TID_IMPLICIT
 
-__all__ = ["serialize_partition", "deserialize_partition", "segment_row_dtype", "MAGIC"]
+__all__ = [
+    "serialize_partition",
+    "deserialize_partition",
+    "segment_row_dtype",
+    "LazyColumnBlock",
+    "MAGIC",
+]
 
 MAGIC = b"JGSW"
 _VERSION = 1
@@ -43,8 +51,8 @@ _TID_MODES_REVERSE = {code: mode for mode, code in _TID_MODES.items()}
 _REPLICA_FLAG = 0x80
 
 
-def segment_row_dtype(schema: TableSchema, attributes: Sequence[str]) -> np.dtype:
-    """Row-major structured dtype with logical (padded) byte widths."""
+@lru_cache(maxsize=4096)
+def _segment_row_dtype_cached(schema: TableSchema, attributes: Tuple[str, ...]) -> np.dtype:
     names: List[str] = []
     formats: List[str] = []
     offsets: List[int] = []
@@ -56,6 +64,84 @@ def segment_row_dtype(schema: TableSchema, attributes: Sequence[str]) -> np.dtyp
         offsets.append(cursor)
         cursor += spec.byte_width
     return np.dtype({"names": names, "formats": formats, "offsets": offsets, "itemsize": cursor})
+
+
+def segment_row_dtype(schema: TableSchema, attributes: Sequence[str]) -> np.dtype:
+    """Row-major structured dtype with logical (padded) byte widths.
+
+    Memoized per ``(schema, attribute tuple)`` — the same few segment shapes
+    recur across every partition of a layout, and building a structured dtype
+    is surprisingly expensive relative to decoding a small segment.
+    """
+    return _segment_row_dtype_cached(schema, tuple(attributes))
+
+
+class LazyColumnBlock(Mapping):
+    """Column mapping of one segment, decoded from file bytes on first access.
+
+    Behaves like the eager ``{name: ndarray}`` dict (same keys, same lookup
+    semantics) but a column's bytes are only touched when the column is
+    actually read: ``__getitem__`` returns a strided ``np.frombuffer`` view
+    into the row-major cell area, memoized per attribute.  Holding the view
+    keeps the underlying file buffer alive, which is exactly the contract the
+    buffer pool wants — a cached partition can serve *any* later projection
+    without re-reading the device.
+    """
+
+    __slots__ = ("_data", "_offset", "_row_dtype", "_attributes", "_n_rows", "_rows", "_columns")
+
+    def __init__(
+        self,
+        data: bytes,
+        offset: int,
+        row_dtype: np.dtype,
+        attributes: Tuple[str, ...],
+        n_rows: int,
+    ):
+        self._data = data
+        self._offset = offset
+        self._row_dtype = row_dtype
+        self._attributes = attributes
+        self._n_rows = n_rows
+        self._rows: np.ndarray | None = None
+        self._columns: Dict[str, np.ndarray] = {}
+
+    @property
+    def n_rows(self) -> int:
+        return self._n_rows
+
+    @property
+    def materialized(self) -> frozenset:
+        """Attributes whose views have been created so far."""
+        return frozenset(self._columns)
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        column = self._columns.get(name)
+        if column is None:
+            if name not in self._attributes:
+                raise KeyError(name)
+            if self._rows is None:
+                self._rows = np.frombuffer(
+                    self._data, dtype=self._row_dtype, count=self._n_rows, offset=self._offset
+                )
+            column = self._rows[name]
+            self._columns[name] = column
+        return column
+
+    def __iter__(self):
+        return iter(self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._attributes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LazyColumnBlock({len(self._attributes)} attrs, "
+            f"{len(self._columns)} materialized, {self._n_rows} rows)"
+        )
 
 
 def _attribute_bitmap(schema: TableSchema, attributes: Sequence[str]) -> bytes:
@@ -101,12 +187,22 @@ def deserialize_partition(
     data: bytes,
     schema: TableSchema,
     catalog_tids: Dict[int, np.ndarray] | None = None,
+    columns: Iterable[str] | None = None,
 ) -> PhysicalPartition:
     """Parse a partition file back into a :class:`PhysicalPartition`.
 
     ``catalog_tids`` supplies the tuple-ID arrays (indexed by segment
     ordinal) for segments whose mapping is kept in the partition manager's
     catalog instead of the file.
+
+    ``columns`` switches cell decoding to *lazy* mode: every segment's
+    ``columns`` becomes a :class:`LazyColumnBlock` over the file bytes, and
+    only the attributes in ``columns`` that the segment actually stores are
+    materialized eagerly (pass an empty set to defer everything).  Byte
+    parsing of headers and tuple IDs is identical either way, so the
+    partition's structure — segments, attributes, tuple IDs — is always
+    complete; only cell decoding is deferred.  With ``columns=None`` the
+    historical eager behaviour (contiguous per-column copies) is preserved.
     """
     if len(data) < _HEADER.size:
         raise StorageError("partition file truncated: missing header")
@@ -120,6 +216,7 @@ def deserialize_partition(
             f"partition file written for {n_attrs} attributes, schema has {len(schema)}"
         )
     bitmap_bytes = (n_attrs + 7) // 8
+    wanted = None if columns is None else frozenset(columns)
     offset = _HEADER.size
     segments: List[PhysicalSegment] = []
     for ordinal in range(n_segments):
@@ -157,14 +254,21 @@ def deserialize_partition(
         cell_bytes = row_dtype.itemsize * n_tuples
         if offset + cell_bytes > len(data):
             raise StorageError(f"partition {pid}: truncated cells in segment #{ordinal}")
-        rows = np.frombuffer(data, dtype=row_dtype, count=n_tuples, offset=offset)
+        if wanted is None:
+            rows = np.frombuffer(data, dtype=row_dtype, count=n_tuples, offset=offset)
+            cells = {name: np.ascontiguousarray(rows[name]) for name in attributes}
+        else:
+            block = LazyColumnBlock(data, offset, row_dtype, attributes, n_tuples)
+            for name in attributes:
+                if name in wanted:
+                    block[name]  # materialize the requested view up front
+            cells = block
         offset += cell_bytes
-        columns = {name: np.ascontiguousarray(rows[name]) for name in attributes}
         segments.append(
             PhysicalSegment(
                 attributes=attributes,
                 tuple_ids=np.asarray(tuple_ids, dtype=np.int64),
-                columns=columns,
+                columns=cells,
                 tid_storage=tid_storage,
                 replica=replica,
             )

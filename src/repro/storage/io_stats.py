@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 __all__ = ["IOStats"]
 
@@ -13,7 +13,9 @@ class IOStats:
 
     ``bytes_read`` / ``io_time_s`` only count reads that actually hit the
     (simulated) device; cache hits are tracked separately so the warm-data
-    experiment can distinguish the two.
+    experiment can distinguish the two.  ``n_pool_hits`` / ``pool_hit_bytes``
+    count reads served entirely from the deserialized-partition buffer pool —
+    those charge neither simulated device time nor (real) decode work.
     """
 
     n_reads: int = 0
@@ -21,17 +23,14 @@ class IOStats:
     io_time_s: float = 0.0
     n_cache_hits: int = 0
     cache_hit_bytes: int = 0
+    n_pool_hits: int = 0
+    pool_hit_bytes: int = 0
     n_writes: int = 0
     bytes_written: int = 0
 
     def add(self, other: "IOStats") -> None:
-        self.n_reads += other.n_reads
-        self.bytes_read += other.bytes_read
-        self.io_time_s += other.io_time_s
-        self.n_cache_hits += other.n_cache_hits
-        self.cache_hit_bytes += other.cache_hit_bytes
-        self.n_writes += other.n_writes
-        self.bytes_written += other.bytes_written
+        for spec in fields(self):
+            setattr(self, spec.name, getattr(self, spec.name) + getattr(other, spec.name))
 
     def diff(self, earlier: "IOStats") -> "IOStats":
         """Counters accumulated since a snapshot ``earlier``."""
@@ -41,6 +40,8 @@ class IOStats:
             io_time_s=self.io_time_s - earlier.io_time_s,
             n_cache_hits=self.n_cache_hits - earlier.n_cache_hits,
             cache_hit_bytes=self.cache_hit_bytes - earlier.cache_hit_bytes,
+            n_pool_hits=self.n_pool_hits - earlier.n_pool_hits,
+            pool_hit_bytes=self.pool_hit_bytes - earlier.pool_hit_bytes,
             n_writes=self.n_writes - earlier.n_writes,
             bytes_written=self.bytes_written - earlier.bytes_written,
         )
@@ -52,6 +53,8 @@ class IOStats:
             self.io_time_s,
             self.n_cache_hits,
             self.cache_hit_bytes,
+            self.n_pool_hits,
+            self.pool_hit_bytes,
             self.n_writes,
             self.bytes_written,
         )

@@ -11,7 +11,7 @@ phase's "partitions containing attribute ``a`` of tuple ``t``" lookups.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -19,6 +19,7 @@ from ..core.partition import PartitioningPlan
 from ..core.schema import TableSchema
 from ..errors import PartitionNotFoundError
 from .blob import BlobStore, MemoryBlobStore
+from .buffer_pool import BufferPool
 from .device import StorageDevice
 from .io_stats import IOStats
 from .format import deserialize_partition, serialize_partition
@@ -59,24 +60,53 @@ class PartitionInfo:
     segment_replicas: List[bool] = field(default_factory=list)
     replica_attributes: frozenset = frozenset()
     full_coverage_attrs: frozenset = frozenset()
+    #: per-segment ``(min_tid, max_tid)``; ``(-1, -1)`` for empty segments.
+    segment_tid_bounds: List[Tuple[int, int]] = field(default_factory=list)
+    _tuple_ids_cache: Optional[np.ndarray] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.segment_tid_bounds:
+            # ``segment_tids`` arrive sorted, so the bounds are the endpoints.
+            self.segment_tid_bounds = [
+                (int(tids[0]), int(tids[-1])) if len(tids) else (-1, -1)
+                for tids in self.segment_tids
+            ]
 
     def tuple_ids(self) -> np.ndarray:
-        """Sorted unique tuple IDs with a primary cell in the partition."""
-        primary = [
-            tids
-            for tids, replica in zip(self.segment_tids, self.segment_replicas)
-            if not replica
-        ] or self.segment_tids
-        if not primary:
-            return np.empty(0, dtype=np.int64)
-        return np.unique(np.concatenate(primary))
+        """Sorted unique tuple IDs with a primary cell in the partition.
+
+        Memoized: the projection phase and ``_full_coverage`` call this once
+        per attribute pass, and the unique/concatenate is pure recomputation.
+        """
+        if self._tuple_ids_cache is None:
+            primary = [
+                tids
+                for tids, replica in zip(self.segment_tids, self.segment_replicas)
+                if not replica
+            ] or self.segment_tids
+            if not primary:
+                self._tuple_ids_cache = np.empty(0, dtype=np.int64)
+            else:
+                self._tuple_ids_cache = np.unique(np.concatenate(primary))
+        return self._tuple_ids_cache
 
     def contains_attribute_of(self, attribute: str, tids: np.ndarray) -> bool:
         """True when a *primary* segment stores ``attribute`` for any ``tids``."""
-        for attrs, seg_tids, replica in zip(
-            self.segment_attrs, self.segment_tids, self.segment_replicas
+        if not len(tids):
+            return False
+        query_lo, query_hi = int(tids.min()), int(tids.max())
+        for attrs, seg_tids, replica, (seg_lo, seg_hi) in zip(
+            self.segment_attrs,
+            self.segment_tids,
+            self.segment_replicas,
+            self.segment_tid_bounds,
         ):
-            if not replica and attribute in attrs and _contains_any(seg_tids, tids):
+            if replica or attribute not in attrs:
+                continue
+            # Disjoint tid ranges cannot intersect — skip the searchsorted.
+            if seg_hi < query_lo or seg_lo > query_hi:
+                continue
+            if _contains_any(seg_tids, tids):
                 return True
         return False
 
@@ -113,11 +143,13 @@ class PartitionManager:
         device: StorageDevice,
         store: BlobStore | None = None,
         key_prefix: str = "",
+        buffer_pool: BufferPool | None = None,
     ):
         self.schema = schema
         self.device = device
         self.store = store if store is not None else MemoryBlobStore()
         self.key_prefix = key_prefix
+        self.buffer_pool = buffer_pool
         self._catalog: Dict[int, PartitionInfo] = {}
         self._attribute_index: Dict[str, List[int]] = {}
         self._replica_index: Dict[str, List[int]] = {}
@@ -133,6 +165,8 @@ class PartitionManager:
         key = self._key(physical.pid)
         self.store.put(key, data)
         self.device.invalidate(key)
+        if self.buffer_pool is not None:
+            self.buffer_pool.invalidate(physical.pid)
         replica_attrs: frozenset = frozenset()
         for segment in physical.segments:
             if segment.replica:
@@ -196,14 +230,32 @@ class PartitionManager:
 
     # -------------------------------------------------------------- reads
 
-    def load(self, pid: int, chunk_size: int | None = None) -> Tuple[PhysicalPartition, "IOStats"]:
+    def load(
+        self,
+        pid: int,
+        chunk_size: int | None = None,
+        columns: Set[str] | frozenset | None = None,
+    ) -> Tuple[PhysicalPartition, "IOStats"]:
         """Read a partition file, charging simulated device time.
 
         Returns ``(partition, io_delta)`` where ``io_delta`` holds exactly
         what this read cost: bytes and simulated seconds when it reached the
-        device, or a cache hit when the simulated OS buffer cache served it.
+        device, a cache hit when the simulated OS buffer cache served it, or
+        a pool hit when the buffer pool held the deserialized partition (no
+        device charge, no decode work).
+
+        ``columns`` is the projection pushdown: when given, cell decoding is
+        lazy and only the named attributes are materialized eagerly; any
+        other column still decodes transparently on first access.  Simulated
+        byte/time accounting is unaffected — the whole file is still charged
+        on a device read, as the row-major format offers no byte-level skip.
         """
         info = self.info(pid)
+        pool = self.buffer_pool
+        if pool is not None:
+            partition = pool.get(pid)
+            if partition is not None:
+                return partition, IOStats(n_pool_hits=1, pool_hit_bytes=info.n_bytes)
         data = self.store.get(info.key)
         before = self.device.snapshot()
         self.device.read(info.key, len(data), chunk_size=chunk_size)
@@ -215,7 +267,15 @@ class PartitionManager:
             )
             if mode == TID_CATALOG
         }
-        partition = deserialize_partition(data, self.schema, catalog_tids or None)
+        if pool is not None and columns is None:
+            # A pooled partition must be able to serve *any* later
+            # projection, so decode lazily even for full loads.
+            columns = frozenset()
+        partition = deserialize_partition(
+            data, self.schema, catalog_tids or None, columns=columns
+        )
+        if pool is not None:
+            pool.put(pid, partition, info.n_bytes)
         return partition, delta
 
     # ------------------------------------------------------------ indexes
