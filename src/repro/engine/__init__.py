@@ -8,6 +8,7 @@ from .partition_at_a_time import (
     PartitionAtATimeExecutor,
 )
 from .aggregates import aggregate, group_aggregate, revenue
+from .degrade import FaultContext, plan_alternates
 from .predicates import Conjunction, RangePredicate
 from .replicated import ReplicatedExecutor
 from .result import ResultSet
@@ -18,6 +19,8 @@ __all__ = [
     "Conjunction",
     "CpuModel",
     "ExecutionStats",
+    "FaultContext",
+    "plan_alternates",
     "PartitionAtATimeExecutor",
     "RangePredicate",
     "ReplicatedExecutor",

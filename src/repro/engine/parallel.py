@@ -21,17 +21,21 @@ Two deliverables live here:
 from __future__ import annotations
 
 import threading
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 import numpy as np
 
 from ..core.query import Query
 from ..core.schema import TableMeta
+from ..errors import PartitionUnreadableError
 from ..storage.device import DeviceProfile
 from ..storage.partition_manager import PartitionManager
+from .degrade import FaultContext, handle_unreadable
 from .predicates import Conjunction
 from .result import ResultSet
+from .stats import ExecutionStats
 
 __all__ = [
     "ThreadedPartitionEngine",
@@ -68,6 +72,12 @@ class ThreadedPartitionEngine:
         self.n_threads = max(1, n_threads)
         self.strategy = strategy
         self.n_buckets = n_buckets
+        # Fault counters of the most recent execute(); the threaded engine
+        # returns a bare ResultSet, so these are its ExecutionStats stand-in.
+        self.fault_events: Dict[str, int] = {
+            "n_unreadable_partitions": 0,
+            "n_degraded_reads": 0,
+        }
 
     # ------------------------------------------------------------ public
 
@@ -77,6 +87,9 @@ class ThreadedPartitionEngine:
         status = [_NOT_CHECKED] * self.table.n_tuples
         ret: Dict[int, Dict[str, object]] = {}
         load_lock = threading.Lock()
+        fctx = FaultContext()
+        fault_stats = ExecutionStats()
+        failed: List[int] = []  # appended under load_lock by workers
 
         pred_pids = sorted(
             self.manager.partitions_for_attributes(conjunction.attributes)
@@ -86,13 +99,36 @@ class ThreadedPartitionEngine:
                 status[tid] = _VALID
                 ret[tid] = {}
         elif self.strategy == "locking":
-            self._selection_locking(pred_pids, conjunction, projected, status, ret, load_lock)
+            self._selection_locking(
+                pred_pids, conjunction, projected, status, ret, load_lock, failed
+            )
         else:
-            self._selection_shared(pred_pids, conjunction, projected, status, ret, load_lock)
+            self._selection_shared(
+                pred_pids, conjunction, projected, status, ret, load_lock, failed
+            )
+        if failed:
+            self._drain_selection_failures(
+                failed, conjunction, projected, status, ret, fctx, fault_stats
+            )
 
-        self._projection(projected, status, ret, load_lock)
+        self._projection(projected, status, ret, fctx, fault_stats)
+        self.fault_events = {
+            "n_unreadable_partitions": fault_stats.n_unreadable_partitions,
+            "n_degraded_reads": fault_stats.n_degraded_reads,
+        }
         valid = np.array(sorted(tid for tid, s in enumerate(status) if s == _VALID))
         valid = valid.astype(np.int64) if len(valid) else np.empty(0, np.int64)
+        if fctx.unreadable:
+            # Degradation either reassembled every needed cell or must abort:
+            # a partially filled row would be a silently wrong answer.
+            for t in valid:
+                row = ret[int(t)]
+                for name in projected:
+                    if name not in row:
+                        raise PartitionUnreadableError(
+                            f"attribute {name!r} of tuple {int(t)} was lost "
+                            f"with partitions {sorted(fctx.unreadable)}"
+                        )
         columns = {
             name: np.array([ret[int(t)][name] for t in valid],
                            dtype=self.table.schema[name].np_dtype)
@@ -102,9 +138,24 @@ class ThreadedPartitionEngine:
 
     # --------------------------------------------------------- internals
 
-    def _load(self, pid: int, load_lock: threading.Lock, columns: frozenset | None = None):
+    def _load(
+        self,
+        pid: int,
+        load_lock: threading.Lock,
+        columns: frozenset | None = None,
+        failed: List[int] | None = None,
+    ):
+        """Load under the lock; with ``failed`` given, an unreadable
+        partition is recorded there and None returned instead of raising,
+        so worker threads never die mid-phase."""
         with load_lock:  # manager/device counters are not thread-safe
-            partition, _io_delta = self.manager.load(pid, columns=columns)
+            try:
+                partition, _io_delta = self.manager.load(pid, columns=columns)
+            except PartitionUnreadableError:
+                if failed is None:
+                    raise
+                failed.append(pid)
+                return None
         return partition
 
     def _tuple_rows(self, partition, wanted: frozenset | None = None):
@@ -151,7 +202,9 @@ class ThreadedPartitionEngine:
                 if name in cells:
                     row[name] = cells[name]
 
-    def _selection_locking(self, pred_pids, conjunction, projected, status, ret, load_lock):
+    def _selection_locking(
+        self, pred_pids, conjunction, projected, status, ret, load_lock, failed
+    ):
         """Algorithm 6: threads pop partitions; bucket locks serialize tuples."""
         queue = list(pred_pids)
         queue_lock = threading.Lock()
@@ -164,14 +217,18 @@ class ThreadedPartitionEngine:
                     if not queue:
                         return
                     pid = queue.pop(0)
-                partition = self._load(pid, load_lock, columns=wanted)
+                partition = self._load(pid, load_lock, columns=wanted, failed=failed)
+                if partition is None:
+                    continue
                 for tid, cells in self._tuple_rows(partition, wanted):
                     with bucket_locks[tid % self.n_buckets]:
                         self._process_tuple(tid, cells, conjunction, projected, status, ret)
 
         self._run_threads(worker)
 
-    def _selection_shared(self, pred_pids, conjunction, projected, status, ret, load_lock):
+    def _selection_shared(
+        self, pred_pids, conjunction, projected, status, ret, load_lock, failed
+    ):
         """Algorithm 7: barrier after loading; threads own bucket ranges."""
         partitions: List = [None] * len(pred_pids)
         load_queue = list(enumerate(pred_pids))
@@ -185,7 +242,9 @@ class ThreadedPartitionEngine:
                     if not load_queue:
                         break
                     index, pid = load_queue.pop(0)
-                partitions[index] = self._load(pid, load_lock, columns=wanted)
+                partitions[index] = self._load(
+                    pid, load_lock, columns=wanted, failed=failed
+                )
             barrier.wait()
             for partition in partitions:
                 if partition is None:
@@ -197,8 +256,58 @@ class ThreadedPartitionEngine:
 
         self._run_threads(worker, pass_id=True)
 
-    def _projection(self, projected, status, ret, load_lock):
-        """Fill missing projected cells; safe without locks (Section 5.2.1)."""
+    def _drain_selection_failures(
+        self, failed, conjunction, projected, status, ret, fctx, fault_stats
+    ) -> None:
+        """Serially re-cover the predicate cells of partitions the worker
+        threads could not read.
+
+        Runs after the threads joined, so no locks are needed; Algorithm 5's
+        per-tuple processing is idempotent, so replaying a substitute
+        partition over already-processed tuples is harmless.  Lost projected
+        cells are healed later by :meth:`_projection` through the tuple-level
+        index.
+        """
+        wanted = frozenset(conjunction.attributes) | frozenset(projected)
+        pending: deque = deque()
+        done: Set[int] = set(failed)
+        # Mark every known failure first so the earliest substitution plan
+        # already excludes all of them.
+        for pid in failed:
+            if pid not in fctx.unreadable:
+                fctx.unreadable.add(pid)
+                fault_stats.n_unreadable_partitions += 1
+        for pid in dict.fromkeys(failed):
+            handle_unreadable(
+                self.manager, pid, conjunction.attributes, fctx, fault_stats,
+                pending, done,
+            )
+        while pending:
+            pid = pending.popleft()
+            if pid in fctx.unreadable:
+                continue
+            done.add(pid)
+            try:
+                partition, _io_delta = self.manager.load(pid, columns=wanted)
+            except PartitionUnreadableError:
+                handle_unreadable(
+                    self.manager, pid, conjunction.attributes, fctx,
+                    fault_stats, pending, done,
+                )
+                continue
+            if pid in fctx.degraded:
+                fault_stats.n_degraded_reads += 1
+            for tid, cells in self._tuple_rows(partition, wanted):
+                self._process_tuple(tid, cells, conjunction, projected, status, ret)
+
+    def _projection(self, projected, status, ret, fctx, fault_stats):
+        """Fill missing projected cells; safe without locks (Section 5.2.1).
+
+        Partitions are loaded once, serially (the load path is not
+        thread-safe anyway), which is also where unreadable partitions are
+        swapped for substitutes; the threads then split the preloaded
+        partitions' tuples by bucket range.
+        """
         missing_pids: set = set()
         for tid, row in ret.items():
             if status[tid] != _VALID:
@@ -209,14 +318,51 @@ class ThreadedPartitionEngine:
                     missing_pids.update(
                         self.manager.partitions_with_missing_cells(name, tids)
                     )
-        pids = sorted(missing_pids)
-        if not pids:
+        if not missing_pids:
             return
         wanted = frozenset(projected)
 
+        def still_missing() -> Dict[str, np.ndarray]:
+            return {
+                name: np.array(
+                    sorted(
+                        tid
+                        for tid, row in ret.items()
+                        if status[tid] == _VALID and name not in row
+                    ),
+                    dtype=np.int64,
+                )
+                for name in projected
+            }
+
+        partitions: List = []
+        pending: deque = deque(sorted(missing_pids))
+        done: Set[int] = set()
+        while pending:
+            pid = pending.popleft()
+            if pid in done:
+                continue
+            done.add(pid)
+            if pid in fctx.unreadable:
+                handle_unreadable(
+                    self.manager, pid, projected, fctx, fault_stats,
+                    pending, done, None, still_missing(),
+                )
+                continue
+            try:
+                partition, _io_delta = self.manager.load(pid, columns=wanted)
+            except PartitionUnreadableError:
+                handle_unreadable(
+                    self.manager, pid, projected, fctx, fault_stats,
+                    pending, done, None, still_missing(),
+                )
+                continue
+            if pid in fctx.degraded:
+                fault_stats.n_degraded_reads += 1
+            partitions.append(partition)
+
         def worker(thread_id: int) -> None:
-            for pid in pids:
-                partition = self._load(pid, load_lock, columns=wanted)
+            for partition in partitions:
                 for tid, cells in self._tuple_rows(partition, wanted):
                     if tid % self.n_threads != thread_id:
                         continue

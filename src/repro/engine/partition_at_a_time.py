@@ -21,14 +21,16 @@ priced by the CPU model, matching the paper's ``mem()`` accounting.
 from __future__ import annotations
 
 import time
-from typing import Dict, Set, Tuple
+from collections import deque
+from typing import Dict, Iterable, Set, Tuple
 
 import numpy as np
 
 from ..core.query import Query
 from ..core.schema import TableMeta
-from ..errors import StorageError
+from ..errors import PartitionUnreadableError, StorageError
 from ..storage.partition_manager import PartitionManager
+from .degrade import FaultContext, handle_unreadable
 from .predicates import Conjunction
 from .result import ResultSet
 from .stats import CpuModel, ExecutionStats
@@ -123,15 +125,18 @@ class PartitionAtATimeExecutor:
             values[name] = np.zeros(n, dtype=self.table.schema[name].np_dtype)
             present[name] = np.zeros(n, dtype=bool)
 
+        fctx = FaultContext()
         if conjunction:
-            self._selection_phase(conjunction, projected, status, values, present, stats)
+            self._selection_phase(
+                conjunction, projected, status, values, present, stats, fctx
+            )
         else:
             # No WHERE clause: every tuple qualifies; lines 3-16 degenerate to
             # allocating a hash-table row per tuple.
             status[:] = STATUS_VALID
             stats.hash_inserts += n
 
-        self._projection_phase(query, projected, status, values, present, stats)
+        self._projection_phase(query, projected, status, values, present, stats, fctx)
 
         valid = np.nonzero(status == STATUS_VALID)[0].astype(np.int64)
         result = ResultSet(valid, {name: values[name][valid] for name in projected})
@@ -139,6 +144,25 @@ class PartitionAtATimeExecutor:
         stats.charge_cpu(self.cpu_model)
         stats.wall_time_s = time.perf_counter() - started
         return result, stats
+
+    # --------------------------------------------------------- fault path
+
+    def _handle_unreadable(
+        self,
+        pid: int,
+        attributes: Iterable[str],
+        fctx: FaultContext,
+        stats: ExecutionStats,
+        pending: deque,
+        done: Set[int],
+        exc: PartitionUnreadableError | None = None,
+        tids_by_attribute: Dict[str, np.ndarray] | None = None,
+    ) -> None:
+        """Record one unreadable partition and enqueue its substitutes."""
+        handle_unreadable(
+            self.manager, pid, attributes, fctx, stats, pending, done,
+            exc, tids_by_attribute,
+        )
 
     # ------------------------------------------------------------ phase 1
 
@@ -150,6 +174,7 @@ class PartitionAtATimeExecutor:
         values: Dict[str, np.ndarray],
         present: Dict[str, np.ndarray],
         stats: ExecutionStats,
+        fctx: FaultContext,
     ) -> None:
         pred_pids = self.manager.partitions_for_attributes(conjunction.attributes)
         projected_set = set(projected)
@@ -157,16 +182,30 @@ class PartitionAtATimeExecutor:
         # plus any projected cells stored alongside them (Algorithm 5 line
         # 16); no other column needs decoding.
         needed = frozenset(conjunction.attributes) | projected_set
-        for pid in sorted(pred_pids):
+        pending = deque(sorted(pred_pids))
+        done: Set[int] = set()
+        while pending:
+            pid = pending.popleft()
+            if pid in done or pid in fctx.unreadable:
+                continue
+            done.add(pid)
             if self.zone_maps and self._zone_verdict(pid, conjunction, status, stats):
                 stats.n_partitions_skipped += 1
                 continue
-            partition, io_delta = self.manager.load(pid, columns=needed)
-            stats.io_time_s += io_delta.io_time_s
-            stats.bytes_read += io_delta.bytes_read
-            stats.n_cache_hits += io_delta.n_cache_hits
-            stats.n_pool_hits += io_delta.n_pool_hits
+            try:
+                partition, io_delta = self.manager.load(pid, columns=needed)
+            except PartitionUnreadableError as exc:
+                # Re-cover the dead partition's predicate cells from replicas
+                # or overlapping primaries; its projected cells are healed by
+                # the projection phase through the tuple-level index.
+                self._handle_unreadable(
+                    pid, conjunction.attributes, fctx, stats, pending, done, exc
+                )
+                continue
+            stats.accrue_io(io_delta)
             stats.n_partition_reads += 1
+            if pid in fctx.degraded:
+                stats.n_degraded_reads += 1
             for segment in partition.segments:
                 tids = segment.tuple_ids
                 if not len(tids):
@@ -209,16 +248,19 @@ class PartitionAtATimeExecutor:
         values: Dict[str, np.ndarray],
         present: Dict[str, np.ndarray],
         stats: ExecutionStats,
+        fctx: FaultContext,
     ) -> None:
         valid = np.nonzero(status == STATUS_VALID)[0].astype(np.int64)
         if not len(valid):
             return
         proj_pids: Set[int] = set()
         missing_attrs: Set[str] = set()
+        missing_by_attr: Dict[str, np.ndarray] = {}
         for name in projected:
             missing = valid[~present[name][valid]]
             if len(missing):
                 missing_attrs.add(name)
+                missing_by_attr[name] = missing
                 proj_pids.update(
                     self.manager.partitions_with_missing_cells(name, missing)
                 )
@@ -226,13 +268,33 @@ class PartitionAtATimeExecutor:
         # Only the still-missing projected attributes need decoding here;
         # everything else in these partitions is dead weight for this phase.
         needed = frozenset(missing_attrs)
-        for pid in sorted(proj_pids):
-            partition, io_delta = self.manager.load(pid, columns=needed)
-            stats.io_time_s += io_delta.io_time_s
-            stats.bytes_read += io_delta.bytes_read
-            stats.n_cache_hits += io_delta.n_cache_hits
-            stats.n_pool_hits += io_delta.n_pool_hits
+        pending = deque(sorted(proj_pids))
+        done: Set[int] = set()
+        while pending:
+            pid = pending.popleft()
+            if pid in done:
+                continue
+            done.add(pid)
+            if pid in fctx.unreadable:
+                # Known dead from the selection phase: plan substitutes for
+                # the projected cells without burning another retry cycle.
+                self._handle_unreadable(
+                    pid, missing_attrs, fctx, stats, pending, done,
+                    tids_by_attribute=missing_by_attr,
+                )
+                continue
+            try:
+                partition, io_delta = self.manager.load(pid, columns=needed)
+            except PartitionUnreadableError as exc:
+                self._handle_unreadable(
+                    pid, missing_attrs, fctx, stats, pending, done, exc,
+                    tids_by_attribute=missing_by_attr,
+                )
+                continue
+            stats.accrue_io(io_delta)
             stats.n_partition_reads += 1
+            if pid in fctx.degraded:
+                stats.n_degraded_reads += 1
             for segment in partition.segments:
                 tids = segment.tuple_ids
                 if not len(tids):

@@ -21,7 +21,7 @@ import numpy as np
 
 from ..core.query import Query
 from ..core.schema import TableMeta
-from ..errors import StorageError
+from ..errors import PartitionUnreadableError, StorageError
 from ..storage.partition_manager import PartitionManager
 from .partition_at_a_time import PartitionAtATimeExecutor
 from .predicates import Conjunction
@@ -120,11 +120,24 @@ class ReplicatedExecutor:
             if pruned:
                 stats.n_partitions_skipped += 1
                 continue
-            partition, io_delta = self.manager.load(pid, columns=needed)
-            stats.io_time_s += io_delta.io_time_s
-            stats.bytes_read += io_delta.bytes_read
-            stats.n_cache_hits += io_delta.n_cache_hits
-            stats.n_pool_hits += io_delta.n_pool_hits
+            try:
+                partition, io_delta = self.manager.load(pid, columns=needed)
+            except PartitionUnreadableError as exc:
+                # Local evaluation needs this exact partition (it owns the
+                # tuples), so there is no partition-local substitute; retreat
+                # to the standard engine, whose tuple-level index can
+                # reassemble the lost cells from replicas or overlapping
+                # primaries — or prove that nothing can.  The aborted local
+                # attempt's I/O and CPU events stay on the bill.
+                stats.n_unreadable_partitions += 1
+                if exc.io_delta is not None:
+                    stats.accrue_io(exc.io_delta)
+                result, fallback = self.standard.execute(query)
+                fallback.add(stats)
+                fallback.charge_cpu(self.cpu_model)
+                fallback.wall_time_s = time.perf_counter() - started
+                return result, fallback
+            stats.accrue_io(io_delta)
             stats.n_partition_reads += 1
             # 1. scatter the partition's predicate cells by tuple ID.
             local_tids = self.manager.info(pid).tuple_ids()

@@ -20,15 +20,17 @@ reason that advantage decays as query templates multiply.
 from __future__ import annotations
 
 import time
+from collections import deque
 from typing import Dict, Set, Tuple
 
 import numpy as np
 
 from ..core.query import Query
 from ..core.schema import TableMeta
-from ..errors import StorageError
+from ..errors import PartitionUnreadableError, StorageError
 from ..storage.partition_manager import PartitionInfo, PartitionManager
 from ..storage.physical import PhysicalPartition
+from .degrade import FaultContext, handle_unreadable
 from .predicates import Conjunction
 from .result import ResultSet
 from .stats import CpuModel, ExecutionStats
@@ -75,6 +77,7 @@ class ScanExecutor:
         pid: int,
         loaded: Dict[int, PhysicalPartition],
         stats: ExecutionStats,
+        fctx: FaultContext,
         columns: frozenset | None = None,
     ) -> PhysicalPartition:
         """Load a partition, reusing within-query working memory.
@@ -88,11 +91,10 @@ class ScanExecutor:
         partition, io_delta = self.manager.load(
             pid, chunk_size=self.chunk_size, columns=columns
         )
-        stats.io_time_s += io_delta.io_time_s
-        stats.bytes_read += io_delta.bytes_read
-        stats.n_cache_hits += io_delta.n_cache_hits
-        stats.n_pool_hits += io_delta.n_pool_hits
+        stats.accrue_io(io_delta)
         stats.n_partition_reads += 1
+        if pid in fctx.degraded:
+            stats.n_degraded_reads += 1
         loaded[pid] = partition
         return partition
 
@@ -110,8 +112,9 @@ class ScanExecutor:
         n = self.table.n_tuples
         conjunction = Conjunction.from_query(query)
         loaded: Dict[int, PhysicalPartition] = {}
+        fctx = FaultContext()
 
-        selection = self._selection_vector(conjunction, loaded, stats, n)
+        selection = self._selection_vector(conjunction, loaded, stats, n, fctx)
         selected = np.nonzero(selection)[0].astype(np.int64)
 
         projected = tuple(query.select)
@@ -120,12 +123,19 @@ class ScanExecutor:
         }
         present: Dict[str, np.ndarray] = {name: np.zeros(n, dtype=bool) for name in projected}
         self._gather_projection(
-            conjunction, projected, selection, selected, loaded, values, present, stats
+            conjunction, projected, selection, selected, loaded, values, present,
+            stats, fctx,
         )
 
         for name in projected:
             missing = selected[~present[name][selected]]
             if len(missing):
+                if fctx.unreadable:
+                    raise PartitionUnreadableError(
+                        f"attribute {name!r} is missing for {len(missing)} "
+                        f"selected tuples after losing partitions "
+                        f"{sorted(fctx.unreadable)}"
+                    )
                 raise StorageError(
                     f"layout does not store attribute {name!r} for "
                     f"{len(missing)} selected tuples"
@@ -142,6 +152,7 @@ class ScanExecutor:
         loaded: Dict[int, PhysicalPartition],
         stats: ExecutionStats,
         n: int,
+        fctx: FaultContext,
     ) -> np.ndarray:
         """Evaluate predicates attribute by attribute into one dense mask."""
         if not conjunction:
@@ -149,12 +160,28 @@ class ScanExecutor:
         masks = {name: np.zeros(n, dtype=bool) for name in conjunction.attributes}
         pred_pids = self.manager.partitions_for_attributes(conjunction.attributes)
         pred_attrs = frozenset(conjunction.attributes)
-        for pid in sorted(pred_pids):
+        pending = deque(sorted(pred_pids))
+        done: Set[int] = set()
+        while pending:
+            pid = pending.popleft()
+            if pid in done or pid in fctx.unreadable:
+                continue
+            done.add(pid)
             info = self.manager.info(pid)
             if self._zone_skip(info, conjunction):
                 stats.n_partitions_skipped += 1
                 continue
-            partition = self._load(pid, loaded, stats, columns=pred_attrs)
+            try:
+                partition = self._load(pid, loaded, stats, fctx, columns=pred_attrs)
+            except PartitionUnreadableError as exc:
+                # A predicate cell missing from the masks silently excludes
+                # its tuple, so every lost predicate cell must be re-read
+                # from another home (or the query aborts).
+                handle_unreadable(
+                    self.manager, pid, conjunction.attributes, fctx, stats,
+                    pending, done, exc,
+                )
+                continue
             for segment in partition.segments:
                 tids = segment.tuple_ids
                 if not len(tids):
@@ -186,12 +213,35 @@ class ScanExecutor:
         values: Dict[str, np.ndarray],
         present: Dict[str, np.ndarray],
         stats: ExecutionStats,
+        fctx: FaultContext,
     ) -> None:
         projected_set = frozenset(projected)
         proj_pids: Set[int] = set()
         for name in projected:
             proj_pids.update(self.manager.partitions_for_attribute(name))
-        for pid in sorted(proj_pids):
+
+        def still_missing() -> Dict[str, np.ndarray]:
+            # Restrict a rescue to projected cells of selected tuples that
+            # no readable partition has supplied yet.
+            return {
+                name: selected[~present[name][selected]] for name in projected
+            }
+
+        pending = deque(sorted(proj_pids))
+        done: Set[int] = set()
+        while pending:
+            pid = pending.popleft()
+            if pid in done:
+                continue
+            done.add(pid)
+            if pid in fctx.unreadable:
+                # Died during the selection phase; its projected cells still
+                # need substitute homes.
+                handle_unreadable(
+                    self.manager, pid, projected, fctx, stats, pending, done,
+                    None, still_missing(),
+                )
+                continue
             info = self.manager.info(pid)
             if pid not in loaded:
                 if self._zone_skip(info, conjunction):
@@ -208,7 +258,14 @@ class ScanExecutor:
                 # survived it: re-scanning would gather nothing.  Not counted
                 # as a skip — no read was avoided, only working-memory churn.
                 continue
-            partition = self._load(pid, loaded, stats, columns=projected_set)
+            try:
+                partition = self._load(pid, loaded, stats, fctx, columns=projected_set)
+            except PartitionUnreadableError as exc:
+                handle_unreadable(
+                    self.manager, pid, projected, fctx, stats, pending, done,
+                    exc, still_missing(),
+                )
+                continue
             for segment in partition.segments:
                 tids = segment.tuple_ids
                 if not len(tids):

@@ -68,7 +68,15 @@ class CpuModel:
 
 @dataclass(slots=True)
 class ExecutionStats:
-    """Everything one query execution did, with simulated timings."""
+    """Everything one query execution did, with simulated timings.
+
+    The fault counters mirror the storage layer's read path: ``n_retries``
+    are extra per-read attempts after transient faults or corruption,
+    ``n_unreadable_partitions`` counts partitions that stayed unreadable
+    after every retry, and ``n_degraded_reads`` counts substitute-partition
+    loads that recovered an unreadable partition's cells from another
+    primary or replica home.
+    """
 
     bytes_read: int = 0
     io_time_s: float = 0.0
@@ -76,6 +84,9 @@ class ExecutionStats:
     n_partitions_skipped: int = 0
     n_cache_hits: int = 0
     n_pool_hits: int = 0
+    n_retries: int = 0
+    n_degraded_reads: int = 0
+    n_unreadable_partitions: int = 0
     cells_scanned: int = 0
     cells_gathered: int = 0
     hash_inserts: int = 0
@@ -90,6 +101,15 @@ class ExecutionStats:
     def simulated_time_s(self) -> float:
         """Total simulated execution time: device I/O plus modeled CPU."""
         return self.io_time_s + self.cpu_time_s
+
+    def accrue_io(self, delta) -> None:
+        """Fold one partition read's :class:`~repro.storage.io_stats.IOStats`
+        delta into this execution's counters."""
+        self.io_time_s += delta.io_time_s
+        self.bytes_read += delta.bytes_read
+        self.n_cache_hits += delta.n_cache_hits
+        self.n_pool_hits += delta.n_pool_hits
+        self.n_retries += delta.n_retries
 
     def charge_cpu(self, model: CpuModel) -> None:
         """Convert the event counters into simulated CPU seconds."""

@@ -28,6 +28,29 @@ class StorageError(JigsawError):
     """A partition file is missing, truncated, or corrupt."""
 
 
+class ChecksumError(StorageError):
+    """A partition file's stored checksum does not match its bytes."""
+
+
+class TransientStorageError(StorageError):
+    """A read failed for a (possibly) temporary reason; retrying may help."""
+
+
+class PartitionUnreadableError(StorageError):
+    """A partition stayed unreadable after every retry.
+
+    Carries ``pid`` (the partition id) and, when raised by
+    :meth:`~repro.storage.partition_manager.PartitionManager.load`, an
+    ``io_delta`` :class:`~repro.storage.io_stats.IOStats` with whatever the
+    failed attempts cost, so engines can keep their accounting exact.
+    """
+
+    def __init__(self, message: str, pid: int | None = None, io_delta=None):
+        super().__init__(message)
+        self.pid = pid
+        self.io_delta = io_delta
+
+
 class PartitionNotFoundError(StorageError):
     """The partition manager has no partition with the requested id."""
 

@@ -11,8 +11,11 @@ from .device import (
     StorageDevice,
     synthetic_profile_measurements,
 )
+from .faults import FaultConfig, FaultInjectingBlobStore, FaultStats, RetryPolicy
 from .format import (
+    FORMAT_VERSION,
     LazyColumnBlock,
+    checksum_overhead,
     deserialize_partition,
     segment_row_dtype,
     serialize_partition,
@@ -41,6 +44,10 @@ __all__ = [
     "DirectoryBlobStore",
     "EBS_GP2",
     "EBS_IO1",
+    "FORMAT_VERSION",
+    "FaultConfig",
+    "FaultInjectingBlobStore",
+    "FaultStats",
     "IOStats",
     "LazyColumnBlock",
     "MemoryBlobStore",
@@ -48,12 +55,14 @@ __all__ = [
     "PartitionManager",
     "PhysicalPartition",
     "PhysicalSegment",
+    "RetryPolicy",
     "SegmentSpec",
     "StorageDevice",
     "TID_CATALOG",
     "TID_EXPLICIT",
     "TID_IMPLICIT",
     "build_physical_partition",
+    "checksum_overhead",
     "deserialize_partition",
     "physical_from_logical",
     "segment_row_dtype",

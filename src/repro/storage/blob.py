@@ -98,17 +98,20 @@ class DirectoryBlobStore(BlobStore):
             handle.write(data)
 
     def get(self, key: str) -> bytes:
+        # Mirror MemoryBlobStore's error contract exactly: any absent or
+        # non-blob key (including one that names a key-prefix directory)
+        # raises StorageError carrying the key, never a bare OSError.
         try:
             with open(self._path(key), "rb") as handle:
                 return handle.read()
-        except FileNotFoundError:
+        except (FileNotFoundError, IsADirectoryError, NotADirectoryError):
             raise StorageError(f"no blob stored under {key!r}") from None
 
     def size(self, key: str) -> int:
-        try:
-            return os.path.getsize(self._path(key))
-        except FileNotFoundError:
-            raise StorageError(f"no blob stored under {key!r}") from None
+        path = self._path(key)
+        if not os.path.isfile(path):
+            raise StorageError(f"no blob stored under {key!r}")
+        return os.path.getsize(path)
 
     def keys(self) -> Iterator[str]:
         for dirpath, _dirnames, filenames in os.walk(self.root):

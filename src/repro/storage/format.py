@@ -14,15 +14,30 @@ the paper's accounting.
 Layout (little endian)::
 
     magic 'JGSW' | version u16 | pid u32 | n_segments u32 | n_attrs u16
+    [header_crc u32]                      -- version >= 2 only
     per segment:
-      tid_mode u8 | n_tuples u64 | first_tid u64 | bitmap ceil(n_attrs/8)B
+      tid_mode u8 | n_tuples u64 | first_tid u64
+      [segment_crc u32]                   -- version >= 2 only
+      bitmap ceil(n_attrs/8)B
       [tuple ids int64 * n_tuples]        -- tid_mode == explicit only
       row-major cells (padded widths)
+
+Version 2 adds CRC32 checksums so that corruption is *detected* instead of
+silently decoded: ``header_crc`` covers the file header, and each segment's
+``segment_crc`` covers its segment header plus every byte of its bitmap,
+tuple IDs and cells.  Checksums are verified eagerly on deserialization —
+even when cell decoding is lazy — so a partition that parses is known good
+end to end.  Version-1 files (no checksums) remain readable.
+
+Checksum bytes are a durability artifact, not data: simulated I/O accounting
+charges the *version-1-equivalent* size (see :func:`checksum_overhead`), so
+figure reproductions are byte-identical with or without them.
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
 from collections.abc import Mapping
 from functools import lru_cache
 from typing import Dict, Iterable, List, Sequence, Tuple
@@ -30,21 +45,25 @@ from typing import Dict, Iterable, List, Sequence, Tuple
 import numpy as np
 
 from ..core.schema import TableSchema
-from ..errors import StorageError
+from ..errors import ChecksumError, StorageError
 from .physical import PhysicalPartition, PhysicalSegment, TID_CATALOG, TID_EXPLICIT, TID_IMPLICIT
 
 __all__ = [
     "serialize_partition",
     "deserialize_partition",
     "segment_row_dtype",
+    "checksum_overhead",
     "LazyColumnBlock",
+    "FORMAT_VERSION",
     "MAGIC",
 ]
 
 MAGIC = b"JGSW"
-_VERSION = 1
+#: current write version; version 1 (pre-checksum) files remain readable.
+FORMAT_VERSION = 2
 _HEADER = struct.Struct("<4sHIIH")
 _SEGMENT_HEADER = struct.Struct("<BQQ")
+_CRC = struct.Struct("<I")
 _TID_MODES = {TID_EXPLICIT: 0, TID_IMPLICIT: 1, TID_CATALOG: 2}
 _TID_MODES_REVERSE = {code: mode for mode, code in _TID_MODES.items()}
 #: high bit of the mode byte marks a replica segment (limited replication).
@@ -161,25 +180,51 @@ def _attributes_from_bitmap(schema: TableSchema, bitmap: bytes) -> Tuple[str, ..
     return tuple(names)
 
 
-def serialize_partition(partition: PhysicalPartition, schema: TableSchema) -> bytes:
-    """Serialize a physical partition into the Figure-4 byte layout."""
-    chunks: List[bytes] = [
-        _HEADER.pack(MAGIC, _VERSION, partition.pid, len(partition.segments), len(schema))
-    ]
+def checksum_overhead(n_segments: int) -> int:
+    """Bytes a version-2 file spends on checksums beyond the version-1 layout.
+
+    The partition manager subtracts this from the physical file size when
+    charging simulated I/O, so checksums never perturb the paper's byte
+    accounting.
+    """
+    return _CRC.size * (1 + n_segments)
+
+
+def serialize_partition(
+    partition: PhysicalPartition, schema: TableSchema, version: int = FORMAT_VERSION
+) -> bytes:
+    """Serialize a physical partition into the Figure-4 byte layout.
+
+    ``version=1`` writes the legacy pre-checksum layout (used by tests to
+    assert backward readability); the default writes checksummed version 2.
+    """
+    if version not in (1, 2):
+        raise StorageError(f"cannot write partition format version {version}")
+    header = _HEADER.pack(MAGIC, version, partition.pid, len(partition.segments), len(schema))
+    chunks: List[bytes] = [header]
+    if version >= 2:
+        chunks.append(_CRC.pack(zlib.crc32(header)))
     for segment in partition.segments:
         mode = _TID_MODES[segment.tid_storage]
         if segment.replica:
             mode |= _REPLICA_FLAG
         first_tid = int(segment.tuple_ids[0]) if segment.n_tuples else 0
-        chunks.append(_SEGMENT_HEADER.pack(mode, segment.n_tuples, first_tid))
-        chunks.append(_attribute_bitmap(schema, segment.attributes))
+        seg_header = _SEGMENT_HEADER.pack(mode, segment.n_tuples, first_tid)
+        body: List[bytes] = [_attribute_bitmap(schema, segment.attributes)]
         if segment.tid_storage == TID_EXPLICIT:
-            chunks.append(np.ascontiguousarray(segment.tuple_ids, dtype="<i8").tobytes())
+            body.append(np.ascontiguousarray(segment.tuple_ids, dtype="<i8").tobytes())
         row_dtype = segment_row_dtype(schema, segment.attributes)
         rows = np.zeros(segment.n_tuples, dtype=row_dtype)
         for name in segment.attributes:
             rows[name] = segment.columns[name]
-        chunks.append(rows.tobytes())
+        body.append(rows.tobytes())
+        chunks.append(seg_header)
+        if version >= 2:
+            crc = zlib.crc32(seg_header)
+            for piece in body:
+                crc = zlib.crc32(piece, crc)
+            chunks.append(_CRC.pack(crc))
+        chunks.extend(body)
     return b"".join(chunks)
 
 
@@ -209,21 +254,36 @@ def deserialize_partition(
     magic, version, pid, n_segments, n_attrs = _HEADER.unpack_from(data, 0)
     if magic != MAGIC:
         raise StorageError(f"bad magic {magic!r}; not a partition file")
-    if version != _VERSION:
+    if version not in (1, 2):
         raise StorageError(f"unsupported partition format version {version}")
+    checksummed = version >= 2
+    offset = _HEADER.size
+    if checksummed:
+        if len(data) < offset + _CRC.size:
+            raise StorageError("partition file truncated: missing header checksum")
+        (stored_crc,) = _CRC.unpack_from(data, offset)
+        if zlib.crc32(data[:_HEADER.size]) != stored_crc:
+            raise ChecksumError(f"partition {pid}: header checksum mismatch")
+        offset += _CRC.size
     if n_attrs != len(schema):
         raise StorageError(
             f"partition file written for {n_attrs} attributes, schema has {len(schema)}"
         )
     bitmap_bytes = (n_attrs + 7) // 8
     wanted = None if columns is None else frozenset(columns)
-    offset = _HEADER.size
     segments: List[PhysicalSegment] = []
     for ordinal in range(n_segments):
-        if offset + _SEGMENT_HEADER.size + bitmap_bytes > len(data):
+        seg_start = offset
+        seg_crc_stored = 0
+        header_budget = _SEGMENT_HEADER.size + (_CRC.size if checksummed else 0)
+        if offset + header_budget + bitmap_bytes > len(data):
             raise StorageError(f"partition {pid}: truncated segment header #{ordinal}")
         mode_code, n_tuples, first_tid = _SEGMENT_HEADER.unpack_from(data, offset)
         offset += _SEGMENT_HEADER.size
+        if checksummed:
+            (seg_crc_stored,) = _CRC.unpack_from(data, offset)
+            offset += _CRC.size
+        body_start = offset
         replica = bool(mode_code & _REPLICA_FLAG)
         try:
             tid_storage = _TID_MODES_REVERSE[mode_code & ~_REPLICA_FLAG]
@@ -254,6 +314,13 @@ def deserialize_partition(
         cell_bytes = row_dtype.itemsize * n_tuples
         if offset + cell_bytes > len(data):
             raise StorageError(f"partition {pid}: truncated cells in segment #{ordinal}")
+        if checksummed:
+            crc = zlib.crc32(data[seg_start:seg_start + _SEGMENT_HEADER.size])
+            crc = zlib.crc32(data[body_start:offset + cell_bytes], crc)
+            if crc != seg_crc_stored:
+                raise ChecksumError(
+                    f"partition {pid}: checksum mismatch in segment #{ordinal}"
+                )
         if wanted is None:
             rows = np.frombuffer(data, dtype=row_dtype, count=n_tuples, offset=offset)
             cells = {name: np.ascontiguousarray(rows[name]) for name in attributes}

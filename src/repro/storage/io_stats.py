@@ -16,6 +16,8 @@ class IOStats:
     experiment can distinguish the two.  ``n_pool_hits`` / ``pool_hit_bytes``
     count reads served entirely from the deserialized-partition buffer pool —
     those charge neither simulated device time nor (real) decode work.
+    ``n_retries`` counts extra read attempts after storage faults; their
+    simulated backoff is folded into ``io_time_s``.
     """
 
     n_reads: int = 0
@@ -25,6 +27,7 @@ class IOStats:
     cache_hit_bytes: int = 0
     n_pool_hits: int = 0
     pool_hit_bytes: int = 0
+    n_retries: int = 0
     n_writes: int = 0
     bytes_written: int = 0
 
@@ -35,26 +38,11 @@ class IOStats:
     def diff(self, earlier: "IOStats") -> "IOStats":
         """Counters accumulated since a snapshot ``earlier``."""
         return IOStats(
-            n_reads=self.n_reads - earlier.n_reads,
-            bytes_read=self.bytes_read - earlier.bytes_read,
-            io_time_s=self.io_time_s - earlier.io_time_s,
-            n_cache_hits=self.n_cache_hits - earlier.n_cache_hits,
-            cache_hit_bytes=self.cache_hit_bytes - earlier.cache_hit_bytes,
-            n_pool_hits=self.n_pool_hits - earlier.n_pool_hits,
-            pool_hit_bytes=self.pool_hit_bytes - earlier.pool_hit_bytes,
-            n_writes=self.n_writes - earlier.n_writes,
-            bytes_written=self.bytes_written - earlier.bytes_written,
+            **{
+                spec.name: getattr(self, spec.name) - getattr(earlier, spec.name)
+                for spec in fields(self)
+            }
         )
 
     def copy(self) -> "IOStats":
-        return IOStats(
-            self.n_reads,
-            self.bytes_read,
-            self.io_time_s,
-            self.n_cache_hits,
-            self.cache_hit_bytes,
-            self.n_pool_hits,
-            self.pool_hit_bytes,
-            self.n_writes,
-            self.bytes_written,
-        )
+        return IOStats(**{spec.name: getattr(self, spec.name) for spec in fields(self)})

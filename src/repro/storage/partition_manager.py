@@ -17,12 +17,13 @@ import numpy as np
 
 from ..core.partition import PartitioningPlan
 from ..core.schema import TableSchema
-from ..errors import PartitionNotFoundError
+from ..errors import PartitionNotFoundError, PartitionUnreadableError, StorageError
 from .blob import BlobStore, MemoryBlobStore
 from .buffer_pool import BufferPool
 from .device import StorageDevice
+from .faults import RetryPolicy
 from .io_stats import IOStats
-from .format import deserialize_partition, serialize_partition
+from .format import checksum_overhead, deserialize_partition, serialize_partition
 from .physical import (
     TID_CATALOG,
     TID_EXPLICIT,
@@ -144,12 +145,14 @@ class PartitionManager:
         store: BlobStore | None = None,
         key_prefix: str = "",
         buffer_pool: BufferPool | None = None,
+        retry_policy: RetryPolicy | None = None,
     ):
         self.schema = schema
         self.device = device
         self.store = store if store is not None else MemoryBlobStore()
         self.key_prefix = key_prefix
         self.buffer_pool = buffer_pool
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
         self._catalog: Dict[int, PartitionInfo] = {}
         self._attribute_index: Dict[str, List[int]] = {}
         self._replica_index: Dict[str, List[int]] = {}
@@ -171,10 +174,13 @@ class PartitionManager:
         for segment in physical.segments:
             if segment.replica:
                 replica_attrs |= frozenset(segment.attributes)
+        # ``n_bytes`` is the *accounted* size — the version-1-equivalent byte
+        # count every simulated-I/O and footprint figure is calibrated to.
+        # Checksum bytes exist in the file but charge nothing.
         info = PartitionInfo(
             pid=physical.pid,
             key=key,
-            n_bytes=len(data),
+            n_bytes=len(data) - checksum_overhead(len(physical.segments)),
             attributes=physical.attribute_set(),
             n_tuples=physical.n_tuples,
             zone_map=physical.zone_map(),
@@ -249,6 +255,14 @@ class PartitionManager:
         other column still decodes transparently on first access.  Simulated
         byte/time accounting is unaffected — the whole file is still charged
         on a device read, as the row-major format offers no byte-level skip.
+
+        Reads are fault tolerant: a failed fetch or a corrupt file (bad
+        magic, truncation, checksum mismatch) is retried up to
+        ``retry_policy.max_attempts`` times with exponential *simulated*
+        backoff charged to the returned delta.  A partition that stays
+        unreadable raises :class:`PartitionUnreadableError` carrying the
+        accumulated ``io_delta``, and any pooled copy is invalidated so a
+        stale object can never be served after a failed refresh.
         """
         info = self.info(pid)
         pool = self.buffer_pool
@@ -256,27 +270,60 @@ class PartitionManager:
             partition = pool.get(pid)
             if partition is not None:
                 return partition, IOStats(n_pool_hits=1, pool_hit_bytes=info.n_bytes)
-        data = self.store.get(info.key)
-        before = self.device.snapshot()
-        self.device.read(info.key, len(data), chunk_size=chunk_size)
-        delta = self.device.stats.diff(before)
-        catalog_tids = {
-            ordinal: tids
-            for ordinal, (tids, mode) in enumerate(
-                zip(info.segment_tids, info.segment_tid_modes)
-            )
-            if mode == TID_CATALOG
-        }
-        if pool is not None and columns is None:
-            # A pooled partition must be able to serve *any* later
-            # projection, so decode lazily even for full loads.
-            columns = frozenset()
-        partition = deserialize_partition(
-            data, self.schema, catalog_tids or None, columns=columns
-        )
+        policy = self.retry_policy
+        delta = IOStats()
+        drain_latency = getattr(self.store, "consume_injected_latency", None)
+        last_error: StorageError | None = None
+        for attempt in range(policy.max_attempts):
+            if attempt:
+                delta.n_retries += 1
+                delta.io_time_s += policy.delay_s(attempt - 1)
+            try:
+                data = self.store.get(info.key)
+            except StorageError as exc:
+                if drain_latency is not None:
+                    delta.io_time_s += drain_latency()
+                last_error = exc
+                continue
+            # Bytes flowed, so the device charge applies even if the payload
+            # turns out corrupt; the accounted size is the v1-equivalent one.
+            before = self.device.snapshot()
+            self.device.read(info.key, info.n_bytes, chunk_size=chunk_size)
+            delta.add(self.device.stats.diff(before))
+            if drain_latency is not None:
+                delta.io_time_s += drain_latency()
+            catalog_tids = {
+                ordinal: tids
+                for ordinal, (tids, mode) in enumerate(
+                    zip(info.segment_tids, info.segment_tid_modes)
+                )
+                if mode == TID_CATALOG
+            }
+            decode_columns = columns
+            if pool is not None and decode_columns is None:
+                # A pooled partition must be able to serve *any* later
+                # projection, so decode lazily even for full loads.
+                decode_columns = frozenset()
+            try:
+                partition = deserialize_partition(
+                    data, self.schema, catalog_tids or None, columns=decode_columns
+                )
+            except StorageError as exc:
+                # Corrupt on the wire or at rest: never cache, maybe retry.
+                self.device.invalidate(info.key)
+                last_error = exc
+                continue
+            if pool is not None:
+                pool.put(pid, partition, info.n_bytes)
+            return partition, delta
         if pool is not None:
-            pool.put(pid, partition, info.n_bytes)
-        return partition, delta
+            pool.invalidate(pid)
+        raise PartitionUnreadableError(
+            f"partition {pid} ({info.key!r}) unreadable after "
+            f"{policy.max_attempts} attempts: {last_error}",
+            pid=pid,
+            io_delta=delta,
+        ) from last_error
 
     # ------------------------------------------------------------ indexes
 
@@ -317,6 +364,53 @@ class PartitionManager:
             if self._catalog[pid].contains_attribute_of(attribute, tids):
                 hits.append(pid)
         return tuple(hits)
+
+    def attribute_tids(self, pid: int, attribute: str) -> np.ndarray:
+        """Sorted unique tuple IDs for which ``pid`` stores a cell of
+        ``attribute`` — in *any* segment, primary or replica.
+
+        Catalog metadata only; usable even when the partition file itself is
+        unreadable, which is exactly when degraded reads need it.
+        """
+        info = self.info(pid)
+        holding = [
+            tids
+            for attrs, tids in zip(info.segment_attrs, info.segment_tids)
+            if attribute in attrs and len(tids)
+        ]
+        if not holding:
+            return np.empty(0, dtype=np.int64)
+        if len(holding) == 1:
+            return holding[0]
+        return np.unique(np.concatenate(holding))
+
+    def cover_attribute(
+        self, attribute: str, tids: np.ndarray, exclude: Iterable[int] = ()
+    ) -> Tuple[Tuple[int, ...], np.ndarray]:
+        """Greedy cover of ``(attribute, tids)`` cells from other partitions.
+
+        Candidates are every partition holding ``attribute`` primarily or as
+        replicas, minus ``exclude`` (typically the unreadable partition).
+        Returns ``(chosen_pids, still_missing_tids)``; an empty second item
+        means full coverage.
+        """
+        excluded = frozenset(exclude)
+        remaining = np.unique(np.asarray(tids, dtype=np.int64))
+        chosen: List[int] = []
+        candidates = list(self._attribute_index.get(attribute, ())) + list(
+            self._replica_index.get(attribute, ())
+        )
+        for pid in candidates:
+            if pid in excluded or not len(remaining):
+                continue
+            held = self.attribute_tids(pid, attribute)
+            if not len(held):
+                continue
+            hit = np.isin(remaining, held, assume_unique=True)
+            if hit.any():
+                chosen.append(pid)
+                remaining = remaining[~hit]
+        return tuple(chosen), remaining
 
     def total_bytes(self) -> int:
         """Total stored bytes across all partitions (storage footprint)."""

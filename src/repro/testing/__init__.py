@@ -1,0 +1,30 @@
+"""Testing utilities: the cross-engine differential oracle.
+
+Everything here is deterministic given a seed, dependency-free beyond numpy,
+and importable from production code and tests alike (the CLI exposes it as a
+self-check; the test suite drives it through hypothesis as well).
+"""
+
+from .oracle import (
+    OracleCase,
+    OracleReport,
+    inject_faults,
+    oracle_check,
+    random_query,
+    random_table,
+    random_workload,
+    run_differential_oracle,
+    run_reference_query,
+)
+
+__all__ = [
+    "OracleCase",
+    "OracleReport",
+    "inject_faults",
+    "oracle_check",
+    "random_query",
+    "random_table",
+    "random_workload",
+    "run_differential_oracle",
+    "run_reference_query",
+]

@@ -31,6 +31,22 @@ class TestBlobStore:
         with pytest.raises(StorageError):
             store.size("missing")
 
+    def test_missing_key_error_names_the_key(self, store):
+        """Both stores must raise the same StorageError, carrying the key —
+        callers (retry loops, logs) rely on the message naming the blob."""
+        with pytest.raises(StorageError, match="'absent/blob.jig'"):
+            store.get("absent/blob.jig")
+        with pytest.raises(StorageError, match="'absent/blob.jig'"):
+            store.size("absent/blob.jig")
+
+    def test_key_prefix_directory_is_not_a_blob(self, store):
+        """A key naming another key's parent 'directory' is absent on both
+        stores (the directory store must not raise IsADirectoryError)."""
+        store.put("dir/y", b"cdef")
+        with pytest.raises(StorageError, match="'dir'"):
+            store.get("dir")
+        assert "dir" not in store
+
     def test_contains(self, store):
         store.put("k", b"x")
         assert "k" in store

@@ -14,6 +14,7 @@ from repro.storage import (
     SegmentSpec,
     StorageDevice,
     TID_EXPLICIT,
+    checksum_overhead,
 )
 
 
@@ -39,7 +40,10 @@ class TestOnDiskLayout:
         assert len(files) == 3
         for pid in manager.pids():
             info = manager.info(pid)
-            assert os.path.getsize(tmp_path / "partitions" / info.key) == info.n_bytes
+            # Physical file = accounted (v1-equivalent) size + v2 CRCs.
+            assert os.path.getsize(tmp_path / "partitions" / info.key) == (
+                info.n_bytes + checksum_overhead(len(info.segment_tids))
+            )
 
         executor = PartitionAtATimeExecutor(manager, small_table.meta)
         query = Query.build(small_table.meta, ["a2", "a5"], {"a1": (0, 4999)})

@@ -33,6 +33,7 @@ from repro.storage import (
     PhysicalPartition,
     PhysicalSegment,
     StorageDevice,
+    checksum_overhead,
     deserialize_partition,
     serialize_partition,
 )
@@ -236,8 +237,10 @@ class TestFormatProperties:
         schema, partition = setup
         data = serialize_partition(partition, schema)
         payload = partition.disk_bytes(schema)
+        # v2: a 4-byte CRC follows the file header and each segment header.
         header_budget = 16 + len(partition.segments) * (17 + (len(schema) + 7) // 8)
-        assert len(data) == payload + header_budget
+        crc_budget = checksum_overhead(len(partition.segments))
+        assert len(data) == payload + header_budget + crc_budget
 
 
 # ------------------------------------------------------------ devices/cache
@@ -265,3 +268,53 @@ class TestDeviceProperties:
         ordered = sorted(sizes)
         times = [model.io_time(size) for size in ordered]
         assert all(a <= b for a, b in zip(times, times[1:]))
+
+
+# ---------------------------------------------------- differential oracle
+
+
+class TestDifferentialOracleProperties:
+    """Hypothesis drives random tables and workloads through the
+    cross-engine differential oracle: every engine, over every layout
+    family, must agree bit-for-bit with a direct numpy evaluation."""
+
+    @given(table_and_workload())
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    def test_all_layouts_match_reference(self, setup):
+        from repro.testing import oracle_check
+        from repro.testing.oracle import ORACLE_LAYOUTS
+
+        table, workload = setup
+        ctx = BuildContext(file_segment_bytes=4096, schism_sample_size=200)
+        for name, make in ORACLE_LAYOUTS:
+            layout = make().build(table, workload, ctx)
+            for query in workload:
+                mismatch = oracle_check(layout, table, query)
+                assert mismatch is None, f"[{name}] {mismatch}"
+
+    @given(table_and_workload(), st.sampled_from(["locking", "shared"]))
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    def test_threaded_engine_matches_reference(self, setup, strategy):
+        from repro.engine.parallel import ThreadedPartitionEngine
+        from repro.layouts import IrregularLayout
+        from repro.testing import run_reference_query
+
+        table, workload = setup
+        ctx = BuildContext(file_segment_bytes=4096)
+        layout = IrregularLayout(selection_enabled=False).build(
+            table, workload, ctx
+        )
+        engine = ThreadedPartitionEngine(
+            layout.manager, table.meta, n_threads=3, strategy=strategy
+        )
+        query = workload[0]
+        result = engine.execute(query)
+        assert result.equals(run_reference_query(table, query))
