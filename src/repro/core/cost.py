@@ -30,6 +30,7 @@ __all__ = [
     "IOModel",
     "MemoryModel",
     "CostModel",
+    "estimate_access_io",
     "fit_io_model",
     "DEFAULT_PAGE_SIZE",
     "DEFAULT_TUPLE_ID_BYTES",
@@ -88,6 +89,18 @@ def fit_io_model(sizes: Sequence[float], times: Sequence[float]) -> IOModel:
         raise CalibrationError("measurements must span more than one file size")
     alpha, beta = np.polyfit(x, y, 1)
     return IOModel(alpha=max(float(alpha), 0.0), beta=max(float(beta), 0.0))
+
+
+def estimate_access_io(io_model: IOModel, sizes: Iterable[float]) -> float:
+    """Predicted seconds to read each access's bytes in its own request.
+
+    The query planner's estimate for a physical plan's partition access
+    list: Formula 1's per-read cost applied to the catalog sizes of the
+    non-pruned accesses.  Each partition file is one request (the engines
+    read partition-at-a-time), so per-read ``beta`` overhead is charged per
+    access.
+    """
+    return sum(io_model.io_time(size) for size in sizes)
 
 
 @dataclass(frozen=True, slots=True)

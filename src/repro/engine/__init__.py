@@ -1,5 +1,12 @@
-"""Query engines: partition-at-a-time (Jigsaw), scan engines (baselines),
-predicates, results and execution statistics."""
+"""Query engines: thin drivers over the shared planning layer.
+
+All four executors (serial scan, partition-at-a-time, the threaded
+Jigsaw-L/S protocols, and replica-local) plan through
+:mod:`repro.plan` and drive its shared operator pipeline; each module here
+owns only its scheduling.  Predicates, results, statistics, and the
+degraded-read machinery live in :mod:`repro.plan` too — the imports below
+(and the ``engine.predicates`` / ``engine.result`` / ``engine.stats`` /
+``engine.degrade`` modules) remain as aliases for existing callers."""
 
 from .partition_at_a_time import (
     STATUS_INVALID,
@@ -9,6 +16,7 @@ from .partition_at_a_time import (
 )
 from .aggregates import aggregate, group_aggregate, revenue
 from .degrade import FaultContext, plan_alternates
+from .parallel import ThreadedPartitionEngine
 from .predicates import Conjunction, RangePredicate
 from .replicated import ReplicatedExecutor
 from .result import ResultSet
@@ -32,4 +40,5 @@ __all__ = [
     "STATUS_NOT_CHECKED",
     "STATUS_VALID",
     "ScanExecutor",
+    "ThreadedPartitionEngine",
 ]

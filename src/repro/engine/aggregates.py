@@ -9,7 +9,7 @@ quantities the paper's queries compute.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Mapping, Tuple
+from typing import Callable, Dict, Mapping
 
 import numpy as np
 

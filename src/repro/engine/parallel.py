@@ -7,7 +7,14 @@ Two deliverables live here:
    as the algorithms prescribe (bucket locks for L; a load barrier and
    disjoint bucket ranges for S).  The GIL makes them useless for measuring
    speedups, but they demonstrate and test protocol correctness: both must
-   produce bit-identical results to the serial engine.
+   produce bit-identical results to the serial engine.  Both strategies are
+   drivers over the shared plan layer: the
+   :class:`~repro.plan.physical.QueryPlanner` supplies the access lists and
+   pushdown sets, :class:`~repro.plan.operators.SelectOp` the per-tuple
+   Algorithm 5 transition, and each worker thread accounts its reads in its
+   own :class:`~repro.plan.stats.ExecutionStats` (summed into
+   :attr:`ThreadedPartitionEngine.last_stats` — per-worker counters must add
+   up exactly to the reported totals).
 
 2. **A deterministic execution simulator** that produces the Figure-5 cycle
    breakdown (I/O / computation / waiting per active thread).  The model
@@ -21,21 +28,32 @@ Two deliverables live here:
 from __future__ import annotations
 
 import threading
-from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Sequence
 
 import numpy as np
 
 from ..core.query import Query
 from ..core.schema import TableMeta
 from ..errors import PartitionUnreadableError
+from ..plan.degrade import FaultContext
+from ..plan.explain import ExplainReport
+from ..plan.logical import POLICY_PARTITION
+from ..plan.operators import (
+    STATUS_INVALID,
+    STATUS_NOT_CHECKED,
+    STATUS_VALID,
+    AccessLoop,
+    DegradeOp,
+    PlanReader,
+    ProjectFillOp,
+    SelectOp,
+)
+from ..plan.physical import PhysicalPlan, QueryPlanner
+from ..plan.result import ResultSet
+from ..plan.stats import ExecutionStats
 from ..storage.device import DeviceProfile
 from ..storage.partition_manager import PartitionManager
-from .degrade import FaultContext, handle_unreadable
-from .predicates import Conjunction
-from .result import ResultSet
-from .stats import ExecutionStats
 
 __all__ = [
     "ThreadedPartitionEngine",
@@ -45,7 +63,11 @@ __all__ = [
     "simulate_shared_scan",
 ]
 
-_NOT_CHECKED, _VALID, _INVALID = 0, 1, 2
+_NOT_CHECKED, _VALID, _INVALID = (
+    int(STATUS_NOT_CHECKED),
+    int(STATUS_VALID),
+    int(STATUS_INVALID),
+)
 
 
 class ThreadedPartitionEngine:
@@ -72,49 +94,77 @@ class ThreadedPartitionEngine:
         self.n_threads = max(1, n_threads)
         self.strategy = strategy
         self.n_buckets = n_buckets
+        self.planner = QueryPlanner(
+            manager, table, policy=POLICY_PARTITION, pruning=False
+        )
         # Fault counters of the most recent execute(); the threaded engine
-        # returns a bare ResultSet, so these are its ExecutionStats stand-in.
+        # returns a bare ResultSet, so these are the quick-look stand-in.
         self.fault_events: Dict[str, int] = {
             "n_unreadable_partitions": 0,
             "n_degraded_reads": 0,
         }
+        #: accounting of the most recent execute(): one ``ExecutionStats``
+        #: per worker thread, the coordinator's (serial drain + projection
+        #: loads), and their exact sum.
+        self.worker_stats: List[ExecutionStats] = []
+        self.coordinator_stats = ExecutionStats()
+        self.last_stats = ExecutionStats()
+
+    # ---------------------------------------------------------- planning
+
+    def plan(self, query: Query) -> PhysicalPlan:
+        """The physical plan ``execute`` would drive (no I/O)."""
+        return self.planner.plan(query)
+
+    def explain(self, query: Query) -> ExplainReport:
+        """Snapshot of the plan's pruning and access decisions."""
+        engine = "jigsaw-l" if self.strategy == "locking" else "jigsaw-s"
+        return self.plan(query).explain(engine=engine)
 
     # ------------------------------------------------------------ public
 
     def execute(self, query: Query) -> ResultSet:
-        conjunction = Conjunction.from_query(query)
-        projected = tuple(query.select)
+        plan = self.planner.plan(query)
+        conjunction = plan.logical.conjunction
+        projected = plan.logical.projected
         status = [_NOT_CHECKED] * self.table.n_tuples
         ret: Dict[int, Dict[str, object]] = {}
         load_lock = threading.Lock()
         fctx = FaultContext()
-        fault_stats = ExecutionStats()
-        failed: List[int] = []  # appended under load_lock by workers
+        coordinator = ExecutionStats()
+        self.worker_stats = [ExecutionStats() for _ in range(self.n_threads)]
+        failed: List[int] = []  # appended by workers (list.append is atomic)
+        select_op = SelectOp(conjunction, projected)
+        fill_op = ProjectFillOp(projected)
 
-        pred_pids = sorted(
-            self.manager.partitions_for_attributes(conjunction.attributes)
-        )
+        pred_pids = plan.selection_pids()
         if not conjunction:
             for tid in range(self.table.n_tuples):
                 status[tid] = _VALID
                 ret[tid] = {}
         elif self.strategy == "locking":
             self._selection_locking(
-                pred_pids, conjunction, projected, status, ret, load_lock, failed
+                plan, pred_pids, select_op, status, ret, load_lock, fctx, failed
             )
         else:
             self._selection_shared(
-                pred_pids, conjunction, projected, status, ret, load_lock, failed
+                plan, pred_pids, select_op, status, ret, load_lock, fctx, failed
             )
         if failed:
             self._drain_selection_failures(
-                failed, conjunction, projected, status, ret, fctx, fault_stats
+                plan, failed, select_op, status, ret, fctx, coordinator
             )
 
-        self._projection(projected, status, ret, fctx, fault_stats)
+        self._projection(plan, fill_op, status, ret, fctx, coordinator)
+
+        self.coordinator_stats = coordinator
+        totals = ExecutionStats()
+        totals.add(coordinator)
+        for worker in self.worker_stats:
+            totals.add(worker)
         self.fault_events = {
-            "n_unreadable_partitions": fault_stats.n_unreadable_partitions,
-            "n_degraded_reads": fault_stats.n_degraded_reads,
+            "n_unreadable_partitions": totals.n_unreadable_partitions,
+            "n_degraded_reads": totals.n_degraded_reads,
         }
         valid = np.array(sorted(tid for tid, s in enumerate(status) if s == _VALID))
         valid = valid.astype(np.int64) if len(valid) else np.empty(0, np.int64)
@@ -134,29 +184,30 @@ class ThreadedPartitionEngine:
                            dtype=self.table.schema[name].np_dtype)
             for name in projected
         }
+        totals.n_result_tuples = len(valid)
+        self.last_stats = totals
         return ResultSet(valid, columns)
 
     # --------------------------------------------------------- internals
 
-    def _load(
+    def _worker_load(
         self,
+        reader: PlanReader,
         pid: int,
-        load_lock: threading.Lock,
-        columns: frozenset | None = None,
-        failed: List[int] | None = None,
+        columns: frozenset,
+        failed: List[int],
     ):
-        """Load under the lock; with ``failed`` given, an unreadable
-        partition is recorded there and None returned instead of raising,
-        so worker threads never die mid-phase."""
-        with load_lock:  # manager/device counters are not thread-safe
-            try:
-                partition, _io_delta = self.manager.load(pid, columns=columns)
-            except PartitionUnreadableError:
-                if failed is None:
-                    raise
-                failed.append(pid)
-                return None
-        return partition
+        """Load through the worker's reader; an unreadable partition is
+        recorded in ``failed`` (its I/O cost accrued to this worker) and
+        None returned instead of raising, so worker threads never die
+        mid-phase."""
+        try:
+            return reader.load(pid, columns=columns)
+        except PartitionUnreadableError as exc:
+            if exc.io_delta is not None:
+                reader.stats.accrue_io(exc.io_delta)
+            failed.append(pid)
+            return None
 
     def _tuple_rows(self, partition, wanted: frozenset | None = None):
         """Yield (tid, {attr: value}) for every tuple of the partition.
@@ -173,78 +224,53 @@ class ThreadedPartitionEngine:
             for row, tid in enumerate(segment.tuple_ids):
                 yield int(tid), {name: columns[name][row] for name in attrs}
 
-    def _process_tuple(
-        self,
-        tid: int,
-        cells: Dict[str, object],
-        conjunction: Conjunction,
-        projected: Tuple[str, ...],
-        status: List[int],
-        ret: Dict[int, Dict[str, object]],
-    ) -> None:
-        """Algorithm 5, lines 6-16, for one tuple (caller holds its bucket)."""
-        if status[tid] == _INVALID:
-            return
-        for predicate in conjunction.predicates:
-            if predicate.attribute in cells:
-                value = cells[predicate.attribute]
-                if not (predicate.lo <= value <= predicate.hi):
-                    if status[tid] == _VALID:
-                        ret.pop(tid, None)
-                    status[tid] = _INVALID
-                    return
-        if status[tid] == _NOT_CHECKED:
-            ret[tid] = {}
-            status[tid] = _VALID
-        row = ret.get(tid)
-        if row is not None:
-            for name in projected:
-                if name in cells:
-                    row[name] = cells[name]
-
     def _selection_locking(
-        self, pred_pids, conjunction, projected, status, ret, load_lock, failed
+        self, plan, pred_pids, select_op, status, ret, load_lock, fctx, failed
     ):
         """Algorithm 6: threads pop partitions; bucket locks serialize tuples."""
         queue = list(pred_pids)
         queue_lock = threading.Lock()
         bucket_locks = [threading.Lock() for _ in range(self.n_buckets)]
-        wanted = frozenset(conjunction.attributes) | frozenset(projected)
+        wanted = plan.logical.selection_columns
 
-        def worker() -> None:
+        def worker(thread_id: int) -> None:
+            reader = PlanReader(
+                self.manager, self.worker_stats[thread_id], fctx, lock=load_lock
+            )
             while True:
                 with queue_lock:
                     if not queue:
                         return
                     pid = queue.pop(0)
-                partition = self._load(pid, load_lock, columns=wanted, failed=failed)
+                partition = self._worker_load(reader, pid, wanted, failed)
                 if partition is None:
                     continue
                 for tid, cells in self._tuple_rows(partition, wanted):
                     with bucket_locks[tid % self.n_buckets]:
-                        self._process_tuple(tid, cells, conjunction, projected, status, ret)
+                        select_op.process_tuple(tid, cells, status, ret)
 
-        self._run_threads(worker)
+        self._run_threads(worker, pass_id=True)
 
     def _selection_shared(
-        self, pred_pids, conjunction, projected, status, ret, load_lock, failed
+        self, plan, pred_pids, select_op, status, ret, load_lock, fctx, failed
     ):
         """Algorithm 7: barrier after loading; threads own bucket ranges."""
         partitions: List = [None] * len(pred_pids)
         load_queue = list(enumerate(pred_pids))
         queue_lock = threading.Lock()
         barrier = threading.Barrier(self.n_threads)
-        wanted = frozenset(conjunction.attributes) | frozenset(projected)
+        wanted = plan.logical.selection_columns
 
         def worker(thread_id: int) -> None:
+            reader = PlanReader(
+                self.manager, self.worker_stats[thread_id], fctx, lock=load_lock
+            )
             while True:
                 with queue_lock:
                     if not load_queue:
                         break
                     index, pid = load_queue.pop(0)
-                partitions[index] = self._load(
-                    pid, load_lock, columns=wanted, failed=failed
-                )
+                partitions[index] = self._worker_load(reader, pid, wanted, failed)
             barrier.wait()
             for partition in partitions:
                 if partition is None:
@@ -252,12 +278,12 @@ class ThreadedPartitionEngine:
                 for tid, cells in self._tuple_rows(partition, wanted):
                     if tid % self.n_threads != thread_id:
                         continue
-                    self._process_tuple(tid, cells, conjunction, projected, status, ret)
+                    select_op.process_tuple(tid, cells, status, ret)
 
         self._run_threads(worker, pass_id=True)
 
     def _drain_selection_failures(
-        self, failed, conjunction, projected, status, ret, fctx, fault_stats
+        self, plan, failed, select_op, status, ret, fctx, stats
     ) -> None:
         """Serially re-cover the predicate cells of partitions the worker
         threads could not read.
@@ -268,46 +294,36 @@ class ThreadedPartitionEngine:
         cells are healed later by :meth:`_projection` through the tuple-level
         index.
         """
-        wanted = frozenset(conjunction.attributes) | frozenset(projected)
-        pending: deque = deque()
-        done: Set[int] = set(failed)
+        conjunction = plan.logical.conjunction
+        wanted = plan.logical.selection_columns
+        reader = PlanReader(self.manager, stats, fctx)
+        degrade = DegradeOp(self.manager, stats, fctx)
+        loop = AccessLoop(reader, degrade, conjunction.attributes, wanted)
         # Mark every known failure first so the earliest substitution plan
         # already excludes all of them.
+        loop.done.update(failed)
         for pid in failed:
             if pid not in fctx.unreadable:
                 fctx.unreadable.add(pid)
-                fault_stats.n_unreadable_partitions += 1
+                stats.n_unreadable_partitions += 1
         for pid in dict.fromkeys(failed):
-            handle_unreadable(
-                self.manager, pid, conjunction.attributes, fctx, fault_stats,
-                pending, done,
-            )
-        while pending:
-            pid = pending.popleft()
-            if pid in fctx.unreadable:
-                continue
-            done.add(pid)
-            try:
-                partition, _io_delta = self.manager.load(pid, columns=wanted)
-            except PartitionUnreadableError:
-                handle_unreadable(
-                    self.manager, pid, conjunction.attributes, fctx,
-                    fault_stats, pending, done,
-                )
-                continue
-            if pid in fctx.degraded:
-                fault_stats.n_degraded_reads += 1
-            for tid, cells in self._tuple_rows(partition, wanted):
-                self._process_tuple(tid, cells, conjunction, projected, status, ret)
+            loop.fail(pid)
 
-    def _projection(self, projected, status, ret, fctx, fault_stats):
+        def process(pid: int, partition) -> None:
+            for tid, cells in self._tuple_rows(partition, wanted):
+                select_op.process_tuple(tid, cells, status, ret)
+
+        loop.run(process)
+
+    def _projection(self, plan, fill_op, status, ret, fctx, stats):
         """Fill missing projected cells; safe without locks (Section 5.2.1).
 
-        Partitions are loaded once, serially (the load path is not
-        thread-safe anyway), which is also where unreadable partitions are
-        swapped for substitutes; the threads then split the preloaded
-        partitions' tuples by bucket range.
+        Partitions are loaded once, serially by the coordinator (the load
+        path is not thread-safe anyway), which is also where unreadable
+        partitions are swapped for substitutes; the threads then split the
+        preloaded partitions' tuples by bucket range.
         """
+        projected = plan.logical.projected
         missing_pids: set = set()
         for tid, row in ret.items():
             if status[tid] != _VALID:
@@ -320,7 +336,7 @@ class ThreadedPartitionEngine:
                     )
         if not missing_pids:
             return
-        wanted = frozenset(projected)
+        wanted = plan.logical.projection_columns
 
         def still_missing() -> Dict[str, np.ndarray]:
             return {
@@ -336,30 +352,18 @@ class ThreadedPartitionEngine:
             }
 
         partitions: List = []
-        pending: deque = deque(sorted(missing_pids))
-        done: Set[int] = set()
-        while pending:
-            pid = pending.popleft()
-            if pid in done:
-                continue
-            done.add(pid)
-            if pid in fctx.unreadable:
-                handle_unreadable(
-                    self.manager, pid, projected, fctx, fault_stats,
-                    pending, done, None, still_missing(),
-                )
-                continue
-            try:
-                partition, _io_delta = self.manager.load(pid, columns=wanted)
-            except PartitionUnreadableError:
-                handle_unreadable(
-                    self.manager, pid, projected, fctx, fault_stats,
-                    pending, done, None, still_missing(),
-                )
-                continue
-            if pid in fctx.degraded:
-                fault_stats.n_degraded_reads += 1
-            partitions.append(partition)
+        reader = PlanReader(self.manager, stats, fctx)
+        degrade = DegradeOp(self.manager, stats, fctx)
+        loop = AccessLoop(
+            reader,
+            degrade,
+            projected,
+            wanted,
+            replan_known_dead=True,
+            tids_by_attribute=still_missing,
+        )
+        loop.enqueue(sorted(missing_pids))
+        loop.run(lambda pid, partition: partitions.append(partition))
 
         def worker(thread_id: int) -> None:
             for partition in partitions:
@@ -368,10 +372,7 @@ class ThreadedPartitionEngine:
                         continue
                     if status[tid] != _VALID:
                         continue
-                    row = ret[tid]
-                    for name in projected:
-                        if name in cells and name not in row:
-                            row[name] = cells[name]
+                    fill_op.fill_tuple(tid, cells, ret[tid])
 
         self._run_threads(worker, pass_id=True)
 

@@ -16,24 +16,44 @@ partition is never read twice:
 The result hash table is represented densely (per-attribute value + presence
 arrays indexed by tuple ID); hash-table insert/update events are counted and
 priced by the CPU model, matching the paper's ``mem()`` accounting.
+
+Both phases are thin serial drivers over the shared planning layer: the
+:class:`~repro.plan.physical.QueryPlanner` (partition pruning policy —
+Algorithm 5's status semantics require the all-stored-attributes-disjoint
+rule plus explicit tuple invalidation) builds the access lists, and
+:mod:`repro.plan.operators` supplies the selection / fill / degrade loop.
 """
 
 from __future__ import annotations
 
 import time
-from collections import deque
-from typing import Dict, Iterable, Set, Tuple
+from typing import Dict, Set, Tuple
 
 import numpy as np
 
 from ..core.query import Query
 from ..core.schema import TableMeta
-from ..errors import PartitionUnreadableError, StorageError
+from ..errors import StorageError
+from ..plan.degrade import FaultContext
+from ..plan.explain import ExplainReport
+from ..plan.logical import POLICY_PARTITION
+from ..plan.operators import (
+    STATUS_INVALID,
+    STATUS_NOT_CHECKED,
+    STATUS_VALID,
+    AccessLoop,
+    DegradeOp,
+    PlanReader,
+    ProjectFillOp,
+    SelectOp,
+    finalize_stats,
+    invalidate_pruned,
+    merge_results,
+)
+from ..plan.physical import PhysicalPlan, QueryPlanner
+from ..plan.result import ResultSet
+from ..plan.stats import CpuModel, ExecutionStats
 from ..storage.partition_manager import PartitionManager
-from .degrade import FaultContext, handle_unreadable
-from .predicates import Conjunction
-from .result import ResultSet
-from .stats import CpuModel, ExecutionStats
 
 __all__ = [
     "STATUS_NOT_CHECKED",
@@ -41,10 +61,6 @@ __all__ = [
     "STATUS_INVALID",
     "PartitionAtATimeExecutor",
 ]
-
-STATUS_NOT_CHECKED = np.uint8(0)
-STATUS_VALID = np.uint8(1)
-STATUS_INVALID = np.uint8(2)
 
 
 class PartitionAtATimeExecutor:
@@ -64,61 +80,39 @@ class PartitionAtATimeExecutor:
         table: TableMeta,
         cpu_model: CpuModel | None = None,
         zone_maps: bool = False,
+        pin_pool: bool = False,
     ):
         self.manager = manager
         self.table = table
         self.cpu_model = cpu_model or CpuModel()
         self.zone_maps = zone_maps
+        self.planner = QueryPlanner(
+            manager,
+            table,
+            policy=POLICY_PARTITION,
+            pruning=zone_maps,
+            pin_pool=pin_pool,
+        )
 
-    def _zone_verdict(
-        self,
-        pid: int,
-        conjunction: Conjunction,
-        status: np.ndarray,
-        stats: ExecutionStats,
-    ) -> bool:
-        """Try to resolve a predicate partition from catalog metadata alone.
+    # ---------------------------------------------------------- planning
 
-        If, for *every* predicate attribute the partition stores, the
-        partition's zone range is disjoint from the query range, then every
-        tuple owning a predicate cell here fails the conjunction.  Those
-        tuples are marked INVALID straight from the catalog's tuple-ID
-        arrays — the verdict Algorithm 5 would reach, without the I/O —
-        and the partition read is skipped.  Returns True when skipped.
+    def plan(self, query: Query) -> PhysicalPlan:
+        """The physical plan ``execute`` would drive (no I/O)."""
+        return self.planner.plan(query)
 
-        (If any stored predicate attribute's zone overlaps the query, the
-        partition must be read: some of its tuples may satisfy that
-        predicate, and their cells of the *other* predicates live here too.)
-        """
-        info = self.manager.info(pid)
-        stored_pred_attrs = [
-            p for p in conjunction.predicates if p.attribute in info.attributes
-        ]
-        if not stored_pred_attrs:
-            return False
-        for predicate in stored_pred_attrs:
-            bounds = info.zone_map.get(predicate.attribute)
-            if bounds is None:
-                return False
-            lo, hi = bounds
-            if not (hi < predicate.lo or lo > predicate.hi):
-                return False
-        # Every stored predicate cell fails: invalidate the owning tuples.
-        pred_names = {p.attribute for p in stored_pred_attrs}
-        for attrs, tids in zip(info.segment_attrs, info.segment_tids):
-            if pred_names & set(attrs) and len(tids):
-                previously_valid = status[tids] == STATUS_VALID
-                stats.hash_updates += int(previously_valid.sum())
-                status[tids] = STATUS_INVALID
-        return True
+    def explain(self, query: Query) -> ExplainReport:
+        """Snapshot of the plan's pruning and access decisions."""
+        return self.plan(query).explain(engine="partition-at-a-time")
+
+    # ------------------------------------------------------------ execute
 
     def execute(self, query: Query) -> Tuple[ResultSet, ExecutionStats]:
         started = time.perf_counter()
         stats = ExecutionStats()
         n = self.table.n_tuples
         status = np.full(n, STATUS_NOT_CHECKED, dtype=np.uint8)
-        conjunction = Conjunction.from_query(query)
-        projected = tuple(query.select)
+        plan = self.planner.plan(query)
+        projected = plan.logical.projected
         values: Dict[str, np.ndarray] = {}
         present: Dict[str, np.ndarray] = {}
         for name in projected:
@@ -126,130 +120,88 @@ class PartitionAtATimeExecutor:
             present[name] = np.zeros(n, dtype=bool)
 
         fctx = FaultContext()
-        if conjunction:
-            self._selection_phase(
-                conjunction, projected, status, values, present, stats, fctx
-            )
-        else:
-            # No WHERE clause: every tuple qualifies; lines 3-16 degenerate to
-            # allocating a hash-table row per tuple.
-            status[:] = STATUS_VALID
-            stats.hash_inserts += n
+        reader = PlanReader(
+            self.manager, stats, fctx, pin_hints=plan.pin_hints()
+        )
+        degrade = DegradeOp(self.manager, stats, fctx)
+        try:
+            if plan.logical.conjunction:
+                self._selection_phase(
+                    plan, reader, degrade, status, values, present, stats
+                )
+            else:
+                # No WHERE clause: every tuple qualifies; lines 3-16
+                # degenerate to allocating a hash-table row per tuple.
+                status[:] = STATUS_VALID
+                stats.hash_inserts += n
 
-        self._projection_phase(query, projected, status, values, present, stats, fctx)
+            self._projection_phase(
+                plan, reader, degrade, status, values, present, stats
+            )
+        finally:
+            reader.release()
 
         valid = np.nonzero(status == STATUS_VALID)[0].astype(np.int64)
-        result = ResultSet(valid, {name: values[name][valid] for name in projected})
-        stats.n_result_tuples = result.n_tuples
-        stats.charge_cpu(self.cpu_model)
-        stats.wall_time_s = time.perf_counter() - started
+        result = merge_results(valid, values, projected, stats)
+        finalize_stats(stats, self.cpu_model, started)
         return result, stats
-
-    # --------------------------------------------------------- fault path
-
-    def _handle_unreadable(
-        self,
-        pid: int,
-        attributes: Iterable[str],
-        fctx: FaultContext,
-        stats: ExecutionStats,
-        pending: deque,
-        done: Set[int],
-        exc: PartitionUnreadableError | None = None,
-        tids_by_attribute: Dict[str, np.ndarray] | None = None,
-    ) -> None:
-        """Record one unreadable partition and enqueue its substitutes."""
-        handle_unreadable(
-            self.manager, pid, attributes, fctx, stats, pending, done,
-            exc, tids_by_attribute,
-        )
 
     # ------------------------------------------------------------ phase 1
 
     def _selection_phase(
         self,
-        conjunction: Conjunction,
-        projected: Tuple[str, ...],
+        plan: PhysicalPlan,
+        reader: PlanReader,
+        degrade: DegradeOp,
         status: np.ndarray,
         values: Dict[str, np.ndarray],
         present: Dict[str, np.ndarray],
         stats: ExecutionStats,
-        fctx: FaultContext,
     ) -> None:
-        pred_pids = self.manager.partitions_for_attributes(conjunction.attributes)
-        projected_set = set(projected)
-        # Projection pushdown: the selection phase touches predicate cells
-        # plus any projected cells stored alongside them (Algorithm 5 line
-        # 16); no other column needs decoding.
-        needed = frozenset(conjunction.attributes) | projected_set
-        pending = deque(sorted(pred_pids))
-        done: Set[int] = set()
-        while pending:
-            pid = pending.popleft()
-            if pid in done or pid in fctx.unreadable:
-                continue
-            done.add(pid)
-            if self.zone_maps and self._zone_verdict(pid, conjunction, status, stats):
+        conjunction = plan.logical.conjunction
+        select_op = SelectOp(conjunction, plan.logical.projected)
+        loop = AccessLoop(
+            reader,
+            degrade,
+            conjunction.attributes,
+            plan.logical.selection_columns,
+        )
+        loop.enqueue(plan.selection_pids())
+
+        def skip(pid: int) -> bool:
+            decision = plan.decision_for(pid)
+            if decision.is_pruned:
+                # The catalog already proves every stored predicate cell
+                # fails; apply the verdict Algorithm 5 would have reached.
+                invalidate_pruned(
+                    self.manager.info(pid), decision.pruned_attributes,
+                    status, stats,
+                )
                 stats.n_partitions_skipped += 1
-                continue
-            try:
-                partition, io_delta = self.manager.load(pid, columns=needed)
-            except PartitionUnreadableError as exc:
-                # Re-cover the dead partition's predicate cells from replicas
-                # or overlapping primaries; its projected cells are healed by
-                # the projection phase through the tuple-level index.
-                self._handle_unreadable(
-                    pid, conjunction.attributes, fctx, stats, pending, done, exc
-                )
-                continue
-            stats.accrue_io(io_delta)
-            stats.n_partition_reads += 1
-            if pid in fctx.degraded:
-                stats.n_degraded_reads += 1
-            for segment in partition.segments:
-                tids = segment.tuple_ids
-                if not len(tids):
-                    continue
-                stats.cells_scanned += len(tids) * len(segment.attributes)
-                active = status[tids] != STATUS_INVALID
-                satisfied, _n_preds = conjunction.evaluate_available(
-                    segment.columns, len(tids)
-                )
-                failing = active & ~satisfied
-                if np.any(failing):
-                    # Lines 8-11: drop the tuple (and its hash-table row).
-                    failed_tids = tids[failing]
-                    previously_valid = status[failed_tids] == STATUS_VALID
-                    stats.hash_updates += int(previously_valid.sum())
-                    status[failed_tids] = STATUS_INVALID
-                passing = active & satisfied
-                if not np.any(passing):
-                    continue
-                passing_tids = tids[passing]
-                fresh = status[passing_tids] == STATUS_NOT_CHECKED
-                stats.hash_inserts += int(fresh.sum())
-                status[passing_tids[fresh]] = STATUS_VALID
-                # Line 16: stash projected cells stored in this partition so
-                # the projection phase never reloads it.
-                for name in segment.attributes:
-                    if name not in projected_set:
-                        continue
-                    values[name][passing_tids] = segment.columns[name][passing]
-                    present[name][passing_tids] = True
-                    stats.hash_updates += len(passing_tids)
+                stats.n_partitions_pruned += 1
+                return True
+            return False
+
+        loop.run(
+            lambda pid, partition: select_op.filter_partition(
+                partition, status, values, present, stats
+            ),
+            skip,
+        )
 
     # ------------------------------------------------------------ phase 2
 
     def _projection_phase(
         self,
-        query: Query,
-        projected: Tuple[str, ...],
+        plan: PhysicalPlan,
+        reader: PlanReader,
+        degrade: DegradeOp,
         status: np.ndarray,
         values: Dict[str, np.ndarray],
         present: Dict[str, np.ndarray],
         stats: ExecutionStats,
-        fctx: FaultContext,
     ) -> None:
+        projected = plan.logical.projected
         valid = np.nonzero(status == STATUS_VALID)[0].astype(np.int64)
         if not len(valid):
             return
@@ -264,52 +216,23 @@ class PartitionAtATimeExecutor:
                 proj_pids.update(
                     self.manager.partitions_with_missing_cells(name, missing)
                 )
-        projected_set = set(projected)
+        fill_op = ProjectFillOp(projected)
         # Only the still-missing projected attributes need decoding here;
         # everything else in these partitions is dead weight for this phase.
-        needed = frozenset(missing_attrs)
-        pending = deque(sorted(proj_pids))
-        done: Set[int] = set()
-        while pending:
-            pid = pending.popleft()
-            if pid in done:
-                continue
-            done.add(pid)
-            if pid in fctx.unreadable:
-                # Known dead from the selection phase: plan substitutes for
-                # the projected cells without burning another retry cycle.
-                self._handle_unreadable(
-                    pid, missing_attrs, fctx, stats, pending, done,
-                    tids_by_attribute=missing_by_attr,
-                )
-                continue
-            try:
-                partition, io_delta = self.manager.load(pid, columns=needed)
-            except PartitionUnreadableError as exc:
-                self._handle_unreadable(
-                    pid, missing_attrs, fctx, stats, pending, done, exc,
-                    tids_by_attribute=missing_by_attr,
-                )
-                continue
-            stats.accrue_io(io_delta)
-            stats.n_partition_reads += 1
-            if pid in fctx.degraded:
-                stats.n_degraded_reads += 1
-            for segment in partition.segments:
-                tids = segment.tuple_ids
-                if not len(tids):
-                    continue
-                stats.cells_scanned += len(tids) * len(segment.attributes)
-                mask = status[tids] == STATUS_VALID
-                if not np.any(mask):
-                    continue
-                hit_tids = tids[mask]
-                for name in segment.attributes:
-                    if name not in projected_set:
-                        continue
-                    values[name][hit_tids] = segment.columns[name][mask]
-                    present[name][hit_tids] = True
-                    stats.hash_updates += len(hit_tids)
+        loop = AccessLoop(
+            reader,
+            degrade,
+            missing_attrs,
+            frozenset(missing_attrs),
+            replan_known_dead=True,
+            tids_by_attribute=missing_by_attr,
+        )
+        loop.enqueue(sorted(proj_pids))
+        loop.run(
+            lambda pid, partition: fill_op.fill_valid(
+                partition, status, values, present, stats
+            )
+        )
         for name in projected:
             still_missing = valid[~present[name][valid]]
             if len(still_missing):

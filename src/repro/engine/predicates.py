@@ -1,82 +1,9 @@
-"""Predicate evaluation: conjunctions of closed-range predicates.
+"""Back-compat shim: predicate evaluation moved to :mod:`repro.plan.predicates`.
 
-All engines evaluate the same query shape the paper assumes —
-``p_1 AND ... AND p_n`` where each ``p_i`` is a range (or equality, a
-degenerate range) predicate on one attribute — vectorized over numpy
-columns.
+The planner owns predicate normalization now; engines (and external callers)
+keep importing from here unchanged.
 """
 
-from __future__ import annotations
-
-from dataclasses import dataclass
-from typing import Dict, List, Mapping, Tuple
-
-import numpy as np
-
-from ..core.query import Query
+from ..plan.predicates import Conjunction, RangePredicate
 
 __all__ = ["RangePredicate", "Conjunction"]
-
-
-@dataclass(frozen=True, slots=True)
-class RangePredicate:
-    """``lo <= attribute <= hi`` over one attribute."""
-
-    attribute: str
-    lo: float
-    hi: float
-
-    def mask(self, column: np.ndarray) -> np.ndarray:
-        """Boolean mask of rows whose value falls inside the range."""
-        return (column >= self.lo) & (column <= self.hi)
-
-
-class Conjunction:
-    """An AND of range predicates, evaluable on any subset of attributes."""
-
-    __slots__ = ("predicates", "_by_attribute")
-
-    def __init__(self, predicates: List[RangePredicate]):
-        self.predicates: Tuple[RangePredicate, ...] = tuple(predicates)
-        self._by_attribute: Dict[str, RangePredicate] = {
-            p.attribute: p for p in predicates
-        }
-
-    @classmethod
-    def from_query(cls, query: Query) -> "Conjunction":
-        return cls(
-            [RangePredicate(name, iv.lo, iv.hi) for name, iv in query.where.items()]
-        )
-
-    @property
-    def attributes(self) -> frozenset:
-        return frozenset(self._by_attribute)
-
-    def __len__(self) -> int:
-        return len(self.predicates)
-
-    def __bool__(self) -> bool:
-        return bool(self.predicates)
-
-    def predicate_for(self, attribute: str) -> RangePredicate | None:
-        return self._by_attribute.get(attribute)
-
-    def evaluate_available(
-        self, columns: Mapping[str, np.ndarray], n_rows: int
-    ) -> Tuple[np.ndarray, int]:
-        """AND of the predicates whose attribute appears in ``columns``.
-
-        Returns ``(mask, n_evaluated)``.  Predicates on absent attributes are
-        skipped — this is the partition-at-a-time behaviour of checking only
-        the cells a partition stores (Algorithm 5 line 8).  With no evaluable
-        predicate the mask is all-True (vacuous satisfaction).
-        """
-        mask = np.ones(n_rows, dtype=bool)
-        n_evaluated = 0
-        for predicate in self.predicates:
-            column = columns.get(predicate.attribute)
-            if column is None:
-                continue
-            mask &= predicate.mask(column)
-            n_evaluated += 1
-        return mask, n_evaluated

@@ -9,24 +9,31 @@ passes through the global reconstruction hash table, which is exactly the
 cost the paper's future-work note wants to avoid.
 
 Queries that cannot be localized (or that have no predicates) fall back to
-the standard partition-at-a-time engine transparently.
+the standard partition-at-a-time engine transparently.  The localizability
+test and the local access list live in the planner
+(:meth:`~repro.plan.physical.QueryPlanner.plan_replica_local`); the plan's
+``replica_fallback`` policy marks that an unreadable partition retreats to
+the standard engine rather than degrading in place.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, Set, Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 
 from ..core.query import Query
 from ..core.schema import TableMeta
 from ..errors import PartitionUnreadableError, StorageError
+from ..plan.explain import ExplainReport
+from ..plan.logical import POLICY_SCAN
+from ..plan.operators import PlanReader, ProjectFillOp, finalize_stats, merge_results
+from ..plan.physical import PhysicalPlan, QueryPlanner
+from ..plan.result import ResultSet
+from ..plan.stats import CpuModel, ExecutionStats
 from ..storage.partition_manager import PartitionManager
 from .partition_at_a_time import PartitionAtATimeExecutor
-from .predicates import Conjunction
-from .result import ResultSet
-from .stats import CpuModel, ExecutionStats
 
 __all__ = ["ReplicatedExecutor"]
 
@@ -47,47 +54,56 @@ class ReplicatedExecutor:
         self.standard = PartitionAtATimeExecutor(
             manager, table, cpu_model=cpu_model, zone_maps=zone_maps
         )
+        self.planner = QueryPlanner(
+            manager,
+            table,
+            policy=POLICY_SCAN,
+            pruning=True,
+            replica_fallback=True,
+        )
 
     # ------------------------------------------------------------ planning
 
     def local_plan(self, query: Query) -> Tuple[int, ...] | None:
         """The partitions a local evaluation would read, or None if the
         query cannot be evaluated partition-locally."""
-        if not query.where:
-            return None
-        proj_pids = self.manager.partitions_for_attributes(query.pi_attributes)
-        if not proj_pids:
-            return None
-        sigma = query.sigma_attributes
-        non_empty = []
-        for pid in proj_pids:
-            info = self.manager.info(pid)
-            if info.n_tuples == 0:
-                continue  # empty placeholder: nothing to evaluate or emit
-            if not sigma <= info.full_coverage_attrs:
-                return None
-            non_empty.append(pid)
-        return tuple(sorted(non_empty))
+        return self.planner.plan_local(query)
+
+    def plan(self, query: Query) -> PhysicalPlan:
+        """The physical plan ``execute`` would drive (no I/O): the local
+        plan when the query localizes, the standard engine's otherwise."""
+        local = self.planner.plan_replica_local(query)
+        if local is not None:
+            return local
+        return self.standard.plan(query)
+
+    def explain(self, query: Query) -> ExplainReport:
+        """Snapshot of the plan's pruning and access decisions."""
+        local = self.planner.plan_replica_local(query)
+        if local is not None:
+            return local.explain(engine="replicated-local")
+        return self.standard.plan(query).explain(
+            engine="replicated (fallback: partition-at-a-time)"
+        )
 
     # ------------------------------------------------------------ execute
 
     def execute(self, query: Query) -> Tuple[ResultSet, ExecutionStats]:
-        plan = self.local_plan(query)
+        plan = self.planner.plan_replica_local(query)
         if plan is None:
             return self.standard.execute(query)
         return self._execute_local(query, plan)
 
     def _execute_local(
-        self, query: Query, pids: Tuple[int, ...]
+        self, query: Query, plan: PhysicalPlan
     ) -> Tuple[ResultSet, ExecutionStats]:
         started = time.perf_counter()
         stats = ExecutionStats()
         n = self.table.n_tuples
-        conjunction = Conjunction.from_query(query)
-        projected = tuple(query.select)
-        projected_set = set(projected)
+        conjunction = plan.logical.conjunction
+        projected = plan.logical.projected
         # Local evaluation touches predicate cells and projected cells only.
-        needed = frozenset(conjunction.attributes) | projected_set
+        needed = plan.logical.selection_columns | plan.logical.projection_columns
         matched = np.zeros(n, dtype=bool)
         values: Dict[str, np.ndarray] = {
             name: np.zeros(n, dtype=self.table.schema[name].np_dtype)
@@ -104,24 +120,18 @@ class ReplicatedExecutor:
             pred_values[name] = np.zeros(n, dtype=self.table.schema[name].np_dtype)
             pred_present[name] = np.zeros(n, dtype=bool)
 
-        for pid in pids:
+        reader = PlanReader(self.manager, stats)
+        fill_op = ProjectFillOp(projected)
+        for pid in plan.selection_pids():
             # Zone pruning: the partition's zone map covers every tuple's
             # predicate cells (full coverage), so a disjoint range proves no
             # local tuple can match — nothing to evaluate or emit.
-            info = self.manager.info(pid)
-            pruned = False
-            for predicate in conjunction.predicates:
-                bounds = info.zone_map.get(predicate.attribute)
-                if bounds is not None and (
-                    bounds[1] < predicate.lo or bounds[0] > predicate.hi
-                ):
-                    pruned = True
-                    break
-            if pruned:
+            if plan.decision_for(pid).is_pruned:
                 stats.n_partitions_skipped += 1
+                stats.n_partitions_pruned += 1
                 continue
             try:
-                partition, io_delta = self.manager.load(pid, columns=needed)
+                partition = reader.load(pid, columns=needed)
             except PartitionUnreadableError as exc:
                 # Local evaluation needs this exact partition (it owns the
                 # tuples), so there is no partition-local substitute; retreat
@@ -137,8 +147,6 @@ class ReplicatedExecutor:
                 fallback.charge_cpu(self.cpu_model)
                 fallback.wall_time_s = time.perf_counter() - started
                 return result, fallback
-            stats.accrue_io(io_delta)
-            stats.n_partition_reads += 1
             # 1. scatter the partition's predicate cells by tuple ID.
             local_tids = self.manager.info(pid).tuple_ids()
             for segment in partition.segments:
@@ -163,24 +171,15 @@ class ReplicatedExecutor:
             matched[matching] = True
             if not len(matching):
                 continue
-            # 3. emit the projected cells of the matching local tuples.
+            # 3. emit the projected cells of the matching local tuples
+            #    (primary segments only — a replica's cells belong to some
+            #    other partition's tuples and would double-emit).
             matching_mask = np.zeros(n, dtype=bool)
             matching_mask[matching] = True
-            for segment in partition.segments:
-                if segment.replica:
-                    continue
-                wanted = [a for a in segment.attributes if a in projected_set]
-                if not wanted:
-                    continue
-                tids = segment.tuple_ids
-                hit = matching_mask[tids]
-                if not np.any(hit):
-                    continue
-                hit_tids = tids[hit]
-                for name in wanted:
-                    values[name][hit_tids] = segment.columns[name][hit]
-                    present[name][hit_tids] = True
-                    stats.cells_gathered += len(hit_tids)
+            fill_op.gather(
+                partition, matching_mask, values, present, stats,
+                skip_replicas=True,
+            )
 
         valid = np.nonzero(matched)[0].astype(np.int64)
         for name in projected:
@@ -190,8 +189,6 @@ class ReplicatedExecutor:
                     f"local evaluation missed attribute {name!r} for "
                     f"{len(missing)} tuples"
                 )
-        result = ResultSet(valid, {name: values[name][valid] for name in projected})
-        stats.n_result_tuples = result.n_tuples
-        stats.charge_cpu(self.cpu_model)
-        stats.wall_time_s = time.perf_counter() - started
+        result = merge_results(valid, values, projected, stats)
+        finalize_stats(stats, self.cpu_model, started)
         return result, stats

@@ -11,29 +11,41 @@ table was materialized, not in how a conjunctive scan query must be answered:
   projected columns; ``row_major=False`` charges materialized selection
   vectors instead.
 
-Zone maps (per-partition min/max, kept in the catalog) let horizontally
-partitioned baselines skip partitions whose value range cannot match — the
-mechanism behind Column-H's advantage over Column in the paper, and the
-reason that advantage decays as query templates multiply.
+The executor is a thin serial driver over the shared planning layer: the
+:class:`~repro.plan.physical.QueryPlanner` (scan pruning policy — a
+partition whose zone refutes *any* predicate cannot contribute a qualifying
+tuple) produces the access lists, and the :mod:`~repro.plan.operators`
+pipeline evaluates them.  Zone pruning is the mechanism behind Column-H's
+advantage over Column in the paper, and the reason that advantage decays as
+query templates multiply.
 """
 
 from __future__ import annotations
 
 import time
-from collections import deque
-from typing import Dict, Set, Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 
 from ..core.query import Query
 from ..core.schema import TableMeta
 from ..errors import PartitionUnreadableError, StorageError
+from ..plan.degrade import FaultContext
+from ..plan.explain import ExplainReport
+from ..plan.logical import POLICY_SCAN
+from ..plan.operators import (
+    AccessLoop,
+    DegradeOp,
+    PlanReader,
+    ProjectFillOp,
+    SelectOp,
+    finalize_stats,
+    merge_results,
+)
+from ..plan.physical import PhysicalPlan, QueryPlanner
+from ..plan.result import ResultSet
+from ..plan.stats import CpuModel, ExecutionStats
 from ..storage.partition_manager import PartitionInfo, PartitionManager
-from ..storage.physical import PhysicalPartition
-from .degrade import FaultContext, handle_unreadable
-from .predicates import Conjunction
-from .result import ResultSet
-from .stats import CpuModel, ExecutionStats
 
 __all__ = ["ScanExecutor"]
 
@@ -49,6 +61,7 @@ class ScanExecutor:
         zone_maps: bool = True,
         chunk_size: int | None = None,
         row_major: bool = False,
+        pin_pool: bool = False,
     ):
         self.manager = manager
         self.table = table
@@ -56,47 +69,26 @@ class ScanExecutor:
         self.zone_maps = zone_maps
         self.chunk_size = chunk_size
         self.row_major = row_major
+        self.planner = QueryPlanner(
+            manager,
+            table,
+            policy=POLICY_SCAN,
+            pruning=zone_maps,
+            pin_pool=pin_pool,
+            chunk_size=chunk_size,
+        )
+
+    # ---------------------------------------------------------- planning
+
+    def plan(self, query: Query) -> PhysicalPlan:
+        """The physical plan ``execute`` would drive (no I/O)."""
+        return self.planner.plan(query)
+
+    def explain(self, query: Query) -> ExplainReport:
+        """Snapshot of the plan's pruning and access decisions."""
+        return self.plan(query).explain(engine="scan")
 
     # ------------------------------------------------------------ helpers
-
-    def _zone_skip(self, info: PartitionInfo, conjunction: Conjunction) -> bool:
-        """True when the partition's min/max rules out every tuple."""
-        if not self.zone_maps:
-            return False
-        for predicate in conjunction.predicates:
-            bounds = info.zone_map.get(predicate.attribute)
-            if bounds is None:
-                continue
-            lo, hi = bounds
-            if hi < predicate.lo or lo > predicate.hi:
-                return True
-        return False
-
-    def _load(
-        self,
-        pid: int,
-        loaded: Dict[int, PhysicalPartition],
-        stats: ExecutionStats,
-        fctx: FaultContext,
-        columns: frozenset | None = None,
-    ) -> PhysicalPartition:
-        """Load a partition, reusing within-query working memory.
-
-        ``columns`` is the projection pushdown; a partition first loaded for
-        the selection phase decodes further columns on demand when the
-        gather phase revisits it, so the within-query reuse stays sound.
-        """
-        if pid in loaded:
-            return loaded[pid]
-        partition, io_delta = self.manager.load(
-            pid, chunk_size=self.chunk_size, columns=columns
-        )
-        stats.accrue_io(io_delta)
-        stats.n_partition_reads += 1
-        if pid in fctx.degraded:
-            stats.n_degraded_reads += 1
-        loaded[pid] = partition
-        return partition
 
     @staticmethod
     def _any_selected(info: PartitionInfo, selection: np.ndarray) -> bool:
@@ -110,22 +102,37 @@ class ScanExecutor:
         started = time.perf_counter()
         stats = ExecutionStats()
         n = self.table.n_tuples
-        conjunction = Conjunction.from_query(query)
-        loaded: Dict[int, PhysicalPartition] = {}
+        plan = self.planner.plan(query)
         fctx = FaultContext()
-
-        selection = self._selection_vector(conjunction, loaded, stats, n, fctx)
-        selected = np.nonzero(selection)[0].astype(np.int64)
-
-        projected = tuple(query.select)
-        values: Dict[str, np.ndarray] = {
-            name: np.zeros(n, dtype=self.table.schema[name].np_dtype) for name in projected
-        }
-        present: Dict[str, np.ndarray] = {name: np.zeros(n, dtype=bool) for name in projected}
-        self._gather_projection(
-            conjunction, projected, selection, selected, loaded, values, present,
-            stats, fctx,
+        # Within-query working memory: a partition first loaded for the
+        # selection phase decodes further columns on demand when the gather
+        # phase revisits it, so the reuse stays sound under lazy loads.
+        reader = PlanReader(
+            self.manager,
+            stats,
+            fctx,
+            chunk_size=self.chunk_size,
+            cache={},
+            pin_hints=plan.pin_hints(),
         )
+        degrade = DegradeOp(self.manager, stats, fctx)
+        try:
+            selection = self._selection_vector(plan, reader, degrade, stats, n)
+            selected = np.nonzero(selection)[0].astype(np.int64)
+
+            projected = plan.logical.projected
+            values: Dict[str, np.ndarray] = {
+                name: np.zeros(n, dtype=self.table.schema[name].np_dtype)
+                for name in projected
+            }
+            present: Dict[str, np.ndarray] = {
+                name: np.zeros(n, dtype=bool) for name in projected
+            }
+            self._gather_projection(
+                plan, reader, degrade, selection, selected, values, present, stats
+            )
+        finally:
+            reader.release()
 
         for name in projected:
             missing = selected[~present[name][selected]]
@@ -140,60 +147,43 @@ class ScanExecutor:
                     f"layout does not store attribute {name!r} for "
                     f"{len(missing)} selected tuples"
                 )
-        result = ResultSet(selected, {name: values[name][selected] for name in projected})
-        stats.n_result_tuples = result.n_tuples
-        stats.charge_cpu(self.cpu_model)
-        stats.wall_time_s = time.perf_counter() - started
+        result = merge_results(selected, values, projected, stats)
+        finalize_stats(stats, self.cpu_model, started)
         return result, stats
 
     def _selection_vector(
         self,
-        conjunction: Conjunction,
-        loaded: Dict[int, PhysicalPartition],
+        plan: PhysicalPlan,
+        reader: PlanReader,
+        degrade: DegradeOp,
         stats: ExecutionStats,
         n: int,
-        fctx: FaultContext,
     ) -> np.ndarray:
         """Evaluate predicates attribute by attribute into one dense mask."""
+        conjunction = plan.logical.conjunction
         if not conjunction:
             return np.ones(n, dtype=bool)
         masks = {name: np.zeros(n, dtype=bool) for name in conjunction.attributes}
-        pred_pids = self.manager.partitions_for_attributes(conjunction.attributes)
-        pred_attrs = frozenset(conjunction.attributes)
-        pending = deque(sorted(pred_pids))
-        done: Set[int] = set()
-        while pending:
-            pid = pending.popleft()
-            if pid in done or pid in fctx.unreadable:
-                continue
-            done.add(pid)
-            info = self.manager.info(pid)
-            if self._zone_skip(info, conjunction):
+        select_op = SelectOp(conjunction, row_major=self.row_major)
+        loop = AccessLoop(
+            reader,
+            degrade,
+            conjunction.attributes,
+            plan.logical.selection_columns,
+        )
+        loop.enqueue(plan.selection_pids())
+
+        def skip(pid: int) -> bool:
+            if plan.decision_for(pid).is_pruned:
                 stats.n_partitions_skipped += 1
-                continue
-            try:
-                partition = self._load(pid, loaded, stats, fctx, columns=pred_attrs)
-            except PartitionUnreadableError as exc:
-                # A predicate cell missing from the masks silently excludes
-                # its tuple, so every lost predicate cell must be re-read
-                # from another home (or the query aborts).
-                handle_unreadable(
-                    self.manager, pid, conjunction.attributes, fctx, stats,
-                    pending, done, exc,
-                )
-                continue
-            for segment in partition.segments:
-                tids = segment.tuple_ids
-                if not len(tids):
-                    continue
-                if self.row_major:
-                    stats.tuples_iterated += len(tids)
-                for name in segment.attributes:
-                    predicate = conjunction.predicate_for(name)
-                    if predicate is None:
-                        continue
-                    masks[name][tids] = predicate.mask(segment.columns[name])
-                    stats.cells_scanned += len(tids)
+                stats.n_partitions_pruned += 1
+                return True
+            return False
+
+        loop.run(
+            lambda pid, partition: select_op.scan_masks(partition, masks, stats),
+            skip,
+        )
         selection = np.ones(n, dtype=bool)
         for mask in masks.values():
             selection &= mask
@@ -205,20 +195,19 @@ class ScanExecutor:
 
     def _gather_projection(
         self,
-        conjunction: Conjunction,
-        projected: Tuple[str, ...],
+        plan: PhysicalPlan,
+        reader: PlanReader,
+        degrade: DegradeOp,
         selection: np.ndarray,
         selected: np.ndarray,
-        loaded: Dict[int, PhysicalPartition],
         values: Dict[str, np.ndarray],
         present: Dict[str, np.ndarray],
         stats: ExecutionStats,
-        fctx: FaultContext,
     ) -> None:
-        projected_set = frozenset(projected)
-        proj_pids: Set[int] = set()
-        for name in projected:
-            proj_pids.update(self.manager.partitions_for_attribute(name))
+        projected = plan.logical.projected
+        fill_op = ProjectFillOp(projected)
+        loaded = reader.cache
+        assert loaded is not None
 
         def still_missing() -> Dict[str, np.ndarray]:
             # Restrict a rescue to projected cells of selected tuples that
@@ -227,57 +216,39 @@ class ScanExecutor:
                 name: selected[~present[name][selected]] for name in projected
             }
 
-        pending = deque(sorted(proj_pids))
-        done: Set[int] = set()
-        while pending:
-            pid = pending.popleft()
-            if pid in done:
-                continue
-            done.add(pid)
-            if pid in fctx.unreadable:
-                # Died during the selection phase; its projected cells still
-                # need substitute homes.
-                handle_unreadable(
-                    self.manager, pid, projected, fctx, stats, pending, done,
-                    None, still_missing(),
-                )
-                continue
+        loop = AccessLoop(
+            reader,
+            degrade,
+            projected,
+            plan.logical.projection_columns,
+            replan_known_dead=True,
+            tids_by_attribute=still_missing,
+        )
+        loop.enqueue(plan.projection_pids())
+
+        def skip(pid: int) -> bool:
             info = self.manager.info(pid)
             if pid not in loaded:
-                if self._zone_skip(info, conjunction):
+                if plan.decision_for(pid).is_pruned:
                     stats.n_partitions_skipped += 1
-                    continue
+                    stats.n_partitions_pruned += 1
+                    return True
                 if len(selected) and not self._any_selected(info, selection):
                     stats.n_partitions_skipped += 1
-                    continue
+                    return True
                 if not len(selected):
                     stats.n_partitions_skipped += 1
-                    continue
+                    return True
             elif not len(selected) or not self._any_selected(info, selection):
                 # Already loaded for the selection phase but no tuple here
                 # survived it: re-scanning would gather nothing.  Not counted
                 # as a skip — no read was avoided, only working-memory churn.
-                continue
-            try:
-                partition = self._load(pid, loaded, stats, fctx, columns=projected_set)
-            except PartitionUnreadableError as exc:
-                handle_unreadable(
-                    self.manager, pid, projected, fctx, stats, pending, done,
-                    exc, still_missing(),
-                )
-                continue
-            for segment in partition.segments:
-                tids = segment.tuple_ids
-                if not len(tids):
-                    continue
-                wanted = [a for a in segment.attributes if a in projected_set]
-                if not wanted:
-                    continue
-                mask = selection[tids]
-                if not np.any(mask):
-                    continue
-                hit_tids = tids[mask]
-                for name in wanted:
-                    values[name][hit_tids] = segment.columns[name][mask]
-                    present[name][hit_tids] = True
-                    stats.cells_gathered += len(hit_tids)
+                return True
+            return False
+
+        loop.run(
+            lambda pid, partition: fill_op.gather(
+                partition, selection, values, present, stats
+            ),
+            skip,
+        )

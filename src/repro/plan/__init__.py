@@ -1,0 +1,83 @@
+"""Query planning and the shared operator pipeline.
+
+Three explicit layers between a :class:`~repro.core.query.Query` and the
+engines that evaluate it:
+
+1. **Logical plan** (:mod:`repro.plan.logical`, :mod:`repro.plan.predicates`)
+   — predicate normalization, projection-pushdown column sets, and
+   metadata-based partition pruning (REQUIRED / PRUNED / PROJECTION-ONLY)
+   from catalog zone maps, before any I/O.
+2. **Physical plan** (:mod:`repro.plan.physical`) — the ordered partition
+   access list with the retry/degrade/replica-fallback policy and
+   buffer-pool pinning hints baked in as plan properties, plus cost
+   estimates for ``explain()`` (:mod:`repro.plan.explain`).
+3. **Operators** (:mod:`repro.plan.operators`, :mod:`repro.plan.degrade`,
+   :mod:`repro.plan.result`, :mod:`repro.plan.stats`) — the shared
+   selection / projection-fill / degrade / merge pipeline the four engines
+   drive with their own scheduling (serial scan, partition-at-a-time,
+   lock-based and shared-scan threading, replica-local).
+"""
+
+from .degrade import FaultContext, handle_unreadable, plan_alternates
+from .explain import AccessExplain, ExplainReport
+from .logical import (
+    POLICY_PARTITION,
+    POLICY_SCAN,
+    PROJECTION_ONLY,
+    PRUNED,
+    REQUIRED,
+    LogicalPlan,
+    PartitionDecision,
+)
+from .operators import (
+    STATUS_INVALID,
+    STATUS_NOT_CHECKED,
+    STATUS_VALID,
+    AccessLoop,
+    DegradeOp,
+    PlanReader,
+    ProjectFillOp,
+    SelectOp,
+    finalize_stats,
+    invalidate_pruned,
+    merge_results,
+)
+from .physical import AccessPolicy, PartitionAccess, PhysicalPlan, QueryPlanner
+from .predicates import Conjunction, RangePredicate
+from .result import ResultSet
+from .stats import CpuModel, ExecutionStats
+
+__all__ = [
+    "AccessExplain",
+    "AccessLoop",
+    "AccessPolicy",
+    "Conjunction",
+    "CpuModel",
+    "DegradeOp",
+    "ExecutionStats",
+    "ExplainReport",
+    "FaultContext",
+    "LogicalPlan",
+    "PartitionAccess",
+    "PartitionDecision",
+    "PhysicalPlan",
+    "PlanReader",
+    "POLICY_PARTITION",
+    "POLICY_SCAN",
+    "ProjectFillOp",
+    "PROJECTION_ONLY",
+    "PRUNED",
+    "QueryPlanner",
+    "RangePredicate",
+    "REQUIRED",
+    "ResultSet",
+    "SelectOp",
+    "STATUS_INVALID",
+    "STATUS_NOT_CHECKED",
+    "STATUS_VALID",
+    "finalize_stats",
+    "handle_unreadable",
+    "invalidate_pruned",
+    "merge_results",
+    "plan_alternates",
+]

@@ -1,0 +1,180 @@
+"""The logical plan: predicate normalization, projection pushdown, pruning.
+
+The first of the three planning layers.  A :class:`LogicalPlan` is pure
+metadata — built from the query and the catalog only, before any I/O:
+
+* **normalized predicates** — the query's WHERE clause as a canonical
+  attribute-sorted :class:`~repro.plan.predicates.Conjunction`;
+* **projection-pushdown column sets** — which columns each phase must decode
+  (``selection_columns`` / ``projection_columns``), threaded through
+  :meth:`~repro.storage.partition_manager.PartitionManager.load` so lazy
+  deserialization touches nothing else;
+* **partition classification** — every candidate partition is classified as
+  REQUIRED, PRUNED, or PROJECTION_ONLY from segment range metadata (the
+  catalog zone maps), so executors can skip reads the metadata already
+  refutes.
+
+Two pruning policies exist because the engines' correctness arguments
+differ.  The *scan* policy (rectangular layouts, dense per-attribute masks)
+may prune a partition as soon as **any** stored predicate attribute's zone
+is disjoint from the query range: every tuple with cells there fails that
+predicate, and an unset mask bit excludes it anyway.  The *partition*
+policy (partition-at-a-time, Algorithm 5's status codes) may prune only
+when **every** stored predicate attribute's zone is disjoint — a partition
+whose zone overlaps one predicate must be read, because it may also store
+other predicates' cells for tuples that survive — and a pruned partition's
+tuples must be explicitly invalidated, which is the catalog-only verdict
+Algorithm 5 would have reached with I/O.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..core.query import Query
+from ..storage.partition_manager import PartitionInfo
+from .predicates import Conjunction
+
+__all__ = [
+    "PRUNED",
+    "PROJECTION_ONLY",
+    "REQUIRED",
+    "PartitionDecision",
+    "LogicalPlan",
+    "POLICY_SCAN",
+    "POLICY_PARTITION",
+]
+
+#: Classification verdicts.
+REQUIRED = "REQUIRED"
+PRUNED = "PRUNED"
+PROJECTION_ONLY = "PROJECTION-ONLY"
+
+#: Pruning policies (see module docstring).
+POLICY_SCAN = "scan"
+POLICY_PARTITION = "partition"
+
+
+@dataclass(frozen=True, slots=True)
+class PartitionDecision:
+    """The planner's verdict on one partition, with its justification.
+
+    ``pruned_attributes`` is only set for partition-policy PRUNED verdicts:
+    the predicate attributes whose disjoint zones justified the prune.  The
+    executor must invalidate the tuples owning those cells (see
+    :func:`~repro.plan.operators.invalidate_pruned`) — skipping the read is
+    sound precisely because the verdict on those tuples is already known.
+    """
+
+    pid: int
+    decision: str
+    reason: str = ""
+    pruned_attributes: frozenset = frozenset()
+
+    @property
+    def is_pruned(self) -> bool:
+        return self.decision == PRUNED
+
+
+class LogicalPlan:
+    """Normalized predicates, pushdown sets, and partition classification."""
+
+    __slots__ = (
+        "query",
+        "conjunction",
+        "projected",
+        "predicate_attributes",
+        "projected_attributes",
+        "selection_columns",
+        "projection_columns",
+        "pruning",
+        "policy",
+        "_decisions",
+    )
+
+    def __init__(self, query: Query, policy: str = POLICY_PARTITION,
+                 pruning: bool = False):
+        if policy not in (POLICY_SCAN, POLICY_PARTITION):
+            raise ValueError(f"unknown pruning policy {policy!r}")
+        self.query = query
+        self.conjunction = Conjunction.normalized(query)
+        self.projected: Tuple[str, ...] = tuple(query.select)
+        self.predicate_attributes: frozenset = self.conjunction.attributes
+        self.projected_attributes: frozenset = frozenset(self.projected)
+        # Projection pushdown: the scan engine's selection phase touches
+        # predicate cells only; the partition-at-a-time family also stashes
+        # any co-located projected cell (Algorithm 5 line 16) so a partition
+        # is never revisited.
+        if policy == POLICY_SCAN:
+            self.selection_columns: frozenset = self.predicate_attributes
+        else:
+            self.selection_columns = (
+                self.predicate_attributes | self.projected_attributes
+            )
+        self.projection_columns: frozenset = self.projected_attributes
+        self.pruning = pruning
+        self.policy = policy
+        self._decisions: Dict[int, PartitionDecision] = {}
+
+    # -------------------------------------------------------- classification
+
+    def classify(self, info: PartitionInfo) -> PartitionDecision:
+        """Classify one partition from catalog metadata (cached per pid)."""
+        decision = self._decisions.get(info.pid)
+        if decision is None:
+            decision = self._classify(info)
+            self._decisions[info.pid] = decision
+        return decision
+
+    def decisions(self) -> Tuple[PartitionDecision, ...]:
+        """Every decision taken so far, in pid order (for explain output)."""
+        return tuple(self._decisions[pid] for pid in sorted(self._decisions))
+
+    def _classify(self, info: PartitionInfo) -> PartitionDecision:
+        if self.pruning and self.conjunction:
+            pruned = (
+                self._prune_scan(info)
+                if self.policy == POLICY_SCAN
+                else self._prune_partition(info)
+            )
+            if pruned is not None:
+                return pruned
+        if info.attributes & self.predicate_attributes:
+            return PartitionDecision(info.pid, REQUIRED, "stores predicate cells")
+        return PartitionDecision(
+            info.pid, PROJECTION_ONLY, "stores projected cells only"
+        )
+
+    def _prune_scan(self, info: PartitionInfo) -> PartitionDecision | None:
+        """Any-disjoint rule: one refuted predicate excludes every tuple here."""
+        for predicate in self.conjunction.predicates:
+            if info.zone_disjoint(predicate.attribute, predicate.lo, predicate.hi):
+                return PartitionDecision(
+                    info.pid,
+                    PRUNED,
+                    f"zone of {predicate.attribute!r} disjoint from "
+                    f"[{predicate.lo:g}, {predicate.hi:g}]",
+                )
+        return None
+
+    def _prune_partition(self, info: PartitionInfo) -> PartitionDecision | None:
+        """All-disjoint rule: every stored predicate cell must be refuted."""
+        stored = [
+            p for p in self.conjunction.predicates if p.attribute in info.attributes
+        ]
+        if not stored:
+            return None
+        for predicate in stored:
+            disjoint = info.zone_disjoint(
+                predicate.attribute, predicate.lo, predicate.hi
+            )
+            if disjoint is None or not disjoint:
+                return None
+        names = frozenset(p.attribute for p in stored)
+        return PartitionDecision(
+            info.pid,
+            PRUNED,
+            "zones of " + ", ".join(sorted(names)) + " all disjoint from the query",
+            pruned_attributes=names,
+        )

@@ -1,0 +1,308 @@
+"""The physical plan: ordered accesses, fault policy, pinning hints.
+
+The second planning layer.  A :class:`PhysicalPlan` turns the logical
+plan's classifications into an ordered partition access list with
+everything an executor needs baked in as *plan properties* rather than
+executor-local code:
+
+* the **access order** (ascending pid — deterministic, and the order the
+  simulated OS cache accounting is calibrated to);
+* the per-access **projection pushdown** column set and catalog size;
+* the **fault policy**: retry budget (the manager's
+  :class:`~repro.storage.faults.RetryPolicy`), whether degraded substitute
+  reads are allowed, and whether the executor falls back to the standard
+  engine instead (the replica-local path);
+* **buffer-pool pinning hints**: partitions the plan knows will be touched
+  by a later phase are flagged for pinning so a concurrent query cannot
+  evict them in between.
+
+The plan also carries the planner's *estimates* (partitions to read, bytes,
+predicted I/O seconds from the fitted ``io(x)`` model) so ``explain()`` can
+report estimated vs. actual after execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..core.cost import estimate_access_io
+from ..core.query import Query
+from ..core.schema import TableMeta
+from ..storage.partition_manager import PartitionManager
+from .explain import AccessExplain, ExplainReport
+from .logical import (
+    POLICY_PARTITION,
+    POLICY_SCAN,
+    LogicalPlan,
+    PartitionDecision,
+)
+
+__all__ = ["AccessPolicy", "PartitionAccess", "PhysicalPlan", "QueryPlanner"]
+
+
+@dataclass(frozen=True, slots=True)
+class AccessPolicy:
+    """Fault handling and caching behaviour, as plan properties.
+
+    ``max_attempts`` mirrors the manager's retry policy (informational — the
+    manager enforces it); ``degrade_enabled`` allows substitute reads from
+    replicas/overlapping primaries; ``replica_fallback`` marks plans whose
+    executor retreats to the standard engine on an unreadable partition
+    instead of degrading in place; ``pin_pool`` applies the pinning hints.
+    """
+
+    max_attempts: int = 3
+    degrade_enabled: bool = True
+    replica_fallback: bool = False
+    pin_pool: bool = False
+    chunk_size: Optional[int] = None
+
+
+@dataclass(frozen=True, slots=True)
+class PartitionAccess:
+    """One planned partition read."""
+
+    pid: int
+    decision: PartitionDecision
+    n_bytes: int
+    columns: Optional[frozenset]
+    pin: bool = False
+
+
+class PhysicalPlan:
+    """Ordered accesses + policy for one query on one materialized table."""
+
+    __slots__ = (
+        "manager", "logical", "policy", "selection", "projection",
+        "estimated_partition_reads", "estimated_bytes", "estimated_io_time_s",
+    )
+
+    def __init__(
+        self,
+        manager: PartitionManager,
+        logical: LogicalPlan,
+        policy: AccessPolicy,
+        selection: Tuple[PartitionAccess, ...],
+        projection: Tuple[PartitionAccess, ...],
+    ):
+        self.manager = manager
+        self.logical = logical
+        self.policy = policy
+        self.selection = selection
+        self.projection = projection
+        # Upper bound for a healthy (fault-free) execution: every non-pruned
+        # selection access is read; a projection access is only *maybe* read
+        # (phase-2 skips partitions with no missing cell / no selected
+        # tuple), so the bound counts those not already read by selection.
+        selection_pids = {a.pid for a in self.selection if not a.decision.is_pruned}
+        extra = [
+            a for a in self.projection
+            if not a.decision.is_pruned and a.pid not in selection_pids
+        ]
+        read = [a for a in self.selection if not a.decision.is_pruned] + extra
+        self.estimated_partition_reads = len(read)
+        self.estimated_bytes = sum(a.n_bytes for a in read)
+        self.estimated_io_time_s = estimate_access_io(
+            manager.device.profile.io_model, (a.n_bytes for a in read)
+        )
+
+    # ------------------------------------------------------------- queries
+
+    def decision_for(self, pid: int) -> PartitionDecision:
+        """Classification for any pid — including substitutes enlisted at
+        runtime, which were not on the initial access lists."""
+        return self.logical.classify(self.manager.info(pid))
+
+    def selection_pids(self) -> Tuple[int, ...]:
+        return tuple(access.pid for access in self.selection)
+
+    def projection_pids(self) -> Tuple[int, ...]:
+        return tuple(access.pid for access in self.projection)
+
+    def pin_hints(self) -> frozenset:
+        """Pids flagged for buffer-pool pinning across phases."""
+        if not self.policy.pin_pool:
+            return frozenset()
+        return frozenset(
+            access.pid
+            for access in (*self.selection, *self.projection)
+            if access.pin
+        )
+
+    # ------------------------------------------------------------- explain
+
+    def explain(self, engine: str = "") -> ExplainReport:
+        """Inspectable snapshot of every planning decision."""
+        logical = self.logical
+        return ExplainReport(
+            engine=engine,
+            query=str(logical.query),
+            policy_name=logical.policy,
+            pruning=logical.pruning,
+            normalized_predicates=tuple(
+                f"{p.lo:g} <= {p.attribute} <= {p.hi:g}"
+                for p in logical.conjunction.predicates
+            ),
+            selection_columns=tuple(sorted(logical.selection_columns)),
+            projection_columns=tuple(sorted(logical.projection_columns)),
+            max_attempts=self.policy.max_attempts,
+            degrade_enabled=self.policy.degrade_enabled,
+            replica_fallback=self.policy.replica_fallback,
+            pin_pool=self.policy.pin_pool,
+            selection=tuple(_access_explain(a) for a in self.selection),
+            projection=tuple(_access_explain(a) for a in self.projection),
+            estimated_partition_reads=self.estimated_partition_reads,
+            estimated_bytes=self.estimated_bytes,
+            estimated_io_time_s=self.estimated_io_time_s,
+        )
+
+
+def _access_explain(access: PartitionAccess) -> AccessExplain:
+    return AccessExplain(
+        pid=access.pid,
+        decision=access.decision.decision,
+        reason=access.decision.reason,
+        n_bytes=access.n_bytes,
+        columns=tuple(sorted(access.columns)) if access.columns else (),
+        pin=access.pin,
+    )
+
+
+class QueryPlanner:
+    """Builds logical + physical plans against one partition manager.
+
+    One planner per executor: the executor's pruning knob and scheduling
+    family pick the policy, the manager supplies catalog metadata and the
+    retry budget.  Planning itself performs no I/O.
+    """
+
+    def __init__(
+        self,
+        manager: PartitionManager,
+        table: TableMeta,
+        policy: str = POLICY_PARTITION,
+        pruning: bool = False,
+        degrade_enabled: bool = True,
+        replica_fallback: bool = False,
+        pin_pool: bool = False,
+        chunk_size: Optional[int] = None,
+    ):
+        self.manager = manager
+        self.table = table
+        self.policy = policy
+        self.pruning = pruning
+        self.access_policy = AccessPolicy(
+            max_attempts=manager.retry_policy.max_attempts,
+            degrade_enabled=degrade_enabled,
+            replica_fallback=replica_fallback,
+            pin_pool=pin_pool,
+            chunk_size=chunk_size,
+        )
+
+    def logical_plan(self, query: Query) -> LogicalPlan:
+        return LogicalPlan(query, policy=self.policy, pruning=self.pruning)
+
+    def plan(self, query: Query) -> PhysicalPlan:
+        logical = self.logical_plan(query)
+        manager = self.manager
+        if logical.conjunction:
+            pred_pids = manager.partitions_for_attributes(
+                logical.predicate_attributes
+            )
+        else:
+            # No WHERE clause: every tuple qualifies without reading a
+            # single predicate cell; the plan is projection-only.
+            pred_pids = ()
+        proj_pids: set = set()
+        for name in logical.projected:
+            proj_pids.update(manager.partitions_for_attribute(name))
+        pin_pool = self.access_policy.pin_pool
+        selection = tuple(
+            self._access(
+                pid, logical, logical.selection_columns,
+                pin=pin_pool and pid in proj_pids,
+            )
+            for pid in sorted(pred_pids)
+        )
+        projection = tuple(
+            self._access(pid, logical, logical.projection_columns)
+            for pid in sorted(proj_pids)
+        )
+        return PhysicalPlan(
+            manager, logical, self.access_policy, selection, projection
+        )
+
+    def _access(
+        self,
+        pid: int,
+        logical: LogicalPlan,
+        columns: Optional[frozenset],
+        pin: bool = False,
+    ) -> PartitionAccess:
+        info = self.manager.info(pid)
+        return PartitionAccess(
+            pid=pid,
+            decision=logical.classify(info),
+            n_bytes=info.n_bytes,
+            columns=columns,
+            pin=pin,
+        )
+
+    # ------------------------------------------------------ replica-local
+
+    def plan_local(self, query: Query) -> Optional[Tuple[int, ...]]:
+        """The partitions a replica-local evaluation would read, or None.
+
+        Localizable iff every (non-empty) partition holding a projected cell
+        also stores — natively or via replicas — *all* predicate attributes
+        for its own tuples; then each partition filters and emits its own
+        tuples with no cross-partition reconstruction.
+        """
+        if not query.where:
+            return None
+        proj_pids = self.manager.partitions_for_attributes(query.pi_attributes)
+        if not proj_pids:
+            return None
+        sigma = query.sigma_attributes
+        non_empty = []
+        for pid in proj_pids:
+            info = self.manager.info(pid)
+            if info.n_tuples == 0:
+                continue  # empty placeholder: nothing to evaluate or emit
+            if not sigma <= info.full_coverage_attrs:
+                return None
+            non_empty.append(pid)
+        return tuple(sorted(non_empty))
+
+    def plan_replica_local(self, query: Query) -> Optional[PhysicalPlan]:
+        """Physical plan for a partition-local evaluation, or None.
+
+        The access list is the localizable partition set; each access reads
+        predicate *and* projected cells (one pass filters and emits).  Full
+        coverage makes the scan (any-disjoint) pruning rule sound locally:
+        every tuple's predicate cells are covered by the partition's zone,
+        so one refuted predicate excludes all local tuples.
+        """
+        pids = self.plan_local(query)
+        if pids is None:
+            return None
+        logical = LogicalPlan(query, policy=POLICY_SCAN, pruning=True)
+        columns = logical.selection_columns | logical.projection_columns
+        selection = tuple(
+            PartitionAccess(
+                pid=pid,
+                decision=logical.classify(self.manager.info(pid)),
+                n_bytes=self.manager.info(pid).n_bytes,
+                columns=columns,
+            )
+            for pid in pids
+        )
+        return PhysicalPlan(
+            self.manager, logical, self.access_policy, selection, ()
+        )
+
+
+# Re-exported for drivers picking a policy by name.
+SCAN = POLICY_SCAN
+PARTITION = POLICY_PARTITION

@@ -12,6 +12,11 @@ with predicates of the forms::
     a = 5          a < 5       a <= 5      a > 5       a >= 5
     a BETWEEN 1 AND 20
 
+A statement may be prefixed with ``EXPLAIN`` (parse it with
+:func:`parse_statement`); the query is then planned but not executed, and
+the caller renders the executor's :class:`~repro.plan.explain.ExplainReport`
+instead of a result.
+
 Strict-inequality bounds are converted to closed bounds using the
 attribute's integer unit (``a < 5`` on an integer column is ``a <= 4``; on a
 continuous column it is the nearest representable float below 5).  Anything
@@ -24,13 +29,14 @@ from __future__ import annotations
 
 import math
 import re
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from .core.query import Query
 from .core.schema import TableMeta
 from .errors import InvalidQueryError
 
-__all__ = ["parse_query", "to_sql"]
+__all__ = ["Statement", "parse_query", "parse_statement", "to_sql"]
 
 _TOKEN = re.compile(
     r"""
@@ -46,7 +52,7 @@ _TOKEN = re.compile(
     re.VERBOSE,
 )
 
-_KEYWORDS = {"SELECT", "FROM", "WHERE", "AND", "BETWEEN", "OR", "NOT"}
+_KEYWORDS = {"SELECT", "FROM", "WHERE", "AND", "BETWEEN", "OR", "NOT", "EXPLAIN"}
 
 
 def _tokenize(text: str) -> List[Tuple[str, str]]:
@@ -207,12 +213,41 @@ def to_sql(query: Query, table_name: str) -> str:
     return text
 
 
+@dataclass(frozen=True)
+class Statement:
+    """One parsed statement: the query, plus whether it was ``EXPLAIN``-ed."""
+
+    query: Query
+    explain: bool = False
+
+
+def parse_statement(table: TableMeta, sql: str) -> Statement:
+    """Parse one statement (``[EXPLAIN] SELECT ...``) against ``table``.
+
+    ``EXPLAIN`` marks the statement for planning only: the caller should
+    build the executor's plan and render its
+    :class:`~repro.plan.explain.ExplainReport` instead of executing.
+    """
+    tokens = _tokenize(sql)
+    if not tokens:
+        raise InvalidQueryError("empty query")
+    explain = tokens[0] == ("keyword", "EXPLAIN")
+    if explain:
+        tokens = tokens[1:]
+        if not tokens:
+            raise InvalidQueryError("EXPLAIN must be followed by a SELECT")
+    return Statement(query=_Parser(tokens, table).parse(), explain=explain)
+
+
 def parse_query(table: TableMeta, sql: str) -> Query:
     """Parse one SELECT statement against ``table`` into a :class:`Query`.
 
     >>> query = parse_query(meta, "SELECT a, b FROM t WHERE a BETWEEN 1 AND 9")
     """
-    tokens = _tokenize(sql)
-    if not tokens:
-        raise InvalidQueryError("empty query")
-    return _Parser(tokens, table).parse()
+    statement = parse_statement(table, sql)
+    if statement.explain:
+        raise InvalidQueryError(
+            "EXPLAIN statements carry no result; parse them with "
+            "parse_statement() and render the executor's explain report"
+        )
+    return statement.query

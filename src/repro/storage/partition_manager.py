@@ -91,6 +91,21 @@ class PartitionInfo:
                 self._tuple_ids_cache = np.unique(np.concatenate(primary))
         return self._tuple_ids_cache
 
+    def zone_disjoint(
+        self, attribute: str, lo: float, hi: float
+    ) -> Optional[bool]:
+        """Whether the partition's zone for ``attribute`` misses ``[lo, hi]``.
+
+        Returns ``None`` when the catalog has no bounds for the attribute
+        (not stored here, or stored with no cells) — callers must treat that
+        as "cannot prune", not as disjoint.
+        """
+        bounds = self.zone_map.get(attribute)
+        if bounds is None:
+            return None
+        zone_lo, zone_hi = bounds
+        return zone_hi < lo or zone_lo > hi
+
     def contains_attribute_of(self, attribute: str, tids: np.ndarray) -> bool:
         """True when a *primary* segment stores ``attribute`` for any ``tids``."""
         if not len(tids):

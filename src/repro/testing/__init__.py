@@ -10,6 +10,8 @@ from .oracle import (
     OracleReport,
     inject_faults,
     oracle_check,
+    pruning_check,
+    pruning_executors,
     random_query,
     random_table,
     random_workload,
@@ -22,6 +24,8 @@ __all__ = [
     "OracleReport",
     "inject_faults",
     "oracle_check",
+    "pruning_check",
+    "pruning_executors",
     "random_query",
     "random_table",
     "random_workload",

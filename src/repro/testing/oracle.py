@@ -24,7 +24,10 @@ import numpy as np
 from ..core.query import Query, Workload
 from ..core.schema import TableSchema
 from ..engine.parallel import ThreadedPartitionEngine
+from ..engine.partition_at_a_time import PartitionAtATimeExecutor
+from ..engine.replicated import ReplicatedExecutor
 from ..engine.result import ResultSet
+from ..engine.scan import ScanExecutor
 from ..layouts import (
     BuildContext,
     ColumnHLayout,
@@ -41,6 +44,8 @@ __all__ = [
     "OracleReport",
     "inject_faults",
     "oracle_check",
+    "pruning_check",
+    "pruning_executors",
     "random_query",
     "random_table",
     "random_workload",
@@ -220,12 +225,78 @@ def oracle_check(
     )
 
 
+def pruning_executors(layout: MaterializedLayout):
+    """Twin (pruning-off, pruning-on) executors over ``layout``'s storage.
+
+    Returns None for executors without a pruning knob.  The twins share the
+    layout's manager (catalog, store, device), so running both on the same
+    query isolates the planner's pruning decision as the only variable.
+    """
+    ex = layout.executor
+    if isinstance(ex, ScanExecutor):
+        def make(pruning: bool) -> ScanExecutor:
+            return ScanExecutor(
+                ex.manager, ex.table, cpu_model=ex.cpu_model,
+                zone_maps=pruning, chunk_size=ex.chunk_size,
+                row_major=ex.row_major,
+            )
+    elif isinstance(ex, ReplicatedExecutor):
+        def make(pruning: bool) -> ReplicatedExecutor:
+            return ReplicatedExecutor(
+                ex.manager, ex.table, cpu_model=ex.cpu_model,
+                zone_maps=pruning,
+            )
+    elif isinstance(ex, PartitionAtATimeExecutor):
+        def make(pruning: bool) -> PartitionAtATimeExecutor:
+            return PartitionAtATimeExecutor(
+                ex.manager, ex.table, cpu_model=ex.cpu_model,
+                zone_maps=pruning,
+            )
+    else:
+        return None
+    return make(False), make(True)
+
+
+def pruning_check(
+    layout: MaterializedLayout, table: ColumnTable, query: Query
+) -> Optional[str]:
+    """Run ``query`` with pruning off and on; both must match the reference,
+    and pruning must never touch *more* partitions.
+
+    Returns None when the invariants hold, else a description of the
+    violation.
+    """
+    pair = pruning_executors(layout)
+    if pair is None:
+        return None
+    off, on = pair
+    expected = run_reference_query(table, query)
+    result_off, stats_off = off.execute(query)
+    result_on, stats_on = on.execute(query)
+    if not result_off.equals(expected):
+        return f"{layout.name}: pruning-off result differs from reference"
+    if not result_on.equals(expected):
+        return f"{layout.name}: pruning-on result differs from reference"
+    if stats_on.n_partition_reads > stats_off.n_partition_reads:
+        return (
+            f"{layout.name}: pruning increased partition reads "
+            f"({stats_on.n_partition_reads} > {stats_off.n_partition_reads})"
+        )
+    if stats_on.n_partitions_pruned > stats_on.n_partitions_skipped:
+        return (
+            f"{layout.name}: pruned count {stats_on.n_partitions_pruned} "
+            f"exceeds skipped count {stats_on.n_partitions_skipped}"
+        )
+    return None
+
+
 def run_differential_oracle(
     n_cases: int = 200,
     seed: int = 0,
     queries_per_table: int = 5,
     ctx: Optional[BuildContext] = None,
     threaded: bool = True,
+    pruning_sweep: bool = True,
 ) -> OracleReport:
     """Diff every engine against the reference on seeded random cases.
 
@@ -235,6 +306,11 @@ def run_differential_oracle(
     irregular layout — all four engines see every case.  Tables are reused
     across ``queries_per_table`` cases so 200 cases cost ~40 layout builds,
     not 200.
+
+    With ``pruning_sweep`` every (layout, query) pair additionally runs
+    through twin executors with zone-map pruning disabled and enabled
+    (:func:`pruning_check`): both must reproduce the reference exactly, and
+    pruning must never increase the partitions touched.
     """
     if ctx is None:
         ctx = BuildContext(file_segment_bytes=2048, schism_sample_size=100)
@@ -263,6 +339,14 @@ def run_differential_oracle(
                         OracleCase(table_seed, query.label or str(index),
                                    name, mismatch)
                     )
+                if pruning_sweep:
+                    report.n_checks += 1
+                    mismatch = pruning_check(layout, table, query)
+                    if mismatch is not None:
+                        report.failures.append(
+                            OracleCase(table_seed, query.label or str(index),
+                                       f"{name}-pruning", mismatch)
+                        )
             if threaded:
                 # Alternate strategies across cases: both protocols get
                 # half the cases at half the (GIL-bound) cost.

@@ -41,3 +41,51 @@ class TestMain:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["fig99"])
+
+
+class TestExplainCommand:
+    SQL = "SELECT a1, a2 FROM oracle WHERE a1 BETWEEN 100 AND 400"
+
+    def test_explain_prints_a_plan(self, capsys):
+        exit_code = main(["explain", self.SQL])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "EXPLAIN SELECT a1, a2" in out
+        assert "logical plan:" in out
+        assert "physical plan:" in out
+        assert "actual:" not in out
+
+    def test_explain_run_appends_actuals(self, capsys):
+        exit_code = main(["explain", "--run", self.SQL])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "actual:" in out
+        assert "partition reads" in out
+
+    def test_explain_threaded_engine(self, capsys):
+        exit_code = main(["explain", "--engine", "jigsaw-s", "--run", self.SQL])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "engine: jigsaw-s" in out
+        assert "actual:" in out
+
+    def test_explain_accepts_explain_keyword_in_sql(self, capsys):
+        assert main(["explain", "EXPLAIN " + self.SQL]) == 0
+        assert "EXPLAIN SELECT" in capsys.readouterr().out
+
+    def test_explain_other_layouts(self, capsys):
+        for layout in ("natural", "replicated"):
+            assert main(["explain", "--layout", layout, self.SQL]) == 0
+            assert f"layout {layout!r}" in capsys.readouterr().out
+
+    def test_explain_requires_sql(self):
+        with pytest.raises(SystemExit):
+            main(["explain"])
+
+    def test_sql_rejected_without_explain(self):
+        with pytest.raises(SystemExit):
+            main(["fig10", self.SQL])
+
+    def test_unknown_layout_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["explain", "--layout", "nope", self.SQL])

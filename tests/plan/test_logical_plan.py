@@ -1,0 +1,115 @@
+"""Logical-plan layer: normalization, pushdown sets, pruning policies."""
+
+import pytest
+
+from repro.core import Query
+from repro.plan import (
+    POLICY_PARTITION,
+    POLICY_SCAN,
+    PROJECTION_ONLY,
+    PRUNED,
+    REQUIRED,
+    LogicalPlan,
+)
+
+
+class TestNormalization:
+    def test_predicates_sorted_by_attribute(self, zoned_table):
+        # Build the WHERE dict in reverse attribute order; the normalized
+        # conjunction is canonical regardless.
+        query = Query.build(
+            zoned_table.meta, ["a1"], {"a2": (1050, 1099), "a1": (0, 20)}
+        )
+        plan = LogicalPlan(query)
+        assert tuple(p.attribute for p in plan.conjunction.predicates) == (
+            "a1",
+            "a2",
+        )
+
+    def test_unknown_policy_rejected(self, q_one_pred):
+        with pytest.raises(ValueError):
+            LogicalPlan(q_one_pred, policy="magic")
+
+
+class TestPushdownSets:
+    def test_scan_selection_reads_predicate_columns_only(self, q_one_pred):
+        plan = LogicalPlan(q_one_pred, policy=POLICY_SCAN)
+        assert plan.selection_columns == frozenset({"a1"})
+        assert plan.projection_columns == frozenset({"a3"})
+
+    def test_partition_selection_stashes_colocated_projection(self, q_one_pred):
+        # Algorithm 5 line 16: the partition-at-a-time family never revisits
+        # a partition, so its selection pass also decodes projected cells.
+        plan = LogicalPlan(q_one_pred, policy=POLICY_PARTITION)
+        assert plan.selection_columns == frozenset({"a1", "a3"})
+        assert plan.projection_columns == frozenset({"a3"})
+
+
+class TestClassification:
+    def classify(self, manager, plan):
+        return {
+            pid: plan.classify(manager.info(pid)).decision
+            for pid in (0, 1, 2)
+        }
+
+    def test_pruning_off_never_prunes(self, zoned_manager, q_one_pred):
+        for policy in (POLICY_SCAN, POLICY_PARTITION):
+            plan = LogicalPlan(q_one_pred, policy=policy, pruning=False)
+            assert self.classify(zoned_manager, plan) == {
+                0: REQUIRED,
+                1: REQUIRED,
+                2: PROJECTION_ONLY,
+            }
+
+    def test_scan_prunes_disjoint_zone(self, zoned_manager, q_one_pred):
+        plan = LogicalPlan(q_one_pred, policy=POLICY_SCAN, pruning=True)
+        assert self.classify(zoned_manager, plan) == {
+            0: REQUIRED,  # a1 zone [0, 49] overlaps [0, 20]
+            1: PRUNED,  # a1 zone [50, 99] disjoint
+            2: PROJECTION_ONLY,
+        }
+
+    def test_policies_diverge_on_partial_disjointness(
+        self, zoned_manager, q_two_pred
+    ):
+        # p0: a2 zone disjoint but a1 zone overlaps.  The scan policy prunes
+        # on *any* disjoint stored predicate (an unset mask bit excludes the
+        # tuple anyway); the partition policy must read it, because p0's a1
+        # cells decide other predicates' verdicts for its tuples.
+        scan = LogicalPlan(q_two_pred, policy=POLICY_SCAN, pruning=True)
+        part = LogicalPlan(q_two_pred, policy=POLICY_PARTITION, pruning=True)
+        assert scan.classify(zoned_manager.info(0)).decision == PRUNED
+        assert part.classify(zoned_manager.info(0)).decision == REQUIRED
+        # p1 mirrors it: a1 zone disjoint, a2 zone overlapping.
+        assert scan.classify(zoned_manager.info(1)).decision == PRUNED
+        assert part.classify(zoned_manager.info(1)).decision == REQUIRED
+
+    def test_partition_prune_reports_invalidation_set(
+        self, zoned_manager, q_one_pred
+    ):
+        plan = LogicalPlan(q_one_pred, policy=POLICY_PARTITION, pruning=True)
+        decision = plan.classify(zoned_manager.info(1))
+        assert decision.is_pruned
+        assert decision.pruned_attributes == frozenset({"a1"})
+        # The scan policy never needs the invalidation set.
+        scan = LogicalPlan(q_one_pred, policy=POLICY_SCAN, pruning=True)
+        assert scan.classify(zoned_manager.info(1)).pruned_attributes == frozenset()
+
+    def test_decisions_cached_and_ordered(self, zoned_manager, q_one_pred):
+        plan = LogicalPlan(q_one_pred, policy=POLICY_SCAN, pruning=True)
+        first = plan.classify(zoned_manager.info(2))
+        assert plan.classify(zoned_manager.info(2)) is first
+        plan.classify(zoned_manager.info(0))
+        plan.classify(zoned_manager.info(1))
+        assert tuple(d.pid for d in plan.decisions()) == (0, 1, 2)
+
+    def test_no_where_classifies_everything_projection_only(
+        self, zoned_manager, zoned_table
+    ):
+        query = Query.build(zoned_table.meta, ["a1", "a3"], {})
+        plan = LogicalPlan(query, policy=POLICY_SCAN, pruning=True)
+        assert self.classify(zoned_manager, plan) == {
+            0: PROJECTION_ONLY,
+            1: PROJECTION_ONLY,
+            2: PROJECTION_ONLY,
+        }

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import InvalidQueryError
-from repro.sql import parse_query
+from repro.sql import parse_query, parse_statement
 
 
 class TestParsing:
@@ -82,6 +82,46 @@ class TestErrors:
     def test_or_message_mentions_conjunctions(self, paper_table):
         with pytest.raises(InvalidQueryError, match="conjunction"):
             parse_query(paper_table, "SELECT a2 FROM T WHERE a1 = 12 OR a4 = 43")
+
+
+class TestExplainStatements:
+    def test_plain_select_statement(self, paper_table):
+        statement = parse_statement(paper_table, "SELECT a2 FROM T WHERE a1 = 12")
+        assert statement.explain is False
+        assert statement.query.select == ("a2",)
+
+    def test_explain_prefix_sets_the_flag(self, paper_table):
+        statement = parse_statement(
+            paper_table, "EXPLAIN SELECT a2 FROM T WHERE a1 = 12"
+        )
+        assert statement.explain is True
+        assert statement.query.select == ("a2",)
+        assert statement.query.predicate_interval("a1").lo == 12
+
+    def test_explain_keyword_is_case_insensitive(self, paper_table):
+        statement = parse_statement(paper_table, "explain select a2 from T")
+        assert statement.explain is True
+
+    def test_bare_explain_rejected(self, paper_table):
+        with pytest.raises(InvalidQueryError, match="followed by a SELECT"):
+            parse_statement(paper_table, "EXPLAIN")
+
+    def test_parse_query_refuses_explain(self, paper_table):
+        with pytest.raises(InvalidQueryError, match="parse_statement"):
+            parse_query(paper_table, "EXPLAIN SELECT a2 FROM T")
+
+    def test_explain_statement_renders_a_report(self, small_table, small_workload, ctx):
+        from repro.layouts import IrregularLayout
+
+        layout = IrregularLayout().build(small_table, small_workload, ctx)
+        statement = parse_statement(
+            small_table.meta,
+            "EXPLAIN SELECT a2 FROM T WHERE a1 BETWEEN 0 AND 1999",
+        )
+        text = layout.executor.explain(statement.query).render()
+        assert text.startswith("EXPLAIN SELECT")
+        assert "logical plan:" in text
+        assert "physical plan:" in text
 
 
 class TestEndToEnd:

@@ -11,6 +11,8 @@ from repro.storage import FaultConfig, RetryPolicy
 from repro.testing import (
     inject_faults,
     oracle_check,
+    pruning_check,
+    pruning_executors,
     random_query,
     random_table,
     random_workload,
@@ -85,6 +87,51 @@ class TestDifferentialOracle:
         report = run_differential_oracle(n_cases=5, seed=1, threaded=False)
         assert "5 cases" in report.summary()
         assert "OK" in report.summary()
+
+
+class TestPruningSweep:
+    def test_pruning_invariants_hold_under_every_layout(self):
+        """Pruning on vs. off: identical results, never more partitions."""
+        rng = np.random.default_rng(11)
+        table = random_table(rng, n_attrs=4, n_tuples=300)
+        workload = random_workload(rng, table, n_queries=3)
+        ctx = BuildContext(file_segment_bytes=2048)
+        checked = 0
+        for name, make in ORACLE_LAYOUTS:
+            layout = make().build(table, workload, ctx)
+            assert pruning_executors(layout) is not None, name
+            for query in workload:
+                failure = pruning_check(layout, table, query)
+                assert failure is None, f"{name}: {failure}"
+                checked += 1
+        assert checked == len(ORACLE_LAYOUTS) * len(list(workload))
+
+    def test_twins_share_storage_and_differ_only_in_pruning(self):
+        rng = np.random.default_rng(12)
+        table = random_table(rng, n_attrs=3, n_tuples=200)
+        workload = random_workload(rng, table, n_queries=2)
+        layout = dict(ORACLE_LAYOUTS)["irregular"]().build(
+            table, workload, BuildContext(file_segment_bytes=2048)
+        )
+        off, on = pruning_executors(layout)
+        assert off.manager is layout.manager
+        assert on.manager is layout.manager
+        assert off.planner.pruning is False
+        assert on.planner.pruning is True
+
+    def test_oracle_sweep_adds_one_check_per_layout_and_query(self):
+        with_sweep = run_differential_oracle(
+            n_cases=4, seed=2, threaded=False, pruning_sweep=True
+        )
+        without = run_differential_oracle(
+            n_cases=4, seed=2, threaded=False, pruning_sweep=False
+        )
+        assert with_sweep.failures == []
+        assert without.failures == []
+        assert (
+            with_sweep.n_checks
+            == without.n_checks + with_sweep.n_cases * len(ORACLE_LAYOUTS)
+        )
 
 
 class TestOracleUnderFaults:
