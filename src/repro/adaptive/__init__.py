@@ -1,0 +1,37 @@
+"""Adaptive repartitioning: from statically partitioned to self-repartitioning.
+
+The offline pipeline (tune → materialize → query) fits a layout to one
+training workload and freezes it.  This package closes the loop online:
+
+* :class:`WorkloadMonitor` — sliding window of executed queries + drift
+  score against the workload the layout was fitted to;
+* :class:`RepartitionAdvisor` — hysteresis-gated cost appraisal of
+  candidate layouts on the observed window;
+* :class:`IncrementalRepartitioner` — scoped tuner re-runs emitting
+  cell-coverage-preserving :class:`MigrationPlan`\\ s, executed through the
+  partition manager's versioned catalog swap;
+* :class:`AdaptiveDaemon` — the driver tying them together under a
+  bytes-rewritten-per-cycle budget.
+
+See DESIGN.md §10 for the architecture and invariants.
+"""
+
+from .advisor import AdvisorConfig, AdvisorVerdict, RepartitionAdvisor
+from .daemon import AdaptationStats, AdaptiveConfig, AdaptiveDaemon, CycleReport
+from .monitor import WorkloadMonitor, accessed_pids, total_variation
+from .repartitioner import IncrementalRepartitioner, MigrationPlan
+
+__all__ = [
+    "AdvisorConfig",
+    "AdvisorVerdict",
+    "RepartitionAdvisor",
+    "AdaptationStats",
+    "AdaptiveConfig",
+    "AdaptiveDaemon",
+    "CycleReport",
+    "WorkloadMonitor",
+    "accessed_pids",
+    "total_variation",
+    "IncrementalRepartitioner",
+    "MigrationPlan",
+]

@@ -1,0 +1,165 @@
+"""Deciding *whether* to repartition: cost appraisal with hysteresis.
+
+Re-partitioning is expensive (it rewrites partition files), so the advisor
+gates migrations twice:
+
+1. **Trigger hysteresis** — the drift score must exceed ``drift_threshold``
+   to arm a migration, and after one fires the advisor will not re-arm until
+   drift has fallen back below ``drift_reset`` (normally immediate, because a
+   migration rebaselines the monitor on the window it was fitted to).  An
+   oscillating workload that keeps drift in the band between the two
+   thresholds therefore triggers at most one migration, not one per swing.
+   A ``cooldown_queries`` floor additionally spaces migrations out by
+   observed-query count.
+
+2. **Cost appraisal** — a candidate layout must beat the current one on the
+   *observed window* by at least ``min_improvement`` (relative), priced by
+   the same :class:`~repro.core.cost.CostModel` the tuner optimizes
+   (Formula 1 over logical partitions).  The verdict also carries the
+   planner's physical-plan estimate of the current layout's window cost
+   (catalog byte sizes through the fitted ``io(x)`` model) so reports can
+   show the estimate the engine would actually experience.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..core.cost import CostModel
+from ..core.partition import Partition
+from ..core.query import Workload
+from ..plan.physical import QueryPlanner
+
+__all__ = ["AdvisorConfig", "AdvisorVerdict", "RepartitionAdvisor"]
+
+
+@dataclass(frozen=True, slots=True)
+class AdvisorConfig:
+    """Knobs for the two migration gates."""
+
+    #: drift score that arms a migration attempt.
+    drift_threshold: float = 0.25
+    #: hysteresis low-water mark: after a migration, drift must fall below
+    #: this before another attempt can arm.
+    drift_reset: float = 0.10
+    #: minimum relative cost improvement of the candidate on the window.
+    min_improvement: float = 0.05
+    #: minimum observed queries between consecutive migrations.
+    cooldown_queries: int = 8
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drift_reset <= self.drift_threshold <= 1.0:
+            raise ValueError(
+                "need 0 <= drift_reset <= drift_threshold <= 1, got "
+                f"[{self.drift_reset}, {self.drift_threshold}]"
+            )
+        if self.min_improvement < 0.0:
+            raise ValueError("min_improvement must be non-negative")
+        if self.cooldown_queries < 0:
+            raise ValueError("cooldown_queries must be non-negative")
+
+
+@dataclass(slots=True)
+class AdvisorVerdict:
+    """Outcome of one appraisal."""
+
+    fire: bool
+    reason: str
+    drift: float = 0.0
+    current_cost_s: float = 0.0
+    candidate_cost_s: float = 0.0
+    #: (current_cost - candidate_cost) / current_cost, 0 when current is 0.
+    improvement: float = 0.0
+    #: the planner's physical estimate of the current layout's window cost.
+    planned_io_s: float = 0.0
+
+
+class RepartitionAdvisor:
+    """Gates migrations on drift hysteresis and window cost improvement."""
+
+    def __init__(self, cost_model: CostModel, config: AdvisorConfig | None = None):
+        self.cost_model = cost_model
+        self.config = config or AdvisorConfig()
+        #: False right after a migration until drift dips below the reset.
+        self._armed = True
+        self._queries_at_last_migration = 0
+
+    # ------------------------------------------------------------ trigger
+
+    def should_consider(self, drift: float, n_observed: int) -> Optional[str]:
+        """None when a migration attempt may proceed, else the skip reason.
+
+        Also advances the hysteresis state machine: a drift below the reset
+        threshold re-arms the trigger.
+        """
+        config = self.config
+        if not self._armed and drift < config.drift_reset:
+            self._armed = True
+        if drift < config.drift_threshold:
+            return f"drift {drift:.3f} below threshold {config.drift_threshold:g}"
+        if not self._armed:
+            return (
+                f"hysteresis: drift {drift:.3f} never fell below reset "
+                f"{config.drift_reset:g} since the last migration"
+            )
+        since = n_observed - self._queries_at_last_migration
+        if since < config.cooldown_queries:
+            return (
+                f"cooldown: {since} of {config.cooldown_queries} queries "
+                "since the last migration"
+            )
+        return None
+
+    def migrated(self, n_observed: int) -> None:
+        """Record that a migration committed: disarm until drift resets."""
+        self._armed = False
+        self._queries_at_last_migration = n_observed
+
+    # ----------------------------------------------------------- appraise
+
+    def appraise(
+        self,
+        current: Iterable[Partition],
+        candidate: Iterable[Partition],
+        window: Workload,
+        drift: float = 0.0,
+        planner: QueryPlanner | None = None,
+    ) -> AdvisorVerdict:
+        """Price both layouts on the observed window; fire on improvement.
+
+        ``current`` and ``candidate`` are complete logical partition sets —
+        partitions outside the migration scope appear in both, so they
+        contribute identically and the comparison isolates the rewritten
+        region.
+        """
+        current = tuple(current)
+        current_cost = self.cost_model.cost_partitions(current, window)
+        candidate_cost = self.cost_model.cost_partitions(candidate, window)
+        improvement = (
+            (current_cost - candidate_cost) / current_cost if current_cost > 0 else 0.0
+        )
+        planned_io_s = 0.0
+        if planner is not None:
+            planned_io_s = sum(
+                planner.plan(query, notify=False).estimated_io_time_s
+                for query in window
+            )
+        fire = improvement >= self.config.min_improvement
+        reason = (
+            f"candidate improves window cost by {improvement:.1%}"
+            if fire
+            else (
+                f"improvement {improvement:.1%} below floor "
+                f"{self.config.min_improvement:.1%}"
+            )
+        )
+        return AdvisorVerdict(
+            fire=fire,
+            reason=reason,
+            drift=drift,
+            current_cost_s=current_cost,
+            candidate_cost_s=candidate_cost,
+            improvement=improvement,
+            planned_io_s=planned_io_s,
+        )

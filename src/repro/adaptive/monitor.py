@@ -1,0 +1,176 @@
+"""Online workload monitoring and drift detection.
+
+The Jigsaw tuner (Section 4) fits a layout to one fixed training workload.
+:class:`WorkloadMonitor` watches what the engine *actually* executes — it is
+attached as the :class:`~repro.plan.physical.QueryPlanner` observer, so every
+planned query flows through it regardless of engine — and maintains
+
+* a bounded sliding **window** of the most recent queries (the candidate
+  training set for a re-fit), and
+* per-query **partition access records** (the non-pruned access lists of the
+  physical plans), from which per-partition access histograms are computed.
+
+Drift is the distance between the access behaviour the current layout was
+*fitted to* (the baseline, re-planned against the live catalog) and the
+behaviour *observed* over the window.  Two histograms are compared by total
+variation distance and the score is their maximum:
+
+* the **partition histogram** — how often each partition is read.  A shift
+  means queries concentrate I/O somewhere the tuner did not optimize for.
+* the **attribute histogram** — how often each attribute is touched
+  (``A_sigma ∪ A_pi``).  A shift catches new projection/predicate mixes even
+  when, by coincidence, the same partitions are read.
+
+Both are scale-free (normalized), so the score lives in ``[0, 1]`` with 0 =
+indistinguishable from the fitted workload and 1 = disjoint behaviour.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, Mapping, Optional, Tuple
+
+from ..core.query import Query, Workload
+from ..core.schema import TableMeta
+from ..plan.physical import PhysicalPlan, QueryPlanner
+
+__all__ = ["WorkloadMonitor", "accessed_pids", "total_variation"]
+
+
+def accessed_pids(plan: PhysicalPlan) -> Tuple[int, ...]:
+    """The distinct partitions a physical plan may read (non-pruned accesses).
+
+    The same classification for observed plans and re-planned baselines, so
+    the two histograms a drift score compares are always commensurable.
+    """
+    pids = {a.pid for a in plan.selection if not a.decision.is_pruned}
+    pids.update(a.pid for a in plan.projection if not a.decision.is_pruned)
+    return tuple(sorted(pids))
+
+
+def total_variation(
+    left: Mapping, right: Mapping
+) -> float:
+    """Total variation distance between two count histograms (normalized)."""
+    left_total = float(sum(left.values()))
+    right_total = float(sum(right.values()))
+    if left_total <= 0.0 or right_total <= 0.0:
+        return 0.0
+    distance = 0.0
+    for key in set(left) | set(right):
+        distance += abs(
+            left.get(key, 0) / left_total - right.get(key, 0) / right_total
+        )
+    return 0.5 * distance
+
+
+def _attribute_counts(queries: Iterable[Query]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for query in queries:
+        for name in query.accessed_attributes:
+            counts[name] = counts.get(name, 0) + 1
+    return counts
+
+
+class WorkloadMonitor:
+    """Bounded sliding window of executed queries + drift scoring.
+
+    Attach with ``planner.observer = monitor.observe`` (or let
+    :class:`~repro.adaptive.AdaptiveDaemon` do it).  ``rebaseline`` declares
+    "the current layout is fitted to *this* workload" — called once at build
+    time with the training workload and again after every migration with the
+    window snapshot the new layout was fitted to.
+    """
+
+    def __init__(self, table: TableMeta, window_size: int = 64):
+        if window_size <= 0:
+            raise ValueError(f"window_size must be positive, got {window_size}")
+        self.table = table
+        self.window_size = window_size
+        #: (query, accessed pids) pairs, oldest first, bounded.
+        self._entries: Deque[Tuple[Query, Tuple[int, ...]]] = deque(
+            maxlen=window_size
+        )
+        self._fitted: Optional[Workload] = None
+        self._baseline_pids: Dict[int, int] = {}
+        self._baseline_attrs: Dict[str, int] = {}
+        self.n_observed = 0
+
+    # ------------------------------------------------------------ feeding
+
+    def observe(self, query: Query, plan: PhysicalPlan) -> None:
+        """Planner-observer entry point: record one planned query."""
+        self._entries.append((query, accessed_pids(plan)))
+        self.n_observed += 1
+
+    def record(self, query: Query, pids: Iterable[int] = ()) -> None:
+        """Record a query without a physical plan (tests, external feeds)."""
+        self._entries.append((query, tuple(sorted(set(pids)))))
+        self.n_observed += 1
+
+    # ----------------------------------------------------------- baseline
+
+    def rebaseline(self, fitted: Workload, planner: QueryPlanner) -> None:
+        """Declare the workload the *current* layout is fitted to.
+
+        Each fitted query is re-planned against the live catalog with
+        ``notify=False`` — the monitor must never observe its own
+        bookkeeping — giving the per-partition access histogram the layout
+        was optimized for.  Window entries are re-planned the same way:
+        after a migration their recorded pids reference retired partitions,
+        and comparing those against a new-catalog baseline would report
+        phantom drift (and keep the advisor's hysteresis from re-arming).
+        """
+        self._fitted = fitted
+        self._baseline_pids = {}
+        for query in fitted:
+            for pid in accessed_pids(planner.plan(query, notify=False)):
+                self._baseline_pids[pid] = self._baseline_pids.get(pid, 0) + 1
+        self._baseline_attrs = _attribute_counts(fitted)
+        remapped = [
+            (query, accessed_pids(planner.plan(query, notify=False)))
+            for query, _pids in self._entries
+        ]
+        self._entries.clear()
+        self._entries.extend(remapped)
+
+    @property
+    def fitted(self) -> Optional[Workload]:
+        return self._fitted
+
+    # ------------------------------------------------------------- window
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def window_workload(self) -> Workload:
+        """The observed window as a :class:`Workload` (oldest first)."""
+        queries = tuple(query for query, _pids in self._entries)
+        return Workload(self.table, queries).window(self.window_size)
+
+    def observed_partition_counts(self) -> Dict[int, int]:
+        """Per-partition access counts over the current window."""
+        counts: Dict[int, int] = {}
+        for _query, pids in self._entries:
+            for pid in pids:
+                counts[pid] = counts.get(pid, 0) + 1
+        return counts
+
+    # -------------------------------------------------------------- drift
+
+    def drift_score(self) -> float:
+        """``max(TV(partitions), TV(attributes))`` between baseline and window.
+
+        0.0 when either side is empty — an un-baselined monitor or an empty
+        window has no evidence of drift.
+        """
+        if self._fitted is None or not self._entries:
+            return 0.0
+        partition_tv = total_variation(
+            self._baseline_pids, self.observed_partition_counts()
+        )
+        attribute_tv = total_variation(
+            self._baseline_attrs,
+            _attribute_counts(q for q, _pids in self._entries),
+        )
+        return max(partition_tv, attribute_tv)

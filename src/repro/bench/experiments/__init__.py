@@ -2,6 +2,7 @@
 
 from . import (
     ablations,
+    adaptive,
     fig05_parallelization,
     fig06_selectivity,
     fig07_projectivity,
@@ -15,6 +16,7 @@ from . import (
 #: Registry for the CLI: experiment id -> module (each exposes ``run``).
 EXPERIMENTS = {
     "ablations": ablations,
+    "adapt": adaptive,
     "fig05": fig05_parallelization,
     "fig06": fig06_selectivity,
     "fig07": fig07_projectivity,

@@ -199,7 +199,11 @@ class JigsawPartitioner:
             ranges=table.full_range(),
             queries=frozenset(workload),
         )
-        active: Deque[Segment] = deque([root])
+        return self._split_to_frozen([root])
+
+    def _split_to_frozen(self, roots: Sequence[Segment]) -> List[Segment]:
+        """The Algorithm 2 splitting loop, seeded with arbitrary segments."""
+        active: Deque[Segment] = deque(roots)
         frozen: List[Segment] = []
         while active:
             segment = active.popleft()
@@ -359,6 +363,38 @@ class JigsawPartitioner:
             group_queries | target_queries
         )
         return merged <= separate
+
+    # --------------------------------------------------- scoped refinement
+
+    def refine(
+        self, segments: Sequence[Segment], workload: Workload
+    ) -> List[List[Segment]]:
+        """Re-tune a *region* of an existing layout for a new workload.
+
+        The incremental entry point behind adaptive repartitioning: instead
+        of starting from a root segment covering the whole table, the
+        splitting loop is seeded with ``segments`` (typically the union of a
+        few hot partitions' segments) whose query sets are reassigned from
+        ``workload``.  Phases 1 and 2 then run unchanged; phase 3 (the
+        columnar fallback) is skipped because a scoped region cannot fall
+        back to a whole-table layout.
+
+        Every returned segment group covers exactly the cells of the input
+        segments — splits partition cells and merges only regroup them — so
+        the caller can swap the region's partitions without gaps or overlaps.
+        """
+        self.stats = PartitionerStats()
+        started = time.perf_counter()
+        seeded = [
+            segment.with_queries(q for q in workload if access(segment, q))
+            for segment in segments
+            if not segment.is_empty
+        ]
+        frozen = self._split_to_frozen(seeded)
+        groups = self._resizing_phase(frozen, workload)
+        self.stats.n_partitions = len(groups)
+        self.stats.elapsed_s = time.perf_counter() - started
+        return groups
 
     # ------------------------------------------------------------ phase 3
 

@@ -146,6 +146,26 @@ class Workload:
     def __getitem__(self, index: int) -> Query:
         return self.queries[index]
 
+    def window(self, size: int) -> "Workload":
+        """The trailing ``size`` queries as a new workload.
+
+        The shared workload-arithmetic primitive behind the adaptive
+        monitor's sliding window: ``size >= len(self)`` returns the whole
+        workload, ``size <= 0`` an empty one.
+        """
+        if size <= 0:
+            return Workload(self.table, ())
+        return Workload(self.table, self.queries[-size:])
+
+    def merge(self, other: "Workload") -> "Workload":
+        """Concatenate two workloads over the *same* table, in order."""
+        if other.table.name != self.table.name or other.table.schema != self.table.schema:
+            raise InvalidQueryError(
+                f"cannot merge workloads over different tables "
+                f"({self.table.name!r} vs {other.table.name!r})"
+            )
+        return Workload(self.table, self.queries + other.queries)
+
     def accessed_attributes(self) -> frozenset:
         """Union of every attribute any query touches."""
         touched: frozenset = frozenset()

@@ -57,3 +57,7 @@ class PartitionNotFoundError(StorageError):
 
 class CalibrationError(JigsawError):
     """An I/O or memory model could not be fitted from measurements."""
+
+
+class AdaptationError(JigsawError):
+    """Adaptive repartitioning was mis-configured or cannot run on a layout."""

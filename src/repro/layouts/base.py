@@ -88,6 +88,7 @@ class MaterializedLayout:
         executor: Any,
         plan: PartitioningPlan | None = None,
         build_info: Dict[str, Any] | None = None,
+        train: Workload | None = None,
     ):
         self.name = name
         self.table = table
@@ -95,6 +96,9 @@ class MaterializedLayout:
         self.executor = executor
         self.plan = plan
         self.build_info = build_info or {}
+        #: the workload the layout was fitted to — the adaptive monitor's
+        #: drift baseline.  Builders pass their training workload through.
+        self.train = train
 
     def execute(self, query: Query) -> Tuple[ResultSet, ExecutionStats]:
         """Run one query cold-ish: the engine charges simulated device I/O."""

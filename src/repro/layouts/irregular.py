@@ -76,6 +76,7 @@ class IrregularLayout(LayoutBuilder):
             layout = ColumnLayout().build(table, train, ctx)
             layout.name = self.name
             layout.plan = plan
+            layout.train = train
             layout.build_info["tuner"] = partitioner.stats
             layout.build_info["fallback"] = "columnar"
             return layout
@@ -95,4 +96,5 @@ class IrregularLayout(LayoutBuilder):
                 "tuner": partitioner.stats,
                 "n_irregular_partitions": plan.n_irregular_partitions(),
             },
+            train=train,
         )

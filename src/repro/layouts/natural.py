@@ -50,6 +50,7 @@ class RowLayout(LayoutBuilder):
             manager,
             executor,
             build_info={"rows_per_segment": rows_per_segment},
+            train=train,
         )
 
 
@@ -81,4 +82,4 @@ class ColumnLayout(LayoutBuilder):
             chunk_size=ctx.file_segment_bytes,
             row_major=False,
         )
-        return MaterializedLayout(self.name, table.meta, manager, executor)
+        return MaterializedLayout(self.name, table.meta, manager, executor, train=train)

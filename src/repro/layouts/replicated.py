@@ -67,4 +67,5 @@ class ReplicatedIrregularLayout(LayoutBuilder):
             executor,
             plan=base.plan,
             build_info={**base.build_info, "replication": report},
+            train=train,
         )

@@ -69,7 +69,8 @@ class RowHLayout(LayoutBuilder):
             manager, table.meta, cpu_model=ctx.cpu_model, zone_maps=True, row_major=True
         )
         return MaterializedLayout(
-            self.name, table.meta, manager, executor, build_info={"n_groups": len(groups)}
+            self.name, table.meta, manager, executor,
+            build_info={"n_groups": len(groups)}, train=train,
         )
 
 
@@ -99,7 +100,8 @@ class ColumnHLayout(LayoutBuilder):
             manager, table.meta, cpu_model=ctx.cpu_model, zone_maps=True, row_major=False
         )
         return MaterializedLayout(
-            self.name, table.meta, manager, executor, build_info={"n_groups": len(groups)}
+            self.name, table.meta, manager, executor,
+            build_info={"n_groups": len(groups)}, train=train,
         )
 
 
@@ -131,6 +133,7 @@ class RowVLayout(LayoutBuilder):
             manager,
             executor,
             build_info={"column_groups": column_groups},
+            train=train,
         )
 
 
@@ -174,6 +177,7 @@ class HierarchicalLayout(LayoutBuilder):
                 "n_horizontal_groups": len(groups),
                 "vertical_groups_per_partition": vertical_counts,
             },
+            train=train,
         )
 
     @staticmethod

@@ -24,7 +24,7 @@ report estimated vs. actual after execution.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 from ..core.cost import estimate_access_io
 from ..core.query import Query
@@ -175,6 +175,12 @@ class QueryPlanner:
     One planner per executor: the executor's pruning knob and scheduling
     family pick the policy, the manager supplies catalog metadata and the
     retry budget.  Planning itself performs no I/O.
+
+    ``observer`` is the adaptive-monitoring hook: a callable invoked with
+    every ``(query, physical_plan)`` the planner emits.  All four engines
+    plan through this class, so attaching an observer here feeds a
+    :class:`~repro.adaptive.WorkloadMonitor` from every entry point without
+    touching the executors.  Observers must not mutate the plan.
     """
 
     def __init__(
@@ -187,11 +193,13 @@ class QueryPlanner:
         replica_fallback: bool = False,
         pin_pool: bool = False,
         chunk_size: Optional[int] = None,
+        observer: Optional[Callable[[Query, "PhysicalPlan"], None]] = None,
     ):
         self.manager = manager
         self.table = table
         self.policy = policy
         self.pruning = pruning
+        self.observer = observer
         self.access_policy = AccessPolicy(
             max_attempts=manager.retry_policy.max_attempts,
             degrade_enabled=degrade_enabled,
@@ -203,7 +211,10 @@ class QueryPlanner:
     def logical_plan(self, query: Query) -> LogicalPlan:
         return LogicalPlan(query, policy=self.policy, pruning=self.pruning)
 
-    def plan(self, query: Query) -> PhysicalPlan:
+    def plan(self, query: Query, notify: bool = True) -> PhysicalPlan:
+        """Build the physical plan; ``notify=False`` suppresses the observer
+        (used when re-planning for estimation, e.g. drift baselines, so the
+        monitor never records its own bookkeeping queries)."""
         logical = self.logical_plan(query)
         manager = self.manager
         if logical.conjunction:
@@ -229,9 +240,12 @@ class QueryPlanner:
             self._access(pid, logical, logical.projection_columns)
             for pid in sorted(proj_pids)
         )
-        return PhysicalPlan(
+        plan = PhysicalPlan(
             manager, logical, self.access_policy, selection, projection
         )
+        if notify and self.observer is not None:
+            self.observer(query, plan)
+        return plan
 
     def _access(
         self,

@@ -17,7 +17,12 @@ import numpy as np
 
 from ..core.partition import PartitioningPlan
 from ..core.schema import TableSchema
-from ..errors import PartitionNotFoundError, PartitionUnreadableError, StorageError
+from ..errors import (
+    InvalidPartitioningError,
+    PartitionNotFoundError,
+    PartitionUnreadableError,
+    StorageError,
+)
 from .blob import BlobStore, MemoryBlobStore
 from .buffer_pool import BufferPool
 from .device import StorageDevice
@@ -63,6 +68,8 @@ class PartitionInfo:
     full_coverage_attrs: frozenset = frozenset()
     #: per-segment ``(min_tid, max_tid)``; ``(-1, -1)`` for empty segments.
     segment_tid_bounds: List[Tuple[int, int]] = field(default_factory=list)
+    #: catalog version at which this partition became visible.
+    version: int = 0
     _tuple_ids_cache: Optional[np.ndarray] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
@@ -168,7 +175,12 @@ class PartitionManager:
         self.key_prefix = key_prefix
         self.buffer_pool = buffer_pool
         self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        #: bumped once per successful :meth:`swap_partitions` commit.
+        self.catalog_version = 0
         self._catalog: Dict[int, PartitionInfo] = {}
+        #: pid -> info for partitions removed by a swap but kept readable so
+        #: queries planned against the old catalog can still finish.
+        self._retired: Dict[int, PartitionInfo] = {}
         self._attribute_index: Dict[str, List[int]] = {}
         self._replica_index: Dict[str, List[int]] = {}
 
@@ -177,14 +189,7 @@ class PartitionManager:
     def _key(self, pid: int) -> str:
         return f"{self.key_prefix}p{pid:06d}.jig"
 
-    def add_partition(self, physical: PhysicalPartition) -> PartitionInfo:
-        """Serialize one partition, write it, and index it."""
-        data = serialize_partition(physical, self.schema)
-        key = self._key(physical.pid)
-        self.store.put(key, data)
-        self.device.invalidate(key)
-        if self.buffer_pool is not None:
-            self.buffer_pool.invalidate(physical.pid)
+    def _build_info(self, physical: PhysicalPartition, data: bytes) -> PartitionInfo:
         replica_attrs: frozenset = frozenset()
         for segment in physical.segments:
             if segment.replica:
@@ -194,7 +199,7 @@ class PartitionManager:
         # Checksum bytes exist in the file but charge nothing.
         info = PartitionInfo(
             pid=physical.pid,
-            key=key,
+            key=self._key(physical.pid),
             n_bytes=len(data) - checksum_overhead(len(physical.segments)),
             attributes=physical.attribute_set(),
             n_tuples=physical.n_tuples,
@@ -207,22 +212,157 @@ class PartitionManager:
             replica_attributes=replica_attrs,
         )
         info.full_coverage_attrs = _full_coverage(info)
-        self._catalog[physical.pid] = info
-        for attribute in info.attributes:
-            self._attribute_index.setdefault(attribute, []).append(physical.pid)
-        for attribute in replica_attrs - info.attributes:
-            self._replica_index.setdefault(attribute, []).append(physical.pid)
         return info
+
+    def _verify_readable(self, info: PartitionInfo) -> StorageError | None:
+        """Read a just-staged blob back through the fault path; None when a
+        decode succeeds within the retry budget, else the last error."""
+        last_error: StorageError | None = None
+        catalog_tids = {
+            ordinal: tids
+            for ordinal, (tids, mode) in enumerate(
+                zip(info.segment_tids, info.segment_tid_modes)
+            )
+            if mode == TID_CATALOG
+        }
+        for _attempt in range(self.retry_policy.max_attempts):
+            try:
+                data = self.store.get(info.key)
+                deserialize_partition(data, self.schema, catalog_tids or None)
+                return None
+            except StorageError as exc:
+                last_error = exc
+        return last_error
+
+    def swap_partitions(
+        self,
+        add: Sequence[PhysicalPartition],
+        remove: Iterable[int] = (),
+        verify: bool = False,
+    ) -> List[PartitionInfo]:
+        """Atomically make ``add`` visible and retire ``remove``.
+
+        The one write path of the catalog: plain partition adds, in-place
+        replaces (an added pid that already exists) and layout migrations are
+        all expressed as one swap.  Every new partition file is *staged* —
+        serialized and written to the blob store — before the catalog is
+        touched; with ``verify`` each staged file is also read back and
+        decoded (through the fault-injection path, within the retry budget).
+        A staging failure rolls back every staged blob that did not overwrite
+        a live partition and raises, leaving the old catalog fully intact —
+        this is what makes migrations abort-safe.
+
+        The commit itself is pure in-memory bookkeeping: the catalog version
+        is bumped once, removed pids move to the *retired* set (still served
+        by :meth:`info`/:meth:`load` so in-flight queries planned against the
+        old catalog can finish, but absent from every index so new plans
+        never see them), added partitions are indexed, and the buffer-pool
+        entries of every touched pid are invalidated.  Call
+        :meth:`prune_retired` to reclaim retired blobs once no old-version
+        reader remains.
+        """
+        additions = list(add)
+        removals = set(remove)
+        added_pids = {physical.pid for physical in additions}
+        if len(added_pids) != len(additions):
+            raise InvalidPartitioningError("swap adds the same pid twice")
+        staged: List[Tuple[PhysicalPartition, PartitionInfo]] = []
+        overwritten = {
+            physical.pid for physical in additions
+            if physical.pid in self._catalog or physical.pid in self._retired
+        }
+        try:
+            for physical in additions:
+                data = serialize_partition(physical, self.schema)
+                info = self._build_info(physical, data)
+                self.store.put(info.key, data)
+                self.device.invalidate(info.key)
+                staged.append((physical, info))
+            if verify:
+                for _physical, info in staged:
+                    error = self._verify_readable(info)
+                    if error is not None:
+                        raise StorageError(
+                            f"staged partition {info.pid} ({info.key!r}) failed "
+                            f"read-back verification: {error}"
+                        )
+        except Exception:
+            # Roll back: delete staged blobs unless they overwrote a live
+            # key (an in-place replace destroyed the old bytes on put —
+            # deleting would only lose the readable copy we still have).
+            for _physical, info in staged:
+                if info.pid not in overwritten:
+                    self.store.delete(info.key)
+                    self.device.invalidate(info.key)
+            raise
+
+        # ------------------------------------------------------------ commit
+        self.catalog_version += 1
+        for pid in sorted(removals | (added_pids & set(self._catalog))):
+            old = self._catalog.pop(pid, None)
+            if old is None:
+                continue
+            for index in (self._attribute_index, self._replica_index):
+                for pids in index.values():
+                    if pid in pids:
+                        pids.remove(pid)
+            if pid in removals and pid not in added_pids:
+                # Stamp the *retirement* version: a pruning pass with
+                # ``before_version=catalog_version`` then spares partitions
+                # retired by the current swap, so plans built just before the
+                # commit can still finish against them.
+                old.version = self.catalog_version
+                self._retired[pid] = old
+            if self.buffer_pool is not None:
+                self.buffer_pool.invalidate(pid)
+        infos = []
+        for _physical, info in staged:
+            info.version = self.catalog_version
+            self._retired.pop(info.pid, None)
+            self._catalog[info.pid] = info
+            for attribute in info.attributes:
+                self._attribute_index.setdefault(attribute, []).append(info.pid)
+            for attribute in info.replica_attributes - info.attributes:
+                self._replica_index.setdefault(attribute, []).append(info.pid)
+            if self.buffer_pool is not None:
+                self.buffer_pool.invalidate(info.pid)
+            infos.append(info)
+        return infos
+
+    def add_partition(self, physical: PhysicalPartition) -> PartitionInfo:
+        """Serialize one partition, write it, and index it."""
+        return self.swap_partitions([physical])[0]
 
     def replace_partition(self, physical: PhysicalPartition) -> PartitionInfo:
         """Rewrite an existing partition (e.g. after adding replica segments)."""
-        old = self._catalog.pop(physical.pid, None)
-        if old is not None:
-            for index in (self._attribute_index, self._replica_index):
-                for pids in index.values():
-                    if physical.pid in pids:
-                        pids.remove(physical.pid)
-        return self.add_partition(physical)
+        return self.swap_partitions([physical], remove=[physical.pid])[0]
+
+    def prune_retired(self, before_version: int | None = None) -> int:
+        """Drop retired partitions (catalog entries + blobs); returns count.
+
+        A retired entry's ``version`` records the catalog version that
+        retired it; ``before_version`` prunes only entries retired *before*
+        that version (``info.version < before_version``), so passing the
+        current catalog version spares the most recent swap's retirees.
+        Defaults to everything retired.
+        """
+        pruned = 0
+        for pid in sorted(self._retired):
+            info = self._retired[pid]
+            if before_version is not None and info.version >= before_version:
+                continue
+            del self._retired[pid]
+            self.store.delete(info.key)
+            self.device.invalidate(info.key)
+            if self.buffer_pool is not None:
+                self.buffer_pool.invalidate(pid)
+            pruned += 1
+        return pruned
+
+    def next_pid(self) -> int:
+        """Smallest pid never used by an active or retired partition."""
+        used = set(self._catalog) | set(self._retired)
+        return max(used, default=-1) + 1
 
     def materialize_plan(
         self,
@@ -343,13 +483,19 @@ class PartitionManager:
     # ------------------------------------------------------------ indexes
 
     def info(self, pid: int) -> PartitionInfo:
-        try:
-            return self._catalog[pid]
-        except KeyError:
-            raise PartitionNotFoundError(f"no partition with id {pid}") from None
+        """Catalog entry for an active — or retired but unpruned — pid."""
+        entry = self._catalog.get(pid)
+        if entry is None:
+            entry = self._retired.get(pid)
+        if entry is None:
+            raise PartitionNotFoundError(f"no partition with id {pid}")
+        return entry
 
     def pids(self) -> Tuple[int, ...]:
         return tuple(sorted(self._catalog))
+
+    def retired_pids(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._retired))
 
     def partitions_for_attribute(self, attribute: str) -> Tuple[int, ...]:
         """Attribute-level index: partitions storing a *primary* cell of

@@ -1,0 +1,51 @@
+"""Fixtures for the adaptive-repartitioning suite: a layout fitted to one
+workload plus a sharply different query mix to drift it with."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Query, TableSchema, Workload
+from repro.layouts import BuildContext, IrregularLayout
+from repro.storage import ColumnTable
+
+
+@pytest.fixture()
+def drift_table() -> ColumnTable:
+    rng = np.random.default_rng(7)
+    schema = TableSchema.uniform([f"a{i}" for i in range(1, 9)])
+    columns = {
+        name: rng.integers(0, 10_000, 5_000).astype(np.int32)
+        for name in schema.attribute_names
+    }
+    return ColumnTable.build("T", schema, columns)
+
+
+@pytest.fixture()
+def train_workload(drift_table) -> Workload:
+    meta = drift_table.meta
+    return Workload(meta, [
+        Query.build(meta, ["a2", "a3"], {"a1": (0, 1999)}, label="Q1"),
+        Query.build(meta, ["a2", "a3"], {"a4": (5000, 9999)}, label="Q2"),
+        Query.build(meta, ["a5"], {"a6": (4000, 4999)}, label="Q3"),
+    ])
+
+
+@pytest.fixture()
+def shifted_queries(drift_table):
+    """Concentrates on attributes the training workload never touched
+    together — drives the drift score to 1.0."""
+    meta = drift_table.meta
+    return [
+        Query.build(meta, ["a7", "a8"], {"a7": (0, 2999)}, label="S1"),
+        Query.build(meta, ["a7", "a8"], {"a8": (7000, 9999)}, label="S2"),
+    ]
+
+
+@pytest.fixture()
+def drift_layout(drift_table, train_workload):
+    ctx = BuildContext(file_segment_bytes=8 * 1024)
+    layout = IrregularLayout().build(drift_table, train_workload, ctx)
+    assert layout.plan is not None and layout.plan.kind == "irregular"
+    return layout

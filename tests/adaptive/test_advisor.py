@@ -1,0 +1,113 @@
+"""Unit tests for the repartition advisor's gates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adaptive import AdvisorConfig, RepartitionAdvisor
+from repro.core import CostModel, IOModel
+
+
+@pytest.fixture()
+def advisor(drift_table):
+    cost_model = CostModel(drift_table.meta, IOModel.from_throughput(75.0, 0.001))
+    return RepartitionAdvisor(
+        cost_model,
+        AdvisorConfig(drift_threshold=0.3, drift_reset=0.1,
+                      min_improvement=0.05, cooldown_queries=5),
+    )
+
+
+class TestConfigValidation:
+    def test_reset_above_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            AdvisorConfig(drift_threshold=0.2, drift_reset=0.5)
+
+    def test_negative_improvement_rejected(self):
+        with pytest.raises(ValueError):
+            AdvisorConfig(min_improvement=-0.1)
+
+    def test_negative_cooldown_rejected(self):
+        with pytest.raises(ValueError):
+            AdvisorConfig(cooldown_queries=-1)
+
+
+class TestTrigger:
+    def test_below_threshold_skips(self, advisor):
+        assert "below threshold" in advisor.should_consider(0.2, 100)
+
+    def test_above_threshold_proceeds(self, advisor):
+        assert advisor.should_consider(0.5, 100) is None
+
+    def test_hysteresis_blocks_until_reset(self, advisor):
+        assert advisor.should_consider(0.5, 100) is None
+        advisor.migrated(100)
+        # Drift stays in the band between reset and threshold, then spikes:
+        # still blocked, because it never fell below the reset mark.
+        assert "hysteresis" in advisor.should_consider(0.5, 200)
+        assert "hysteresis" in advisor.should_consider(0.9, 300)
+        # Once drift dips below the reset the trigger re-arms.
+        assert "below threshold" in advisor.should_consider(0.05, 400)
+        assert advisor.should_consider(0.5, 500) is None
+
+    def test_cooldown_spaces_migrations(self, advisor):
+        advisor.migrated(100)
+        advisor.should_consider(0.05, 101)  # re-arm
+        assert "cooldown" in advisor.should_consider(0.5, 103)
+        assert advisor.should_consider(0.5, 105) is None
+
+
+class TestAppraise:
+    def test_identical_layouts_do_not_fire(
+        self, advisor, drift_layout, train_workload
+    ):
+        partitions = tuple(drift_layout.plan)
+        verdict = advisor.appraise(partitions, partitions, train_workload)
+        assert not verdict.fire
+        assert verdict.improvement == pytest.approx(0.0)
+        assert verdict.current_cost_s == pytest.approx(verdict.candidate_cost_s)
+
+    def test_cheaper_candidate_fires(self, advisor, drift_layout, train_workload):
+        partitions = tuple(drift_layout.plan)
+        # A candidate that drops a partition nothing in the window needs is
+        # strictly cheaper whenever that partition was being read.
+        current_cost = advisor.cost_model.cost_partitions(partitions, train_workload)
+        for drop in range(len(partitions)):
+            candidate = tuple(
+                p for index, p in enumerate(partitions) if index != drop
+            )
+            cost = advisor.cost_model.cost_partitions(candidate, train_workload)
+            if cost < current_cost * 0.95:
+                verdict = advisor.appraise(partitions, candidate, train_workload)
+                assert verdict.fire
+                assert verdict.improvement > 0.05
+                return
+        pytest.skip("no single partition accounts for >5% of window cost")
+
+    def test_verdict_carries_planner_estimate(
+        self, advisor, drift_layout, train_workload
+    ):
+        partitions = tuple(drift_layout.plan)
+        planner = drift_layout.executor.planner
+        verdict = advisor.appraise(
+            partitions, partitions, train_workload,
+            drift=0.42, planner=planner,
+        )
+        expected = sum(
+            planner.plan(q, notify=False).estimated_io_time_s
+            for q in train_workload
+        )
+        assert verdict.planned_io_s == pytest.approx(expected)
+        assert verdict.drift == 0.42
+
+    def test_appraisal_does_not_feed_observer(
+        self, advisor, drift_layout, train_workload
+    ):
+        from repro.adaptive import WorkloadMonitor
+
+        planner = drift_layout.executor.planner
+        monitor = WorkloadMonitor(drift_layout.table)
+        planner.observer = monitor.observe
+        partitions = tuple(drift_layout.plan)
+        advisor.appraise(partitions, partitions, train_workload, planner=planner)
+        assert monitor.n_observed == 0

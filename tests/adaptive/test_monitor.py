@@ -1,0 +1,141 @@
+"""Unit tests for the workload monitor and its drift score."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adaptive import WorkloadMonitor, accessed_pids, total_variation
+from repro.core import Query, Workload
+
+
+class TestTotalVariation:
+    def test_identical_histograms(self):
+        assert total_variation({1: 3, 2: 1}, {1: 3, 2: 1}) == 0.0
+
+    def test_scale_free(self):
+        assert total_variation({1: 1, 2: 1}, {1: 10, 2: 10}) == 0.0
+
+    def test_disjoint_supports(self):
+        assert total_variation({1: 5}, {2: 5}) == pytest.approx(1.0)
+
+    def test_empty_side_is_zero(self):
+        assert total_variation({}, {1: 3}) == 0.0
+        assert total_variation({1: 3}, {}) == 0.0
+
+    def test_partial_shift(self):
+        score = total_variation({1: 1, 2: 1}, {1: 1, 3: 1})
+        assert score == pytest.approx(0.5)
+
+
+class TestWindow:
+    def test_window_is_bounded(self, drift_table, train_workload):
+        monitor = WorkloadMonitor(drift_table.meta, window_size=4)
+        for _ in range(5):
+            for query in train_workload:
+                monitor.record(query)
+        assert len(monitor) == 4
+        assert monitor.n_observed == 15
+
+    def test_window_workload_preserves_order(self, drift_table, train_workload):
+        monitor = WorkloadMonitor(drift_table.meta, window_size=8)
+        for query in train_workload:
+            monitor.record(query)
+        window = monitor.window_workload()
+        assert isinstance(window, Workload)
+        assert [q.label for q in window] == ["Q1", "Q2", "Q3"]
+
+    def test_rejects_nonpositive_window(self, drift_table):
+        with pytest.raises(ValueError):
+            WorkloadMonitor(drift_table.meta, window_size=0)
+
+    def test_observed_partition_counts(self, drift_table, train_workload):
+        monitor = WorkloadMonitor(drift_table.meta)
+        monitor.record(train_workload[0], pids=[0, 1])
+        monitor.record(train_workload[1], pids=[1])
+        assert monitor.observed_partition_counts() == {0: 1, 1: 2}
+
+
+class TestDrift:
+    def test_no_baseline_means_no_drift(self, drift_table, train_workload):
+        monitor = WorkloadMonitor(drift_table.meta)
+        monitor.record(train_workload[0], pids=[0])
+        assert monitor.drift_score() == 0.0
+
+    def test_empty_window_means_no_drift(self, drift_layout, train_workload):
+        monitor = WorkloadMonitor(drift_layout.table)
+        monitor.rebaseline(train_workload, drift_layout.executor.planner)
+        assert monitor.fitted is train_workload
+        assert monitor.drift_score() == 0.0
+
+    def test_train_like_traffic_scores_zero(self, drift_layout, train_workload):
+        planner = drift_layout.executor.planner
+        monitor = WorkloadMonitor(drift_layout.table)
+        monitor.rebaseline(train_workload, planner)
+        for query in train_workload:
+            monitor.observe(query, planner.plan(query, notify=False))
+        assert monitor.drift_score() == pytest.approx(0.0)
+
+    def test_shifted_traffic_scores_high(
+        self, drift_layout, train_workload, shifted_queries
+    ):
+        planner = drift_layout.executor.planner
+        monitor = WorkloadMonitor(drift_layout.table, window_size=16)
+        monitor.rebaseline(train_workload, planner)
+        for _ in range(8):
+            for query in shifted_queries:
+                monitor.observe(query, planner.plan(query, notify=False))
+        assert monitor.drift_score() > 0.5
+
+    def test_attribute_drift_detected_without_partition_drift(
+        self, drift_table, train_workload
+    ):
+        # Same partitions accessed, different attribute mix: the attribute
+        # histogram alone must raise the score.
+        meta = drift_table.meta
+        monitor = WorkloadMonitor(meta)
+        monitor._fitted = train_workload
+        monitor._baseline_pids = {0: 3}
+        monitor._baseline_attrs = {"a1": 3}
+        other = Query.build(meta, ["a8"], {"a7": (0, 999)})
+        monitor.record(other, pids=[0])
+        assert monitor.drift_score() == pytest.approx(1.0)
+
+    def test_rebaseline_remaps_window_entries(
+        self, drift_layout, train_workload
+    ):
+        # Entries recorded with stale pids are re-planned on rebaseline, so
+        # a post-migration monitor never reports phantom drift.
+        planner = drift_layout.executor.planner
+        monitor = WorkloadMonitor(drift_layout.table)
+        for query in train_workload:
+            monitor.record(query, pids=[997, 998])  # nonsense stale pids
+        monitor.rebaseline(train_workload, planner)
+        expected = {
+            pid
+            for query in train_workload
+            for pid in accessed_pids(planner.plan(query, notify=False))
+        }
+        assert set(monitor.observed_partition_counts()) == expected
+        assert monitor.drift_score() == pytest.approx(0.0)
+
+
+class TestPlannerIntegration:
+    def test_observer_feeds_monitor(self, drift_layout, train_workload):
+        planner = drift_layout.executor.planner
+        monitor = WorkloadMonitor(drift_layout.table)
+        planner.observer = monitor.observe
+        drift_layout.execute(train_workload[0])
+        assert monitor.n_observed == 1
+        assert len(monitor) == 1
+
+    def test_notify_false_suppresses_observer(self, drift_layout, train_workload):
+        planner = drift_layout.executor.planner
+        monitor = WorkloadMonitor(drift_layout.table)
+        planner.observer = monitor.observe
+        planner.plan(train_workload[0], notify=False)
+        assert monitor.n_observed == 0
+
+    def test_accessed_pids_sorted_unique(self, drift_layout, train_workload):
+        planner = drift_layout.executor.planner
+        pids = accessed_pids(planner.plan(train_workload[0], notify=False))
+        assert list(pids) == sorted(set(pids))

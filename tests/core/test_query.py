@@ -74,3 +74,50 @@ class TestWorkload:
         assert len(workload) == 3
         assert workload[0].label == "Q1"
         assert [q.label for q in workload] == ["Q1", "Q2", "Q3"]
+
+
+class TestWorkloadWindowMerge:
+    def test_window_keeps_most_recent(self, paper_table, paper_queries):
+        workload = Workload(paper_table, paper_queries)
+        window = workload.window(2)
+        assert [q.label for q in window] == ["Q2", "Q3"]
+        assert window.table is paper_table
+
+    def test_window_larger_than_workload(self, paper_table, paper_queries):
+        workload = Workload(paper_table, paper_queries)
+        assert [q.label for q in workload.window(10)] == ["Q1", "Q2", "Q3"]
+
+    def test_window_zero_or_negative_is_empty(self, paper_table, paper_queries):
+        workload = Workload(paper_table, paper_queries)
+        assert len(workload.window(0)) == 0
+        assert len(workload.window(-3)) == 0
+
+    def test_merge_concatenates_in_order(self, paper_table, paper_queries):
+        first = Workload(paper_table, paper_queries[:1])
+        second = Workload(paper_table, paper_queries[1:])
+        merged = first.merge(second)
+        assert [q.label for q in merged] == ["Q1", "Q2", "Q3"]
+        assert len(first) == 1 and len(second) == 2  # inputs untouched
+
+    def test_merge_empty_sides(self, paper_table, paper_queries):
+        workload = Workload(paper_table, paper_queries)
+        empty = Workload(paper_table, [])
+        assert [q.label for q in empty.merge(workload)] == ["Q1", "Q2", "Q3"]
+        assert [q.label for q in workload.merge(empty)] == ["Q1", "Q2", "Q3"]
+
+    def test_merge_rejects_different_tables(self, paper_table, paper_queries):
+        from repro.core import TableMeta, TableSchema
+
+        other_meta = TableMeta.from_bounds(
+            "U", TableSchema.uniform(["b1"]), 10, {"b1": (0, 9)}
+        )
+        other = Workload(other_meta, [Query.build(other_meta, ["b1"])])
+        with pytest.raises(InvalidQueryError):
+            Workload(paper_table, paper_queries).merge(other)
+
+    def test_window_then_merge_roundtrip(self, paper_table, paper_queries):
+        workload = Workload(paper_table, paper_queries)
+        rebuilt = workload.window(1).merge(
+            Workload(paper_table, paper_queries[:2])
+        )
+        assert [q.label for q in rebuilt] == ["Q3", "Q1", "Q2"]

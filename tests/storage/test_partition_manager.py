@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import CostModel, IOModel, JigsawPartitioner, PartitionerConfig
-from repro.errors import PartitionNotFoundError
+from repro.errors import PartitionNotFoundError, StorageError
 from repro.storage import (
     BALOS_HDD,
     PartitionManager,
@@ -114,3 +114,158 @@ class TestIndexes:
         lo, hi = info.zone_map["a1"]
         half = small_table.column("a1")[: small_table.n_tuples // 2]
         assert lo == half.min() and hi == half.max()
+
+
+def _physical_halves(small_table, pids=(0, 1)):
+    from repro.storage import TID_EXPLICIT, build_physical_partition
+
+    n = small_table.n_tuples
+    first = np.arange(n // 2, dtype=np.int64)
+    second = np.arange(n // 2, n, dtype=np.int64)
+    return (
+        build_physical_partition(
+            pids[0], [SegmentSpec(("a1", "a2"), first)], small_table, TID_EXPLICIT
+        ),
+        build_physical_partition(
+            pids[1], [SegmentSpec(("a1", "a3"), second)], small_table, TID_EXPLICIT
+        ),
+    )
+
+
+class TestSwapPartitions:
+    def test_swap_bumps_version_once(self, manager, small_table):
+        left, right = _physical_halves(small_table)
+        infos = manager.swap_partitions([left, right])
+        assert manager.catalog_version == 1
+        assert [info.version for info in infos] == [1, 1]
+
+    def test_swap_retires_removed_pids(self, manager, small_table):
+        left, right = _physical_halves(small_table)
+        manager.swap_partitions([left, right])
+        replacement, _ = _physical_halves(small_table, pids=(2, 3))
+        replacement = type(replacement)(
+            pid=2, segments=replacement.segments
+        )
+        manager.swap_partitions([replacement], remove=[0, 1])
+        assert manager.pids() == (2,)
+        assert manager.retired_pids() == (0, 1)
+        # Retired partitions stay readable for in-flight queries...
+        assert manager.info(0).pid == 0
+        partition, _delta = manager.load(0)
+        assert partition.pid == 0
+        # ...but vanish from every index new plans consult.
+        assert 0 not in manager.partitions_for_attribute("a2")
+        assert manager.partitions_for_attribute("a2") == (2,)
+
+    def test_swap_rejects_duplicate_added_pids(self, manager, small_table):
+        from repro.errors import InvalidPartitioningError
+
+        left, _right = _physical_halves(small_table)
+        with pytest.raises(InvalidPartitioningError):
+            manager.swap_partitions([left, left])
+
+    def test_in_place_replace_is_not_retired(self, manager, small_table):
+        left, right = _physical_halves(small_table)
+        manager.swap_partitions([left, right])
+        manager.replace_partition(left)
+        assert manager.retired_pids() == ()
+        assert manager.catalog_version == 2
+        assert manager.info(0).version == 2
+
+    def test_prune_retired_reclaims_blobs(self, manager, small_table):
+        left, right = _physical_halves(small_table)
+        manager.swap_partitions([left, right])
+        fresh, _ = _physical_halves(small_table, pids=(2, 3))
+        manager.swap_partitions([fresh], remove=[0, 1])
+        keys = {manager.info(pid).key for pid in (0, 1)}
+        assert manager.prune_retired() == 2
+        assert manager.retired_pids() == ()
+        remaining = set(manager.store.keys())
+        assert not (keys & remaining)
+        with pytest.raises(PartitionNotFoundError):
+            manager.info(0)
+
+    def test_prune_retired_respects_version_floor(self, manager, small_table):
+        left, right = _physical_halves(small_table)
+        manager.swap_partitions([left, right])           # version 1
+        fresh0, _ = _physical_halves(small_table, pids=(2, 3))
+        manager.swap_partitions([fresh0], remove=[0])    # version 2, retires 0
+        fresh1, _ = _physical_halves(small_table, pids=(3, 4))
+        manager.swap_partitions([fresh1], remove=[1])    # version 3, retires 1
+        # Retired entries are stamped with the version that retired them:
+        # pruning below the current version spares the latest swap's retiree
+        # (pid 1, retired at v3) so in-flight v2 readers can finish.
+        assert manager.info(0).version == 2 and manager.info(1).version == 3
+        assert manager.prune_retired(before_version=3) == 1
+        assert manager.retired_pids() == (1,)
+        assert manager.prune_retired() == 1
+        assert manager.retired_pids() == ()
+
+    def test_next_pid_skips_retired(self, manager, small_table):
+        left, right = _physical_halves(small_table)
+        manager.swap_partitions([left, right])
+        fresh, _ = _physical_halves(small_table, pids=(2, 3))
+        manager.swap_partitions([fresh], remove=[0, 1])
+        assert manager.next_pid() == 3
+
+    def test_failed_staging_rolls_back_new_blobs(self, manager, small_table):
+        left, right = _physical_halves(small_table)
+        manager.swap_partitions([left])
+        n_keys_before = len(list(manager.store.keys()))
+
+        put = manager.store.put
+        calls = {"n": 0}
+
+        def failing_put(key, data):
+            calls["n"] += 1
+            if calls["n"] >= 2:
+                raise StorageError("disk full")
+            put(key, data)
+
+        manager.store.put = failing_put
+        fresh_left, fresh_right = _physical_halves(small_table, pids=(5, 6))
+        with pytest.raises(StorageError):
+            manager.swap_partitions([fresh_left, fresh_right], remove=[0])
+        manager.store.put = put
+        # Old catalog fully intact; the staged pid-5 blob was rolled back.
+        assert manager.pids() == (0,)
+        assert manager.retired_pids() == ()
+        assert manager.catalog_version == 1
+        assert len(list(manager.store.keys())) == n_keys_before
+        partition, _delta = manager.load(0)
+        assert partition.pid == 0
+
+    def test_verify_failure_aborts_and_keeps_old_layout(self, small_table):
+        from repro.storage import FaultConfig, FaultInjectingBlobStore, MemoryBlobStore
+
+        device = StorageDevice(BALOS_HDD)
+        inner = MemoryBlobStore()
+        manager = PartitionManager(small_table.schema, device, store=inner)
+        left, right = _physical_halves(small_table)
+        manager.swap_partitions([left])
+        # Every get of the would-be pid-7 key fails: verification must abort.
+        key = manager._key(7)
+        manager.store = FaultInjectingBlobStore(
+            inner, seed=1,
+            overrides={key: FaultConfig(transient_error_rate=1.0)},
+        )
+        fresh = type(right)(pid=7, segments=right.segments)
+        with pytest.raises(StorageError, match="read-back verification"):
+            manager.swap_partitions([fresh], remove=[0], verify=True)
+        assert manager.pids() == (0,)
+        assert manager.retired_pids() == ()
+        assert key not in set(inner.keys())
+
+    def test_swap_invalidates_buffer_pool(self, small_table):
+        from repro.storage import BufferPool
+
+        device = StorageDevice(BALOS_HDD)
+        manager = PartitionManager(
+            small_table.schema, device, buffer_pool=BufferPool(1 << 20)
+        )
+        left, right = _physical_halves(small_table)
+        manager.swap_partitions([left, right])
+        manager.load(0)
+        assert manager.buffer_pool.get(0) is not None
+        manager.replace_partition(left)
+        assert manager.buffer_pool.get(0) is None
