@@ -17,9 +17,18 @@ sets, fault policy, cost estimates)::
     jigsaw-bench explain "SELECT a1, a2 FROM oracle WHERE a1 BETWEEN 100 AND 400"
     jigsaw-bench explain --layout workload-driven --run "SELECT a1 FROM oracle"
     jigsaw-bench explain --engine jigsaw-s "EXPLAIN SELECT a1 FROM oracle WHERE a2 < 50"
+    jigsaw-bench explain --analyze "SELECT a1 FROM oracle WHERE a1 < 300"
 
 (the ``EXPLAIN`` keyword inside the statement is accepted and redundant
-here; ``--run`` also executes the plan and appends actual counters).
+here; ``--run`` also executes the plan and appends actual counters;
+``--analyze`` — or ``EXPLAIN ANALYZE`` inside the statement — runs the
+query traced and appends the per-operator breakdown).
+
+The ``profile`` command runs a small seeded workload across every engine
+under tracing, writes the spans as JSONL, and prints the top-N hotspots::
+
+    jigsaw-bench profile --trace-out trace.jsonl --top 10
+    jigsaw-bench profile --metrics      # also print the Prometheus text
 """
 
 from __future__ import annotations
@@ -68,27 +77,35 @@ def _config_for(module, overrides: List[str]):
     return config
 
 
-def _run_explain(args) -> int:
-    """Build a seeded demo layout, plan the statement, print the report."""
+def _demo_layout(args, layout_name: str):
+    """The seeded demo table, workload and one built layout (shared by the
+    explain and profile commands)."""
     import numpy as np
 
-    from .engine.parallel import ThreadedPartitionEngine
     from .layouts import BuildContext
-    from .sql import parse_statement
     from .testing.oracle import ORACLE_LAYOUTS, random_table, random_workload
 
-    if args.sql is None:
-        raise SystemExit("explain requires a SQL statement argument")
     rng = np.random.default_rng(args.seed)
     table = random_table(rng, n_attrs=args.n_attrs, n_tuples=args.n_tuples)
     workload = random_workload(rng, table, n_queries=5)
     builders = dict(ORACLE_LAYOUTS)
-    if args.layout not in builders:
+    if layout_name not in builders:
         raise SystemExit(
-            f"unknown layout {args.layout!r}; choices: {sorted(builders)}"
+            f"unknown layout {layout_name!r}; choices: {sorted(builders)}"
         )
     ctx = BuildContext(file_segment_bytes=2048, schism_sample_size=100)
-    layout = builders[args.layout]().build(table, workload, ctx)
+    layout = builders[layout_name]().build(table, workload, ctx)
+    return table, workload, layout
+
+
+def _run_explain(args) -> int:
+    """Build a seeded demo layout, plan the statement, print the report."""
+    from .engine.parallel import ThreadedPartitionEngine
+    from .sql import parse_statement
+
+    if args.sql is None:
+        raise SystemExit("explain requires a SQL statement argument")
+    table, _workload, layout = _demo_layout(args, args.layout)
     statement = parse_statement(table.meta, args.sql)
 
     if args.engine in ("jigsaw-l", "jigsaw-s"):
@@ -98,13 +115,20 @@ def _run_explain(args) -> int:
         )
     else:
         executor = layout.executor
-    report = executor.explain(statement.query)
-    if args.run:
-        outcome = executor.execute(statement.query)
-        if isinstance(outcome, tuple):
-            report.record_actuals(outcome[1])
-        else:  # threaded engines return a bare ResultSet
-            report.record_actuals(executor.last_stats)
+    if args.analyze or statement.analyze:
+        from .obs import explain_analyze
+
+        _result, _stats, report = explain_analyze(
+            executor, statement.query, engine=args.engine or ""
+        )
+    else:
+        report = executor.explain(statement.query)
+        if args.run:
+            outcome = executor.execute(statement.query)
+            if isinstance(outcome, tuple):
+                report.record_actuals(outcome[1])
+            else:  # threaded engines return a bare ResultSet
+                report.record_actuals(executor.last_stats)
     print(
         f"-- demo table {table.meta.name!r}: "
         f"{table.n_tuples} tuples x {len(table.schema)} attributes "
@@ -115,6 +139,55 @@ def _run_explain(args) -> int:
     return 0
 
 
+def _run_profile(args) -> int:
+    """Run the seeded demo workload across every engine traced; emit a
+    JSONL trace file, the top-N hotspot table and (optionally) metrics."""
+    from . import obs
+    from .engine.parallel import ThreadedPartitionEngine
+    from .testing.oracle import ORACLE_LAYOUTS
+
+    collector = obs.TraceCollector(capacity=65536)
+    n_queries = 0
+    with obs.scoped_trace(collector=collector):
+        was_metrics = obs.metrics_enabled()
+        obs.enable(trace=False, metrics=True)
+        try:
+            table = None
+            for layout_name, _factory in ORACLE_LAYOUTS:
+                table, workload, layout = _demo_layout(args, layout_name)
+                executors = [layout.executor]
+                if layout_name == "irregular":
+                    executors += [
+                        ThreadedPartitionEngine(
+                            layout.manager, table.meta, strategy=strategy
+                        )
+                        for strategy in ("locking", "shared")
+                    ]
+                for executor in executors:
+                    for query in workload.queries:
+                        executor.execute(query)
+                        n_queries += 1
+                pool = layout.manager.buffer_pool
+                if pool is not None:
+                    obs.publish_buffer_pool(pool, name=layout_name)
+        finally:
+            if not was_metrics:
+                obs.disable()
+    n_spans = obs.dump_jsonl(collector, args.trace_out)
+    print(
+        f"profiled {n_queries} queries across "
+        f"{len(ORACLE_LAYOUTS) + 2} engine configurations; "
+        f"wrote {n_spans} spans to {args.trace_out}"
+        + (f" ({collector.n_dropped} dropped)" if collector.n_dropped else "")
+    )
+    print()
+    print(obs.hotspot_summary(collector, n=args.top))
+    if args.metrics:
+        print()
+        print(obs.render_prometheus())
+    return 0
+
+
 def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="jigsaw-bench",
@@ -122,9 +195,10 @@ def main(argv: List[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "explain"],
+        choices=sorted(EXPERIMENTS) + ["all", "explain", "profile"],
         help="which figure to reproduce ('all' runs every one; 'explain' "
-        "plans a SQL statement against a demo table)",
+        "plans a SQL statement against a demo table; 'profile' traces a "
+        "demo workload across every engine)",
     )
     parser.add_argument(
         "sql",
@@ -159,6 +233,28 @@ def main(argv: List[str] | None = None) -> int:
         help="explain: also execute the plan and report actual counters",
     )
     parser.add_argument(
+        "--analyze",
+        action="store_true",
+        help="explain: run the query traced and append the per-operator "
+        "breakdown (same as writing EXPLAIN ANALYZE in the statement)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default="jigsaw-trace.jsonl",
+        help="profile: path for the JSONL span dump",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="profile: number of hotspot rows to print",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="profile: also print the Prometheus text exposition",
+    )
+    parser.add_argument(
         "--seed", type=int, default=0, help="explain: demo table seed"
     )
     parser.add_argument(
@@ -173,6 +269,12 @@ def main(argv: List[str] | None = None) -> int:
 
     if args.experiment == "explain":
         return _run_explain(args)
+    if args.experiment == "profile":
+        if args.sql is not None:
+            raise SystemExit(
+                "a SQL argument is only valid with the explain command"
+            )
+        return _run_profile(args)
     if args.sql is not None:
         raise SystemExit("a SQL argument is only valid with the explain command")
 

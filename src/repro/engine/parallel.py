@@ -27,6 +27,7 @@ Two deliverables live here:
 
 from __future__ import annotations
 
+import contextvars
 import threading
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
@@ -36,6 +37,8 @@ import numpy as np
 from ..core.query import Query
 from ..core.schema import TableMeta
 from ..errors import PartitionUnreadableError
+from ..obs import record_query
+from ..obs import tracer as obs_tracer
 from ..plan.degrade import FaultContext
 from ..plan.explain import ExplainReport
 from ..plan.logical import POLICY_PARTITION
@@ -124,68 +127,89 @@ class ThreadedPartitionEngine:
     # ------------------------------------------------------------ public
 
     def execute(self, query: Query) -> ResultSet:
-        plan = self.planner.plan(query)
-        conjunction = plan.logical.conjunction
-        projected = plan.logical.projected
-        status = [_NOT_CHECKED] * self.table.n_tuples
-        ret: Dict[int, Dict[str, object]] = {}
-        load_lock = threading.Lock()
-        fctx = FaultContext()
+        tracer = obs_tracer()
+        engine = "jigsaw-l" if self.strategy == "locking" else "jigsaw-s"
         coordinator = ExecutionStats()
         self.worker_stats = [ExecutionStats() for _ in range(self.n_threads)]
-        failed: List[int] = []  # appended by workers (list.append is atomic)
-        select_op = SelectOp(conjunction, projected)
-        fill_op = ProjectFillOp(projected)
+        # The phase snapshots sum across every ledger of the execution: the
+        # coordinator's plus one per worker thread.
+        ledgers = [coordinator, *self.worker_stats]
+        with tracer.phase("exec.query", ledgers, engine=engine):
+            plan = self.planner.plan(query)
+            conjunction = plan.logical.conjunction
+            projected = plan.logical.projected
+            status = [_NOT_CHECKED] * self.table.n_tuples
+            ret: Dict[int, Dict[str, object]] = {}
+            load_lock = threading.Lock()
+            fctx = FaultContext()
+            failed: List[int] = []  # appended by workers (atomic)
+            select_op = SelectOp(conjunction, projected)
+            fill_op = ProjectFillOp(projected)
 
-        pred_pids = plan.selection_pids()
-        if not conjunction:
-            for tid in range(self.table.n_tuples):
-                status[tid] = _VALID
-                ret[tid] = {}
-        elif self.strategy == "locking":
-            self._selection_locking(
-                plan, pred_pids, select_op, status, ret, load_lock, fctx, failed
-            )
-        else:
-            self._selection_shared(
-                plan, pred_pids, select_op, status, ret, load_lock, fctx, failed
-            )
-        if failed:
-            self._drain_selection_failures(
-                plan, failed, select_op, status, ret, fctx, coordinator
-            )
+            pred_pids = plan.selection_pids()
+            with tracer.phase(
+                "exec.selection", ledgers, strategy=self.strategy
+            ):
+                if not conjunction:
+                    for tid in range(self.table.n_tuples):
+                        status[tid] = _VALID
+                        ret[tid] = {}
+                elif self.strategy == "locking":
+                    self._selection_locking(
+                        plan, pred_pids, select_op, status, ret, load_lock,
+                        fctx, failed,
+                    )
+                else:
+                    self._selection_shared(
+                        plan, pred_pids, select_op, status, ret, load_lock,
+                        fctx, failed,
+                    )
+            if failed:
+                with tracer.phase(
+                    "exec.drain", ledgers, n_failed=len(failed)
+                ):
+                    self._drain_selection_failures(
+                        plan, failed, select_op, status, ret, fctx,
+                        coordinator,
+                    )
 
-        self._projection(plan, fill_op, status, ret, fctx, coordinator)
+            with tracer.phase("exec.projection", ledgers):
+                self._projection(plan, fill_op, status, ret, fctx, coordinator)
 
-        self.coordinator_stats = coordinator
-        totals = ExecutionStats()
-        totals.add(coordinator)
-        for worker in self.worker_stats:
-            totals.add(worker)
-        self.fault_events = {
-            "n_unreadable_partitions": totals.n_unreadable_partitions,
-            "n_degraded_reads": totals.n_degraded_reads,
-        }
-        valid = np.array(sorted(tid for tid, s in enumerate(status) if s == _VALID))
-        valid = valid.astype(np.int64) if len(valid) else np.empty(0, np.int64)
-        if fctx.unreadable:
-            # Degradation either reassembled every needed cell or must abort:
-            # a partially filled row would be a silently wrong answer.
-            for t in valid:
-                row = ret[int(t)]
-                for name in projected:
-                    if name not in row:
-                        raise PartitionUnreadableError(
-                            f"attribute {name!r} of tuple {int(t)} was lost "
-                            f"with partitions {sorted(fctx.unreadable)}"
-                        )
-        columns = {
-            name: np.array([ret[int(t)][name] for t in valid],
-                           dtype=self.table.schema[name].np_dtype)
-            for name in projected
-        }
-        totals.n_result_tuples = len(valid)
-        self.last_stats = totals
+            self.coordinator_stats = coordinator
+            totals = ExecutionStats()
+            totals.add(coordinator)
+            for worker in self.worker_stats:
+                totals.add(worker)
+            self.fault_events = {
+                "n_unreadable_partitions": totals.n_unreadable_partitions,
+                "n_degraded_reads": totals.n_degraded_reads,
+            }
+            valid = np.array(
+                sorted(tid for tid, s in enumerate(status) if s == _VALID)
+            )
+            valid = valid.astype(np.int64) if len(valid) else np.empty(0, np.int64)
+            if fctx.unreadable:
+                # Degradation either reassembled every needed cell or must
+                # abort: a partially filled row would be a silently wrong
+                # answer.
+                for t in valid:
+                    row = ret[int(t)]
+                    for name in projected:
+                        if name not in row:
+                            raise PartitionUnreadableError(
+                                f"attribute {name!r} of tuple {int(t)} was "
+                                f"lost with partitions "
+                                f"{sorted(fctx.unreadable)}"
+                            )
+            columns = {
+                name: np.array([ret[int(t)][name] for t in valid],
+                               dtype=self.table.schema[name].np_dtype)
+                for name in projected
+            }
+            totals.n_result_tuples = len(valid)
+            self.last_stats = totals
+        record_query(engine, plan, totals)
         return ResultSet(valid, columns)
 
     # --------------------------------------------------------- internals
@@ -377,8 +401,22 @@ class ThreadedPartitionEngine:
         self._run_threads(worker, pass_id=True)
 
     def _run_threads(self, worker, pass_id: bool = False) -> None:
+        tracer = obs_tracer()
+
+        def run(thread_index: int) -> None:
+            args = (thread_index,) if pass_id else ()
+            if tracer.enabled:
+                with tracer.span("exec.worker", worker=thread_index):
+                    worker(*args)
+            else:
+                worker(*args)
+
+        # Each thread runs inside a copy of the spawning context, so the
+        # active span (and any scoped trace collector) propagates into the
+        # workers — their partition spans nest under the phase span that
+        # started them, tagged with the worker's real thread id.
         threads = [
-            threading.Thread(target=worker, args=(i,) if pass_id else ())
+            threading.Thread(target=contextvars.copy_context().run, args=(run, i))
             for i in range(self.n_threads)
         ]
         for thread in threads:

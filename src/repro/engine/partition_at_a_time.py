@@ -34,6 +34,8 @@ import numpy as np
 from ..core.query import Query
 from ..core.schema import TableMeta
 from ..errors import StorageError
+from ..obs import record_query
+from ..obs import tracer as obs_tracer
 from ..plan.degrade import FaultContext
 from ..plan.explain import ExplainReport
 from ..plan.logical import POLICY_PARTITION
@@ -109,41 +111,56 @@ class PartitionAtATimeExecutor:
     def execute(self, query: Query) -> Tuple[ResultSet, ExecutionStats]:
         started = time.perf_counter()
         stats = ExecutionStats()
+        tracer = obs_tracer()
         n = self.table.n_tuples
-        status = np.full(n, STATUS_NOT_CHECKED, dtype=np.uint8)
-        plan = self.planner.plan(query)
-        projected = plan.logical.projected
-        values: Dict[str, np.ndarray] = {}
-        present: Dict[str, np.ndarray] = {}
-        for name in projected:
-            values[name] = np.zeros(n, dtype=self.table.schema[name].np_dtype)
-            present[name] = np.zeros(n, dtype=bool)
-
-        fctx = FaultContext()
-        reader = PlanReader(
-            self.manager, stats, fctx, pin_hints=plan.pin_hints()
-        )
-        degrade = DegradeOp(self.manager, stats, fctx)
-        try:
-            if plan.logical.conjunction:
-                self._selection_phase(
-                    plan, reader, degrade, status, values, present, stats
+        with tracer.phase(
+            "exec.query", stats, cpu_model=self.cpu_model,
+            engine="partition-at-a-time",
+        ):
+            status = np.full(n, STATUS_NOT_CHECKED, dtype=np.uint8)
+            plan = self.planner.plan(query)
+            projected = plan.logical.projected
+            values: Dict[str, np.ndarray] = {}
+            present: Dict[str, np.ndarray] = {}
+            for name in projected:
+                values[name] = np.zeros(
+                    n, dtype=self.table.schema[name].np_dtype
                 )
-            else:
-                # No WHERE clause: every tuple qualifies; lines 3-16
-                # degenerate to allocating a hash-table row per tuple.
-                status[:] = STATUS_VALID
-                stats.hash_inserts += n
+                present[name] = np.zeros(n, dtype=bool)
 
-            self._projection_phase(
-                plan, reader, degrade, status, values, present, stats
+            fctx = FaultContext()
+            reader = PlanReader(
+                self.manager, stats, fctx, pin_hints=plan.pin_hints()
             )
-        finally:
-            reader.release()
+            degrade = DegradeOp(self.manager, stats, fctx)
+            try:
+                with tracer.phase(
+                    "exec.selection", stats, cpu_model=self.cpu_model
+                ):
+                    if plan.logical.conjunction:
+                        self._selection_phase(
+                            plan, reader, degrade, status, values, present,
+                            stats,
+                        )
+                    else:
+                        # No WHERE clause: every tuple qualifies; lines 3-16
+                        # degenerate to allocating a hash-table row per tuple.
+                        status[:] = STATUS_VALID
+                        stats.hash_inserts += n
 
-        valid = np.nonzero(status == STATUS_VALID)[0].astype(np.int64)
-        result = merge_results(valid, values, projected, stats)
-        finalize_stats(stats, self.cpu_model, started)
+                with tracer.phase(
+                    "exec.projection", stats, cpu_model=self.cpu_model
+                ):
+                    self._projection_phase(
+                        plan, reader, degrade, status, values, present, stats
+                    )
+            finally:
+                reader.release()
+
+            valid = np.nonzero(status == STATUS_VALID)[0].astype(np.int64)
+            result = merge_results(valid, values, projected, stats)
+            finalize_stats(stats, self.cpu_model, started)
+        record_query("partition-at-a-time", plan, stats)
         return result, stats
 
     # ------------------------------------------------------------ phase 1

@@ -26,6 +26,8 @@ import numpy as np
 from ..core.query import Query
 from ..core.schema import TableMeta
 from ..errors import PartitionUnreadableError, StorageError
+from ..obs import record_query
+from ..obs import tracer as obs_tracer
 from ..plan.explain import ExplainReport
 from ..plan.logical import POLICY_SCAN
 from ..plan.operators import PlanReader, ProjectFillOp, finalize_stats, merge_results
@@ -99,6 +101,28 @@ class ReplicatedExecutor:
     ) -> Tuple[ResultSet, ExecutionStats]:
         started = time.perf_counter()
         stats = ExecutionStats()
+        tracer = obs_tracer()
+        with tracer.phase(
+            "exec.query", stats, cpu_model=self.cpu_model,
+            engine="replicated-local",
+        ):
+            outcome = self._run_local(query, plan, stats, started, tracer)
+        result, final_stats, engine = outcome
+        if engine is not None:
+            # The fallback path already published through the standard
+            # engine; publishing the combined ledger again would double
+            # count, so only the clean local path records here.
+            record_query(engine, plan, final_stats)
+        return result, final_stats
+
+    def _run_local(
+        self,
+        query: Query,
+        plan: PhysicalPlan,
+        stats: ExecutionStats,
+        started: float,
+        tracer,
+    ) -> Tuple[ResultSet, ExecutionStats, str | None]:
         n = self.table.n_tuples
         conjunction = plan.logical.conjunction
         projected = plan.logical.projected
@@ -122,64 +146,68 @@ class ReplicatedExecutor:
 
         reader = PlanReader(self.manager, stats)
         fill_op = ProjectFillOp(projected)
-        for pid in plan.selection_pids():
-            # Zone pruning: the partition's zone map covers every tuple's
-            # predicate cells (full coverage), so a disjoint range proves no
-            # local tuple can match — nothing to evaluate or emit.
-            if plan.decision_for(pid).is_pruned:
-                stats.n_partitions_skipped += 1
-                stats.n_partitions_pruned += 1
-                continue
-            try:
-                partition = reader.load(pid, columns=needed)
-            except PartitionUnreadableError as exc:
-                # Local evaluation needs this exact partition (it owns the
-                # tuples), so there is no partition-local substitute; retreat
-                # to the standard engine, whose tuple-level index can
-                # reassemble the lost cells from replicas or overlapping
-                # primaries — or prove that nothing can.  The aborted local
-                # attempt's I/O and CPU events stay on the bill.
-                stats.n_unreadable_partitions += 1
-                if exc.io_delta is not None:
-                    stats.accrue_io(exc.io_delta)
-                result, fallback = self.standard.execute(query)
-                fallback.add(stats)
-                fallback.charge_cpu(self.cpu_model)
-                fallback.wall_time_s = time.perf_counter() - started
-                return result, fallback
-            # 1. scatter the partition's predicate cells by tuple ID.
-            local_tids = self.manager.info(pid).tuple_ids()
-            for segment in partition.segments:
-                tids = segment.tuple_ids
-                if not len(tids):
+        with tracer.phase("exec.local", stats, cpu_model=self.cpu_model):
+            for pid in plan.selection_pids():
+                # Zone pruning: the partition's zone map covers every tuple's
+                # predicate cells (full coverage), so a disjoint range proves
+                # no local tuple can match — nothing to evaluate or emit.
+                if plan.decision_for(pid).is_pruned:
+                    stats.n_partitions_skipped += 1
+                    stats.n_partitions_pruned += 1
                     continue
-                stats.cells_scanned += len(tids) * len(segment.attributes)
-                for name in segment.attributes:
-                    if name in pred_values:
-                        pred_values[name][tids] = segment.columns[name]
-                        pred_present[name][tids] = True
-            # 2. evaluate the conjunction over the partition's own tuples.
-            local_mask = np.ones(len(local_tids), dtype=bool)
-            for predicate in conjunction.predicates:
-                if not np.all(pred_present[predicate.attribute][local_tids]):
-                    raise StorageError(
-                        f"partition {pid} lacks predicate cells for "
-                        f"{predicate.attribute!r}; local plan was unsound"
+                try:
+                    partition = reader.load(pid, columns=needed)
+                except PartitionUnreadableError as exc:
+                    # Local evaluation needs this exact partition (it owns
+                    # the tuples), so there is no partition-local substitute;
+                    # retreat to the standard engine, whose tuple-level index
+                    # can reassemble the lost cells from replicas or
+                    # overlapping primaries — or prove that nothing can.  The
+                    # aborted local attempt's I/O and CPU events stay on the
+                    # bill.
+                    stats.n_unreadable_partitions += 1
+                    if exc.io_delta is not None:
+                        stats.accrue_io(exc.io_delta)
+                    result, fallback = self.standard.execute(query)
+                    fallback.add(stats)
+                    fallback.charge_cpu(self.cpu_model)
+                    fallback.wall_time_s = time.perf_counter() - started
+                    return result, fallback, None
+                # 1. scatter the partition's predicate cells by tuple ID.
+                local_tids = self.manager.info(pid).tuple_ids()
+                for segment in partition.segments:
+                    tids = segment.tuple_ids
+                    if not len(tids):
+                        continue
+                    stats.cells_scanned += len(tids) * len(segment.attributes)
+                    for name in segment.attributes:
+                        if name in pred_values:
+                            pred_values[name][tids] = segment.columns[name]
+                            pred_present[name][tids] = True
+                # 2. evaluate the conjunction over the partition's own tuples.
+                local_mask = np.ones(len(local_tids), dtype=bool)
+                for predicate in conjunction.predicates:
+                    if not np.all(pred_present[predicate.attribute][local_tids]):
+                        raise StorageError(
+                            f"partition {pid} lacks predicate cells for "
+                            f"{predicate.attribute!r}; local plan was unsound"
+                        )
+                    local_mask &= predicate.mask(
+                        pred_values[predicate.attribute][local_tids]
                     )
-                local_mask &= predicate.mask(pred_values[predicate.attribute][local_tids])
-            matching = local_tids[local_mask]
-            matched[matching] = True
-            if not len(matching):
-                continue
-            # 3. emit the projected cells of the matching local tuples
-            #    (primary segments only — a replica's cells belong to some
-            #    other partition's tuples and would double-emit).
-            matching_mask = np.zeros(n, dtype=bool)
-            matching_mask[matching] = True
-            fill_op.gather(
-                partition, matching_mask, values, present, stats,
-                skip_replicas=True,
-            )
+                matching = local_tids[local_mask]
+                matched[matching] = True
+                if not len(matching):
+                    continue
+                # 3. emit the projected cells of the matching local tuples
+                #    (primary segments only — a replica's cells belong to
+                #    some other partition's tuples and would double-emit).
+                matching_mask = np.zeros(n, dtype=bool)
+                matching_mask[matching] = True
+                fill_op.gather(
+                    partition, matching_mask, values, present, stats,
+                    skip_replicas=True,
+                )
 
         valid = np.nonzero(matched)[0].astype(np.int64)
         for name in projected:
@@ -191,4 +219,4 @@ class ReplicatedExecutor:
                 )
         result = merge_results(valid, values, projected, stats)
         finalize_stats(stats, self.cpu_model, started)
-        return result, stats
+        return result, stats, "replicated-local"

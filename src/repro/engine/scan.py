@@ -30,6 +30,8 @@ import numpy as np
 from ..core.query import Query
 from ..core.schema import TableMeta
 from ..errors import PartitionUnreadableError, StorageError
+from ..obs import record_query
+from ..obs import tracer as obs_tracer
 from ..plan.degrade import FaultContext
 from ..plan.explain import ExplainReport
 from ..plan.logical import POLICY_SCAN
@@ -101,54 +103,69 @@ class ScanExecutor:
     def execute(self, query: Query) -> Tuple[ResultSet, ExecutionStats]:
         started = time.perf_counter()
         stats = ExecutionStats()
+        tracer = obs_tracer()
         n = self.table.n_tuples
-        plan = self.planner.plan(query)
-        fctx = FaultContext()
-        # Within-query working memory: a partition first loaded for the
-        # selection phase decodes further columns on demand when the gather
-        # phase revisits it, so the reuse stays sound under lazy loads.
-        reader = PlanReader(
-            self.manager,
-            stats,
-            fctx,
-            chunk_size=self.chunk_size,
-            cache={},
-            pin_hints=plan.pin_hints(),
-        )
-        degrade = DegradeOp(self.manager, stats, fctx)
-        try:
-            selection = self._selection_vector(plan, reader, degrade, stats, n)
-            selected = np.nonzero(selection)[0].astype(np.int64)
-
-            projected = plan.logical.projected
-            values: Dict[str, np.ndarray] = {
-                name: np.zeros(n, dtype=self.table.schema[name].np_dtype)
-                for name in projected
-            }
-            present: Dict[str, np.ndarray] = {
-                name: np.zeros(n, dtype=bool) for name in projected
-            }
-            self._gather_projection(
-                plan, reader, degrade, selection, selected, values, present, stats
+        with tracer.phase(
+            "exec.query", stats, cpu_model=self.cpu_model, engine="scan"
+        ):
+            plan = self.planner.plan(query)
+            fctx = FaultContext()
+            # Within-query working memory: a partition first loaded for the
+            # selection phase decodes further columns on demand when the
+            # gather phase revisits it, so the reuse stays sound under lazy
+            # loads.
+            reader = PlanReader(
+                self.manager,
+                stats,
+                fctx,
+                chunk_size=self.chunk_size,
+                cache={},
+                pin_hints=plan.pin_hints(),
             )
-        finally:
-            reader.release()
-
-        for name in projected:
-            missing = selected[~present[name][selected]]
-            if len(missing):
-                if fctx.unreadable:
-                    raise PartitionUnreadableError(
-                        f"attribute {name!r} is missing for {len(missing)} "
-                        f"selected tuples after losing partitions "
-                        f"{sorted(fctx.unreadable)}"
+            degrade = DegradeOp(self.manager, stats, fctx)
+            try:
+                with tracer.phase(
+                    "exec.selection", stats, cpu_model=self.cpu_model
+                ):
+                    selection = self._selection_vector(
+                        plan, reader, degrade, stats, n
                     )
-                raise StorageError(
-                    f"layout does not store attribute {name!r} for "
-                    f"{len(missing)} selected tuples"
-                )
-        result = merge_results(selected, values, projected, stats)
-        finalize_stats(stats, self.cpu_model, started)
+                    selected = np.nonzero(selection)[0].astype(np.int64)
+
+                projected = plan.logical.projected
+                values: Dict[str, np.ndarray] = {
+                    name: np.zeros(n, dtype=self.table.schema[name].np_dtype)
+                    for name in projected
+                }
+                present: Dict[str, np.ndarray] = {
+                    name: np.zeros(n, dtype=bool) for name in projected
+                }
+                with tracer.phase(
+                    "exec.projection", stats, cpu_model=self.cpu_model
+                ):
+                    self._gather_projection(
+                        plan, reader, degrade, selection, selected, values,
+                        present, stats,
+                    )
+            finally:
+                reader.release()
+
+            for name in projected:
+                missing = selected[~present[name][selected]]
+                if len(missing):
+                    if fctx.unreadable:
+                        raise PartitionUnreadableError(
+                            f"attribute {name!r} is missing for {len(missing)} "
+                            f"selected tuples after losing partitions "
+                            f"{sorted(fctx.unreadable)}"
+                        )
+                    raise StorageError(
+                        f"layout does not store attribute {name!r} for "
+                        f"{len(missing)} selected tuples"
+                    )
+            result = merge_results(selected, values, projected, stats)
+            finalize_stats(stats, self.cpu_model, started)
+        record_query("scan", plan, stats)
         return result, stats
 
     def _selection_vector(

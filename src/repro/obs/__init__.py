@@ -1,0 +1,174 @@
+"""Unified observability: tracing spans, metrics, EXPLAIN ANALYZE, exporters.
+
+The engine's four instrumented subsystems — storage (``IOStats`` /
+``FaultStats``), execution (``ExecutionStats`` + ``CpuModel``), the planner
+pipeline, and the adaptive daemon (``AdaptationStats``) — each keep exact
+counters but no shared timeline.  This package provides that timeline plus
+the aggregate view, without perturbing a single simulated figure:
+
+* :mod:`repro.obs.trace` — nestable spans with monotonic wall time and
+  simulated io/cpu attribution, collected into a bounded ring buffer;
+* :mod:`repro.obs.metrics` — a labeled counter/gauge/histogram registry the
+  existing stats dataclasses publish into (their APIs are untouched);
+* :mod:`repro.obs.analyze` — EXPLAIN ANALYZE: per-operator actuals as a tree
+  whose simulated io+cpu times sum *exactly* to the query's totals;
+* :mod:`repro.obs.export` — JSONL trace dump, Prometheus text exposition,
+  and top-N hotspot summaries (the ``jigsaw-bench profile`` subcommand);
+* :mod:`repro.obs.publish` — the bridge that copies the stats dataclasses
+  into the registry at query/cycle boundaries.
+
+**Enablement model.**  The module-level tracer defaults to a
+:class:`~repro.obs.trace.NoopTracer`; every instrumentation point in the
+planner, the operators, the storage stack and the daemon costs one attribute
+load and one truth test until :func:`enable` installs a real tracer.
+:func:`scoped_trace` installs a collector for the current logical context
+only (it rides a ``ContextVar``, so it propagates into the threaded engines'
+workers but never leaks across concurrent callers) — EXPLAIN ANALYZE and the
+tests use it to trace one query without flipping any global switch.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterator, Optional
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .trace import (
+    NOOP_TRACER,
+    NoopTracer,
+    Span,
+    TraceCollector,
+    Tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NoopTracer",
+    "Span",
+    "TraceCollector",
+    "Tracer",
+    "disable",
+    "enable",
+    "get_registry",
+    "metrics_enabled",
+    "scoped_trace",
+    "tracer",
+    "tracing_enabled",
+]
+
+#: Globally installed tracer (None until :func:`enable`).
+_GLOBAL_TRACER: Tracer | NoopTracer = NOOP_TRACER
+#: Context-local override; wins over the global tracer when set.
+_ACTIVE_TRACER: ContextVar[Optional[Tracer]] = ContextVar(
+    "jigsaw_active_tracer", default=None
+)
+#: One process-wide registry; metrics publishing is gated separately from
+#: tracing so a long-running server can scrape without paying for spans.
+_REGISTRY = MetricsRegistry()
+_METRICS_ENABLED = False
+
+
+def tracer() -> Tracer | NoopTracer:
+    """The tracer instrumentation points must use (noop unless enabled)."""
+    active = _ACTIVE_TRACER.get()
+    if active is not None:
+        return active
+    return _GLOBAL_TRACER
+
+
+def tracing_enabled() -> bool:
+    return tracer().enabled
+
+
+def metrics_enabled() -> bool:
+    return _METRICS_ENABLED
+
+
+def get_registry() -> MetricsRegistry:
+    return _REGISTRY
+
+
+def enable(
+    trace: bool = True,
+    metrics: bool = True,
+    capacity: int = 65536,
+    collector: Optional[TraceCollector] = None,
+) -> Optional[TraceCollector]:
+    """Turn observability on globally; returns the live trace collector.
+
+    ``trace`` installs a real tracer over a bounded ring buffer of
+    ``capacity`` spans (or the given ``collector``); ``metrics`` opens the
+    publication gate for the shared registry.  Returns the collector when
+    tracing was enabled, else None.
+    """
+    global _GLOBAL_TRACER, _METRICS_ENABLED
+    result: Optional[TraceCollector] = None
+    if trace:
+        _GLOBAL_TRACER = Tracer(
+            collector if collector is not None else TraceCollector(capacity)
+        )
+        result = _GLOBAL_TRACER.collector
+    if metrics:
+        _METRICS_ENABLED = True
+    return result
+
+
+def disable() -> None:
+    """Back to the zero-cost default: noop tracer, publication gate shut."""
+    global _GLOBAL_TRACER, _METRICS_ENABLED
+    _GLOBAL_TRACER = NOOP_TRACER
+    _METRICS_ENABLED = False
+
+
+@contextmanager
+def scoped_trace(
+    capacity: int = 65536, collector: Optional[TraceCollector] = None
+) -> Iterator[TraceCollector]:
+    """Trace the current logical context only.
+
+    The installed tracer overrides the global one for code running in this
+    context (including worker threads the threaded engines spawn through
+    ``contextvars.copy_context``) and is removed on exit.  Yields the
+    collector the spans land in.
+    """
+    if collector is None:
+        collector = TraceCollector(capacity)
+    token = _ACTIVE_TRACER.set(Tracer(collector))
+    try:
+        yield collector
+    finally:
+        _ACTIVE_TRACER.reset(token)
+
+
+# Imported late: publish/analyze/export need tracer()/get_registry() above.
+from .analyze import AnalyzeNode, build_analyze_tree, explain_analyze  # noqa: E402
+from .export import (  # noqa: E402
+    dump_jsonl,
+    hotspot_summary,
+    render_prometheus,
+    top_hotspots,
+)
+from .publish import (  # noqa: E402
+    publish_adaptation,
+    publish_buffer_pool,
+    publish_fault_stats,
+    record_query,
+)
+
+__all__ += [
+    "AnalyzeNode",
+    "build_analyze_tree",
+    "dump_jsonl",
+    "explain_analyze",
+    "hotspot_summary",
+    "publish_adaptation",
+    "publish_buffer_pool",
+    "publish_fault_stats",
+    "record_query",
+    "render_prometheus",
+    "top_hotspots",
+]

@@ -1,0 +1,127 @@
+"""Exporters: JSONL trace dumps, Prometheus text, top-N hotspot summaries.
+
+These are the read-only back ends of the observability layer: they consume
+finished :class:`~repro.obs.trace.Span` objects and the shared
+:class:`~repro.obs.metrics.MetricsRegistry` and produce artifacts —
+
+* :func:`dump_jsonl` — one JSON object per line per span, the format the
+  ``jigsaw-bench profile`` subcommand writes and CI uploads as an artifact;
+* :func:`render_prometheus` — the registry's text exposition, suitable for
+  a scrape endpoint or a snapshot file;
+* :func:`top_hotspots` / :func:`hotspot_summary` — spans grouped by name,
+  ranked by total simulated time (io + cpu), the "where did the time go"
+  table a profile run prints.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import IO, Dict, Iterable, List, Optional, Sequence, Union
+
+from .metrics import MetricsRegistry
+from .trace import Span, TraceCollector
+
+__all__ = [
+    "Hotspot",
+    "dump_jsonl",
+    "hotspot_summary",
+    "render_prometheus",
+    "top_hotspots",
+]
+
+SpanSource = Union[TraceCollector, Iterable[Span]]
+
+
+def _spans_of(source: SpanSource) -> Sequence[Span]:
+    if isinstance(source, TraceCollector):
+        return source.spans()
+    return tuple(source)
+
+
+def dump_jsonl(source: SpanSource, destination: Union[str, IO[str]]) -> int:
+    """Write every span as one JSON line; returns the number written.
+
+    ``destination`` is a path or an open text file.  Keys are stable (see
+    :meth:`Span.as_dict`), so downstream tooling can stream-parse the file.
+    """
+    spans = _spans_of(source)
+
+    def _write(fh: IO[str]) -> None:
+        for span in spans:
+            fh.write(json.dumps(span.as_dict(), sort_keys=True))
+            fh.write("\n")
+
+    if isinstance(destination, str):
+        with open(destination, "w", encoding="utf-8") as fh:
+            _write(fh)
+    else:
+        _write(destination)
+    return len(spans)
+
+
+def render_prometheus(registry: Optional[MetricsRegistry] = None) -> str:
+    """Text exposition of ``registry`` (default: the shared one)."""
+    if registry is None:
+        from . import get_registry
+
+        registry = get_registry()
+    return registry.render_prometheus()
+
+
+@dataclass(slots=True)
+class Hotspot:
+    """Aggregate of every span sharing one name."""
+
+    name: str
+    count: int = 0
+    wall_s: float = 0.0
+    sim_io_s: float = 0.0
+    sim_cpu_s: float = 0.0
+
+    @property
+    def sim_total_s(self) -> float:
+        return self.sim_io_s + self.sim_cpu_s
+
+
+def top_hotspots(source: SpanSource, n: int = 10) -> List[Hotspot]:
+    """Spans grouped by name, heaviest simulated time first.
+
+    Nested spans each count their own totals (a phase span's figures include
+    its children's, as in any cumulative profile) — the ranking answers
+    "which span *names* are hot", not "which exclusive regions".
+    """
+    groups: Dict[str, Hotspot] = {}
+    for span in _spans_of(source):
+        spot = groups.get(span.name)
+        if spot is None:
+            spot = groups[span.name] = Hotspot(span.name)
+        spot.count += 1
+        spot.wall_s += span.wall_s
+        spot.sim_io_s += span.sim_io_s
+        spot.sim_cpu_s += span.sim_cpu_s
+    ranked = sorted(
+        groups.values(), key=lambda h: (-h.sim_total_s, -h.wall_s, h.name)
+    )
+    return ranked[: n if n > 0 else len(ranked)]
+
+
+def hotspot_summary(source: SpanSource, n: int = 10) -> str:
+    """Human-readable top-N table for the ``profile`` subcommand."""
+    spans = _spans_of(source)
+    spots = top_hotspots(spans, n)
+    lines = [
+        f"top {len(spots)} hotspots over {len(spans)} spans "
+        f"(by simulated io+cpu time):",
+        f"  {'span':<22s} {'count':>7s} {'sim total':>12s} "
+        f"{'sim io':>12s} {'sim cpu':>12s} {'wall':>10s}",
+    ]
+    for spot in spots:
+        lines.append(
+            f"  {spot.name:<22s} {spot.count:>7d} "
+            f"{spot.sim_total_s * 1e3:>10.3f}ms "
+            f"{spot.sim_io_s * 1e3:>10.3f}ms "
+            f"{spot.sim_cpu_s * 1e3:>10.3f}ms "
+            f"{spot.wall_s * 1e3:>8.2f}ms"
+        )
+    return "\n".join(lines)

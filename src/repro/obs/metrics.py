@@ -1,0 +1,300 @@
+"""A metrics registry: named counters, gauges and histograms with labels.
+
+The existing instrumented dataclasses (``IOStats``, ``ExecutionStats``,
+``FaultStats``, ``AdaptationStats``, ``BufferPoolStats``) stay the source of
+truth for simulated accounting — the registry is a *publication* layer those
+figures are copied into at natural boundaries (end of a query, end of an
+adaptive cycle), so one scrape shows the whole engine: per-engine query and
+byte counters, buffer-pool hit rates, fault/retry totals, adaptive-cycle
+outcomes, and cost-model drift (estimated vs. observed bytes per query).
+
+The design follows the Prometheus client-library data model:
+
+* a metric is identified by name + label *names*; a metric plus concrete
+  label *values* is a child ("series") with its own value;
+* counters only go up, gauges are set, histograms count observations into
+  cumulative buckets and track sum/count;
+* :meth:`MetricsRegistry.render_prometheus` emits the text exposition format
+  (``# HELP`` / ``# TYPE`` / one line per series).
+
+Everything is thread-safe behind one registry lock — updates are tiny and
+the engines publish once per query, not per tuple.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default histogram buckets, in simulated seconds — wide enough to span a
+#: pool-hit microsecond read through a multi-second cold HDD scan.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e-4, 1e-3, 1e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+LabelValues = Tuple[str, ...]
+
+
+def _format_value(value: float) -> str:
+    """Prometheus text format: integers render bare, floats as repr."""
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(
+    names: Sequence[str], values: Sequence[str], extra: str = ""
+) -> str:
+    parts = [f'{name}="{value}"' for name, value in zip(names, values)]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+class _Metric:
+    """Shared machinery: name, help text, label names, per-series storage."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str, label_names: Sequence[str]):
+        self.name = name
+        self.help_text = help_text
+        self.label_names = tuple(label_names)
+        self._lock = threading.Lock()
+        self._series: Dict[LabelValues, object] = {}
+
+    def _values_for(self, labels: Mapping[str, str]) -> LabelValues:
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"metric {self.name!r} expects labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[name]) for name in self.label_names)
+
+    def series(self) -> Dict[LabelValues, object]:
+        with self._lock:
+            return dict(self._series)
+
+
+class Counter(_Metric):
+    """Monotonically increasing value per label set."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        key = self._values_for(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        key = self._values_for(labels)
+        with self._lock:
+            return float(self._series.get(key, 0.0))
+
+    def render(self) -> List[str]:
+        lines = []
+        for values, total in sorted(self.series().items()):
+            lines.append(
+                f"{self.name}{_format_labels(self.label_names, values)} "
+                f"{_format_value(total)}"
+            )
+        return lines
+
+
+class Gauge(_Metric):
+    """Last-written value per label set (can move either way)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: str) -> None:
+        key = self._values_for(labels)
+        with self._lock:
+            self._series[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        key = self._values_for(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        key = self._values_for(labels)
+        with self._lock:
+            return float(self._series.get(key, 0.0))
+
+    def render(self) -> List[str]:
+        lines = []
+        for values, current in sorted(self.series().items()):
+            lines.append(
+                f"{self.name}{_format_labels(self.label_names, values)} "
+                f"{_format_value(current)}"
+            )
+        return lines
+
+
+class _HistogramSeries:
+    __slots__ = ("bucket_counts", "total", "count")
+
+    def __init__(self, n_buckets: int):
+        self.bucket_counts = [0] * n_buckets
+        self.total = 0.0
+        self.count = 0
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram per label set."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        label_names: Sequence[str],
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        super().__init__(name, help_text, label_names)
+        self.buckets = tuple(sorted(buckets))
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+
+    def observe(self, value: float, **labels: str) -> None:
+        key = self._values_for(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = _HistogramSeries(len(self.buckets))
+                self._series[key] = series
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    series.bucket_counts[i] += 1
+            series.total += value
+            series.count += 1
+
+    def count(self, **labels: str) -> int:
+        key = self._values_for(labels)
+        with self._lock:
+            series = self._series.get(key)
+            return series.count if series is not None else 0
+
+    def sum(self, **labels: str) -> float:
+        key = self._values_for(labels)
+        with self._lock:
+            series = self._series.get(key)
+            return series.total if series is not None else 0.0
+
+    def render(self) -> List[str]:
+        lines = []
+        for values, series in sorted(
+            self.series().items(), key=lambda item: item[0]
+        ):
+            # ``observe`` increments every bucket the value fits, so the
+            # stored counts are already cumulative as the format requires.
+            for bound, cumulative in zip(self.buckets, series.bucket_counts):
+                labels = _format_labels(
+                    self.label_names, values, extra=f'le="{bound:g}"'
+                )
+                lines.append(f"{self.name}_bucket{labels} {cumulative}")
+            inf_labels = _format_labels(
+                self.label_names, values, extra='le="+Inf"'
+            )
+            lines.append(f"{self.name}_bucket{inf_labels} {series.count}")
+            plain = _format_labels(self.label_names, values)
+            lines.append(f"{self.name}_sum{plain} {_format_value(series.total)}")
+            lines.append(f"{self.name}_count{plain} {series.count}")
+        return lines
+
+
+class MetricsRegistry:
+    """Owns every metric; the engines publish through one shared instance.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: the first
+    call defines the metric, later calls return the same object (and raise
+    if the caller tries to redefine it with a different shape — silent
+    divergence is how metric soup happens).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, _Metric] = {}
+
+    def _get_or_create(self, cls, name, help_text, label_names, **kwargs):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}"
+                    )
+                if existing.label_names != tuple(label_names):
+                    raise ValueError(
+                        f"metric {name!r} already registered with labels "
+                        f"{existing.label_names}, not {tuple(label_names)}"
+                    )
+                return existing
+            metric = cls(name, help_text, label_names, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(
+        self, name: str, help_text: str = "", label_names: Sequence[str] = ()
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help_text, label_names)
+
+    def gauge(
+        self, name: str, help_text: str = "", label_names: Sequence[str] = ()
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, help_text, label_names)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        label_names: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help_text, label_names, buckets=buckets
+        )
+
+    def get(self, name: str) -> Optional[_Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def names(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._metrics))
+
+    def clear(self) -> None:
+        """Drop every metric (tests and profile-run isolation)."""
+        with self._lock:
+            self._metrics.clear()
+
+    # -------------------------------------------------------------- render
+
+    def render_prometheus(self) -> str:
+        """The Prometheus text exposition format, one block per metric."""
+        blocks: List[str] = []
+        with self._lock:
+            metrics: Iterable[_Metric] = [
+                self._metrics[name] for name in sorted(self._metrics)
+            ]
+        for metric in metrics:
+            lines = metric.render()
+            if not lines:
+                continue
+            if metric.help_text:
+                blocks.append(f"# HELP {metric.name} {metric.help_text}")
+            blocks.append(f"# TYPE {metric.name} {metric.kind}")
+            blocks.extend(lines)
+        return "\n".join(blocks) + ("\n" if blocks else "")

@@ -1,0 +1,187 @@
+"""The bridge from the stats dataclasses into the metrics registry.
+
+The instrumented dataclasses stay the single source of truth; these helpers
+*copy* their figures into the shared registry at natural boundaries — end of
+a query, end of an adaptive cycle, a scrape — so nothing in the hot path
+changes and the simulated accounting stays byte-identical to an unobserved
+run.  Every helper is gated on :func:`repro.obs.metrics_enabled` and costs
+one function call plus one truth test when metrics are off.
+
+Metric names follow ``jigsaw_<subsystem>_<what>[_unit]``:
+
+* ``jigsaw_queries_total{engine=…}``, ``jigsaw_query_*`` — per-engine query
+  counters (reads, pruned, bytes, cache/pool hits, retries, degraded reads,
+  simulated io/cpu seconds) published by :func:`record_query`;
+* ``jigsaw_cost_model_*`` — estimated-vs-observed drift per query, the
+  cost-model miscalibration signal;
+* ``jigsaw_pool_*`` — buffer-pool lifetime counters and hit rate;
+* ``jigsaw_faults_*`` — injected-fault totals;
+* ``jigsaw_adaptive_*`` — daemon cycle/migration outcomes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = [
+    "publish_adaptation",
+    "publish_buffer_pool",
+    "publish_fault_stats",
+    "record_query",
+]
+
+#: (metric suffix, ExecutionStats field) pairs record_query publishes as
+#: per-engine counters.
+_QUERY_COUNTERS = (
+    ("partition_reads_total", "n_partition_reads"),
+    ("partitions_pruned_total", "n_partitions_pruned"),
+    ("partitions_skipped_total", "n_partitions_skipped"),
+    ("cells_scanned_total", "cells_scanned"),
+    ("bytes_read_total", "bytes_read"),
+    ("cache_hits_total", "n_cache_hits"),
+    ("pool_hits_total", "n_pool_hits"),
+    ("retries_total", "n_retries"),
+    ("degraded_reads_total", "n_degraded_reads"),
+    ("result_tuples_total", "n_result_tuples"),
+    ("sim_io_seconds_total", "io_time_s"),
+    ("sim_cpu_seconds_total", "cpu_time_s"),
+)
+
+
+def record_query(engine: str, plan, stats) -> None:
+    """Publish one finished query's stats (and cost-model drift) per engine.
+
+    ``plan`` is the :class:`~repro.plan.physical.PhysicalPlan` the query ran
+    under (or None, e.g. for a replica-local fast path with no standard
+    plan); ``stats`` its final ``ExecutionStats``.
+    """
+    from . import get_registry, metrics_enabled
+
+    if not metrics_enabled():
+        return
+    registry = get_registry()
+    registry.counter(
+        "jigsaw_queries_total", "Queries executed", ("engine",)
+    ).inc(engine=engine)
+    for suffix, field_name in _QUERY_COUNTERS:
+        amount = getattr(stats, field_name)
+        if amount:
+            registry.counter(
+                f"jigsaw_query_{suffix}",
+                f"Per-query {field_name} accumulated",
+                ("engine",),
+            ).inc(amount, engine=engine)
+    registry.histogram(
+        "jigsaw_query_sim_seconds",
+        "Simulated io+cpu seconds per query",
+        ("engine",),
+    ).observe(stats.simulated_time_s, engine=engine)
+
+    if plan is not None:
+        estimated = getattr(plan, "estimated_bytes", 0)
+        observed = stats.bytes_read
+        registry.gauge(
+            "jigsaw_cost_model_estimated_bytes",
+            "Cost-model estimated bytes of the last query",
+            ("engine",),
+        ).set(estimated, engine=engine)
+        registry.gauge(
+            "jigsaw_cost_model_observed_bytes",
+            "Observed bytes read by the last query",
+            ("engine",),
+        ).set(observed, engine=engine)
+        # Signed drift: >1 means the model over-estimated, <1 under.
+        ratio = estimated / observed if observed else 0.0
+        registry.gauge(
+            "jigsaw_cost_model_drift_ratio",
+            "Estimated/observed bytes of the last query",
+            ("engine",),
+        ).set(ratio, engine=engine)
+        registry.counter(
+            "jigsaw_cost_model_abs_error_bytes_total",
+            "Accumulated |estimated - observed| bytes",
+            ("engine",),
+        ).inc(abs(estimated - observed), engine=engine)
+
+
+def publish_buffer_pool(pool, name: str = "main") -> None:
+    """Snapshot a :class:`~repro.storage.buffer_pool.BufferPool`'s counters."""
+    from . import get_registry, metrics_enabled
+
+    if not metrics_enabled() or pool is None:
+        return
+    registry = get_registry()
+    stats = pool.stats
+    for field_name in (
+        "n_hits",
+        "n_misses",
+        "n_insertions",
+        "n_evictions",
+        "n_invalidations",
+        "hit_bytes",
+        "evicted_bytes",
+    ):
+        registry.gauge(
+            f"jigsaw_pool_{field_name}",
+            f"Buffer pool lifetime {field_name}",
+            ("pool",),
+        ).set(getattr(stats, field_name), pool=name)
+    registry.gauge(
+        "jigsaw_pool_hit_rate", "Buffer pool lifetime hit rate", ("pool",)
+    ).set(stats.hit_rate, pool=name)
+    registry.gauge(
+        "jigsaw_pool_current_bytes", "Bytes resident in the pool", ("pool",)
+    ).set(pool.current_bytes, pool=name)
+
+
+def publish_fault_stats(stats) -> None:
+    """Snapshot a :class:`~repro.storage.faults.FaultStats`."""
+    from . import get_registry, metrics_enabled
+
+    if not metrics_enabled() or stats is None:
+        return
+    registry = get_registry()
+    for field_name in (
+        "n_gets",
+        "n_transient_errors",
+        "n_truncations",
+        "n_bit_flips",
+        "n_latency_spikes",
+    ):
+        registry.gauge(
+            f"jigsaw_faults_{field_name}",
+            f"Fault injector lifetime {field_name}",
+        ).set(getattr(stats, field_name))
+    registry.gauge(
+        "jigsaw_faults_latency_injected_seconds",
+        "Simulated latency injected by fault spikes",
+    ).set(stats.latency_injected_s)
+
+
+def publish_adaptation(stats, cycle_outcome: Optional[str] = None) -> None:
+    """Snapshot an ``AdaptationStats`` after a daemon cycle."""
+    from . import get_registry, metrics_enabled
+
+    if not metrics_enabled() or stats is None:
+        return
+    registry = get_registry()
+    for field_name in (
+        "n_cycles",
+        "n_migrations",
+        "n_skipped",
+        "n_aborted",
+        "bytes_rewritten",
+    ):
+        registry.gauge(
+            f"jigsaw_adaptive_{field_name}",
+            f"Adaptive daemon lifetime {field_name}",
+        ).set(getattr(stats, field_name))
+    registry.gauge(
+        "jigsaw_adaptive_drift_score", "Drift score of the last cycle"
+    ).set(stats.drift_score)
+    if cycle_outcome is not None:
+        registry.counter(
+            "jigsaw_adaptive_cycle_outcomes_total",
+            "Daemon cycles by outcome",
+            ("outcome",),
+        ).inc(outcome=cycle_outcome)

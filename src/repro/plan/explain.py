@@ -15,9 +15,12 @@ front end's ``EXPLAIN <query>`` print.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from .stats import ExecutionStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from ..obs.analyze import AnalyzeNode
 
 __all__ = ["AccessExplain", "ExplainReport"]
 
@@ -55,6 +58,7 @@ class ExplainReport:
     estimated_bytes: int
     estimated_io_time_s: float
     actual: Optional[ExecutionStats] = field(default=None)
+    analyze: Optional["AnalyzeNode"] = field(default=None)
 
     # ------------------------------------------------------------- actuals
 
@@ -116,6 +120,11 @@ class ExplainReport:
                 out(f"  faults: {actual.n_retries} retries, "
                     f"{actual.n_degraded_reads} degraded reads, "
                     f"{actual.n_unreadable_partitions} unreadable partitions")
+        if self.analyze is not None:
+            out("analyze (per-operator actuals, simulated io+cpu sums "
+                "exactly to the totals):")
+            for line in self.analyze.render().splitlines():
+                out(f"  {line}")
         return "\n".join(lines)
 
     @staticmethod

@@ -40,6 +40,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 import numpy as np
 
 from ..errors import PartitionUnreadableError
+from ..obs import tracer as obs_tracer
 from ..storage.partition_manager import PartitionInfo, PartitionManager
 from ..storage.physical import PhysicalPartition
 from .degrade import FaultContext, handle_unreadable
@@ -80,7 +81,7 @@ class PlanReader:
 
     __slots__ = (
         "manager", "stats", "fctx", "chunk_size", "cache", "lock",
-        "pin_hints", "_pinned",
+        "pin_hints", "_pinned", "tracer",
     )
 
     def __init__(
@@ -101,6 +102,10 @@ class PlanReader:
         self.lock = lock
         self.pin_hints = pin_hints
         self._pinned: Set[int] = set()
+        # Resolved once per execution (readers are per-query objects), so a
+        # scoped trace installed before execute() is honoured and a disabled
+        # call site pays one attribute load + truth test per partition.
+        self.tracer = obs_tracer()
 
     def load(
         self, pid: int, columns: Optional[frozenset] = None
@@ -108,13 +113,31 @@ class PlanReader:
         """Load one partition, charging this execution's counters."""
         if self.cache is not None and pid in self.cache:
             return self.cache[pid]
+        tracer = self.tracer
+        if not tracer.enabled:
+            return self._load_accounted(pid, columns)[0]
+        with tracer.span("exec.partition", pid=pid) as span:
+            partition, io_delta, degraded = self._load_accounted(pid, columns)
+            span.sim_io_s = io_delta.io_time_s
+            span.set(
+                bytes_read=io_delta.bytes_read,
+                pool_hit=io_delta.n_pool_hits > 0,
+                cache_hit=io_delta.n_cache_hits > 0,
+                n_retries=io_delta.n_retries,
+                degraded=degraded,
+            )
+        return partition
+
+    def _load_accounted(self, pid: int, columns: Optional[frozenset]):
+        """The load + accounting body (verbatim from the seed engines)."""
         with self.lock if self.lock is not None else nullcontext():
             partition, io_delta = self.manager.load(
                 pid, chunk_size=self.chunk_size, columns=columns
             )
         self.stats.accrue_io(io_delta)
         self.stats.n_partition_reads += 1
-        if self.fctx is not None and pid in self.fctx.degraded:
+        degraded = self.fctx is not None and pid in self.fctx.degraded
+        if degraded:
             self.stats.n_degraded_reads += 1
         if self.cache is not None:
             self.cache[pid] = partition
@@ -122,7 +145,7 @@ class PlanReader:
         if pool is not None and pid in self.pin_hints and pid not in self._pinned:
             if pool.pin(pid):
                 self._pinned.add(pid)
-        return partition
+        return partition, io_delta, degraded
 
     def release(self) -> None:
         """Unpin every plan-pinned pool entry (end of execution)."""
@@ -167,10 +190,22 @@ class DegradeOp:
     ) -> None:
         if not self.enabled and exc is not None:
             raise exc
-        handle_unreadable(
-            self.manager, pid, attributes, self.fctx, self.stats,
-            pending, done, exc, tids_by_attribute,
-        )
+        tracer = obs_tracer()
+        if not tracer.enabled:
+            handle_unreadable(
+                self.manager, pid, attributes, self.fctx, self.stats,
+                pending, done, exc, tids_by_attribute,
+            )
+            return
+        with tracer.span(
+            "exec.degrade", pid=pid, discovered=exc is not None
+        ) as span:
+            n_pending_before = len(pending)
+            handle_unreadable(
+                self.manager, pid, attributes, self.fctx, self.stats,
+                pending, done, exc, tids_by_attribute,
+            )
+            span.set(n_substitutes=len(pending) - n_pending_before)
 
 
 class AccessLoop:

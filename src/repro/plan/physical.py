@@ -29,6 +29,7 @@ from typing import Callable, Optional, Tuple
 from ..core.cost import estimate_access_io
 from ..core.query import Query
 from ..core.schema import TableMeta
+from ..obs import tracer as obs_tracer
 from ..storage.partition_manager import PartitionManager
 from .explain import AccessExplain, ExplainReport
 from .logical import (
@@ -215,6 +216,22 @@ class QueryPlanner:
         """Build the physical plan; ``notify=False`` suppresses the observer
         (used when re-planning for estimation, e.g. drift baselines, so the
         monitor never records its own bookkeeping queries)."""
+        tracer = obs_tracer()
+        if not tracer.enabled:
+            return self._plan(query, notify)
+        with tracer.span("plan.query", policy=self.policy) as span:
+            plan = self._plan(query, notify)
+            span.set(
+                pruning=self.pruning,
+                n_selection_accesses=len(plan.selection),
+                n_projection_accesses=len(plan.projection),
+                estimated_partition_reads=plan.estimated_partition_reads,
+                estimated_bytes=plan.estimated_bytes,
+                estimated_io_time_s=plan.estimated_io_time_s,
+            )
+        return plan
+
+    def _plan(self, query: Query, notify: bool) -> PhysicalPlan:
         logical = self.logical_plan(query)
         manager = self.manager
         if logical.conjunction:

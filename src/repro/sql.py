@@ -52,7 +52,10 @@ _TOKEN = re.compile(
     re.VERBOSE,
 )
 
-_KEYWORDS = {"SELECT", "FROM", "WHERE", "AND", "BETWEEN", "OR", "NOT", "EXPLAIN"}
+_KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "AND", "BETWEEN", "OR", "NOT",
+    "EXPLAIN", "ANALYZE",
+}
 
 
 def _tokenize(text: str) -> List[Tuple[str, str]]:
@@ -215,28 +218,44 @@ def to_sql(query: Query, table_name: str) -> str:
 
 @dataclass(frozen=True)
 class Statement:
-    """One parsed statement: the query, plus whether it was ``EXPLAIN``-ed."""
+    """One parsed statement: the query, plus its ``EXPLAIN [ANALYZE]`` mode."""
 
     query: Query
     explain: bool = False
+    analyze: bool = False
 
 
 def parse_statement(table: TableMeta, sql: str) -> Statement:
-    """Parse one statement (``[EXPLAIN] SELECT ...``) against ``table``.
+    """Parse one statement (``[EXPLAIN [ANALYZE]] SELECT ...``).
 
     ``EXPLAIN`` marks the statement for planning only: the caller should
     build the executor's plan and render its
     :class:`~repro.plan.explain.ExplainReport` instead of executing.
+    ``EXPLAIN ANALYZE`` additionally asks for a traced execution — the
+    caller runs the query through :func:`repro.obs.explain_analyze` and
+    the report gains the per-operator actuals tree.
     """
     tokens = _tokenize(sql)
     if not tokens:
         raise InvalidQueryError("empty query")
     explain = tokens[0] == ("keyword", "EXPLAIN")
+    analyze = False
     if explain:
         tokens = tokens[1:]
+        if tokens and tokens[0] == ("keyword", "ANALYZE"):
+            analyze = True
+            tokens = tokens[1:]
         if not tokens:
-            raise InvalidQueryError("EXPLAIN must be followed by a SELECT")
-    return Statement(query=_Parser(tokens, table).parse(), explain=explain)
+            raise InvalidQueryError(
+                "EXPLAIN [ANALYZE] must be followed by a SELECT"
+            )
+    elif tokens[0] == ("keyword", "ANALYZE"):
+        raise InvalidQueryError(
+            "ANALYZE is only valid after EXPLAIN (EXPLAIN ANALYZE SELECT ...)"
+        )
+    return Statement(
+        query=_Parser(tokens, table).parse(), explain=explain, analyze=analyze
+    )
 
 
 def parse_query(table: TableMeta, sql: str) -> Query:

@@ -33,6 +33,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
+from ..obs import tracer as obs_tracer
 from .physical import PhysicalPartition
 
 __all__ = ["BufferPool", "BufferPoolStats"]
@@ -125,6 +126,7 @@ class BufferPool:
         """Drop unpinned entries oldest-first until back under budget."""
         if self._current_bytes <= self.capacity_bytes:
             return
+        tracer = obs_tracer()
         for pid in list(self._entries):
             if self._current_bytes <= self.capacity_bytes:
                 break
@@ -135,6 +137,11 @@ class BufferPool:
             self._current_bytes -= entry.n_bytes
             self.stats.n_evictions += 1
             self.stats.evicted_bytes += entry.n_bytes
+            if tracer.enabled:
+                tracer.event(
+                    "pool.evict", pid=pid, n_bytes=entry.n_bytes,
+                    current_bytes=self._current_bytes,
+                )
 
     # ------------------------------------------------------------- pinning
 

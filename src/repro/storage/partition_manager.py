@@ -17,6 +17,7 @@ import numpy as np
 
 from ..core.partition import PartitioningPlan
 from ..core.schema import TableSchema
+from ..obs import tracer as obs_tracer
 from ..errors import (
     InvalidPartitioningError,
     PartitionNotFoundError,
@@ -263,6 +264,30 @@ class PartitionManager:
         """
         additions = list(add)
         removals = set(remove)
+        tracer = obs_tracer()
+        if not tracer.enabled:
+            return self._swap_partitions(additions, removals, verify)
+        with tracer.span(
+            "storage.swap",
+            n_add=len(additions),
+            n_remove=len(removals),
+            verify=verify,
+        ) as span:
+            infos = self._swap_partitions(additions, removals, verify)
+            span.set(
+                catalog_version=self.catalog_version,
+                bytes_written=sum(info.n_bytes for info in infos),
+            )
+        return infos
+
+    def _swap_partitions(
+        self,
+        add: Sequence[PhysicalPartition],
+        remove: Iterable[int] = (),
+        verify: bool = False,
+    ) -> List[PartitionInfo]:
+        additions = list(add)
+        removals = set(remove)
         added_pids = {physical.pid for physical in additions}
         if len(added_pids) != len(additions):
             raise InvalidPartitioningError("swap adds the same pid twice")
@@ -419,6 +444,26 @@ class PartitionManager:
         accumulated ``io_delta``, and any pooled copy is invalidated so a
         stale object can never be served after a failed refresh.
         """
+        tracer = obs_tracer()
+        if not tracer.enabled:
+            return self._load(pid, chunk_size, columns)
+        with tracer.span("storage.load", pid=pid) as span:
+            partition, delta = self._load(pid, chunk_size, columns)
+            span.sim_io_s = delta.io_time_s
+            span.set(
+                bytes_read=delta.bytes_read,
+                pool_hit=delta.n_pool_hits > 0,
+                cache_hit=delta.n_cache_hits > 0,
+                n_retries=delta.n_retries,
+            )
+        return partition, delta
+
+    def _load(
+        self,
+        pid: int,
+        chunk_size: int | None = None,
+        columns: Set[str] | frozenset | None = None,
+    ) -> Tuple[PhysicalPartition, "IOStats"]:
         info = self.info(pid)
         pool = self.buffer_pool
         if pool is not None:

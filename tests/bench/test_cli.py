@@ -89,3 +89,50 @@ class TestExplainCommand:
     def test_unknown_layout_rejected(self):
         with pytest.raises(SystemExit):
             main(["explain", "--layout", "nope", self.SQL])
+
+    def test_explain_analyze_flag_appends_tree(self, capsys):
+        exit_code = main(["explain", "--analyze", self.SQL])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "analyze (per-operator actuals" in out
+        assert "(unattributed)" in out
+        assert "actual:" in out
+
+    def test_explain_analyze_keyword_in_sql(self, capsys):
+        exit_code = main(["explain", "EXPLAIN ANALYZE " + self.SQL])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "analyze (per-operator actuals" in out
+
+
+class TestProfileCommand:
+    def test_profile_writes_trace_and_summary(self, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "trace.jsonl"
+        exit_code = main(
+            ["profile", "--n-tuples", "200", "--trace-out", str(trace_path),
+             "--top", "5"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "hotspots over" in out
+        assert "exec.query" in out
+        lines = trace_path.read_text().splitlines()
+        assert lines, "profile wrote no spans"
+        record = json.loads(lines[0])
+        assert {"name", "span_id", "sim_io_s", "attrs"} <= set(record)
+
+    def test_profile_metrics_flag_prints_exposition(self, tmp_path, capsys):
+        exit_code = main(
+            ["profile", "--n-tuples", "200",
+             "--trace-out", str(tmp_path / "t.jsonl"), "--metrics"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "jigsaw_queries_total" in out
+        assert "# TYPE" in out
+
+    def test_profile_rejects_sql(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["profile", "SELECT a1 FROM oracle"])

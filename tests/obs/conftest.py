@@ -1,0 +1,36 @@
+"""Shared fixtures for the observability tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.layouts import BuildContext
+from repro.testing.oracle import ORACLE_LAYOUTS, random_table, random_workload
+
+
+@pytest.fixture(autouse=True)
+def _reset_obs():
+    """Every test starts from (and leaves behind) a clean slate: tracing
+    off, metrics gate shut, registry empty — even if an earlier test file
+    (e.g. the CLI profile tests) published into the shared registry."""
+    obs.disable()
+    obs.get_registry().clear()
+    yield
+    obs.disable()
+    obs.get_registry().clear()
+
+
+@pytest.fixture(scope="module")
+def demo():
+    """(table, workload, {layout_name: built layout}), seeded and small."""
+    rng = np.random.default_rng(7)
+    table = random_table(rng, n_attrs=4, n_tuples=300)
+    workload = random_workload(rng, table, n_queries=5)
+    ctx = BuildContext(file_segment_bytes=2048, schism_sample_size=100)
+    layouts = {
+        name: make().build(table, workload, ctx)
+        for name, make in ORACLE_LAYOUTS
+    }
+    return table, workload, layouts

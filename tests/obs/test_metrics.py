@@ -1,0 +1,102 @@
+"""Metrics registry: counters, gauges, histograms, Prometheus rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture()
+def registry() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_and_labels(self, registry):
+        c = registry.counter("q_total", "queries", label_names=("engine",))
+        c.inc(engine="scan")
+        c.inc(2, engine="scan")
+        c.inc(engine="jigsaw-l")
+        assert c.value(engine="scan") == 3
+        assert c.value(engine="jigsaw-l") == 1
+
+    def test_negative_rejected(self, registry):
+        c = registry.counter("c", "h")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_unlabeled(self, registry):
+        c = registry.counter("plain", "h")
+        c.inc(5)
+        assert c.value() == 5
+
+    def test_label_shape_enforced(self, registry):
+        c = registry.counter("lab", "h", label_names=("engine",))
+        with pytest.raises(ValueError):
+            c.inc(1)  # missing the label
+        with pytest.raises(ValueError):
+            c.inc(1, engine="x", extra="y")
+
+
+class TestGauge:
+    def test_set_and_inc(self, registry):
+        g = registry.gauge("g", "h")
+        g.set(2.5)
+        g.inc(0.5)
+        assert g.value() == 3.0
+        g.set(-1.0)  # gauges may go negative
+        assert g.value() == -1.0
+
+
+class TestHistogram:
+    def test_observe_buckets_sum_count(self, registry):
+        h = registry.histogram("lat", "h", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(5.0)
+        assert h.count() == 3
+        assert h.sum() == pytest.approx(5.55)
+
+    def test_render_cumulative_le(self, registry):
+        h = registry.histogram("lat", "h", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        text = registry.render_prometheus()
+        assert 'lat_bucket{le="0.1"} 1' in text
+        assert 'lat_bucket{le="1"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 2' in text
+        assert "lat_count 2" in text
+
+
+class TestRegistry:
+    def test_kind_conflict_raises(self, registry):
+        registry.counter("x", "h")
+        with pytest.raises(ValueError):
+            registry.gauge("x", "h")
+
+    def test_label_conflict_raises(self, registry):
+        registry.counter("x", "h", label_names=("a",))
+        with pytest.raises(ValueError):
+            registry.counter("x", "h", label_names=("b",))
+
+    def test_same_spec_returns_same_metric(self, registry):
+        a = registry.counter("x", "h", label_names=("a",))
+        b = registry.counter("x", "h", label_names=("a",))
+        assert a is b
+
+    def test_render_prometheus_format(self, registry):
+        c = registry.counter("q_total", "queries executed", label_names=("engine",))
+        c.inc(3, engine="scan")
+        registry.gauge("depth", "pool depth").set(7)
+        text = registry.render_prometheus()
+        assert "# HELP q_total queries executed" in text
+        assert "# TYPE q_total counter" in text
+        assert 'q_total{engine="scan"} 3' in text
+        assert "# TYPE depth gauge" in text
+        assert "depth 7" in text
+
+    def test_clear(self, registry):
+        registry.counter("x", "h").inc()
+        registry.clear()
+        assert registry.names() == ()

@@ -106,6 +106,34 @@ class TestExplainStatements:
         with pytest.raises(InvalidQueryError, match="followed by a SELECT"):
             parse_statement(paper_table, "EXPLAIN")
 
+    def test_explain_analyze_sets_both_flags(self, paper_table):
+        statement = parse_statement(
+            paper_table, "EXPLAIN ANALYZE SELECT a2 FROM T WHERE a1 = 12"
+        )
+        assert statement.explain is True
+        assert statement.analyze is True
+        assert statement.query.select == ("a2",)
+
+    def test_plain_explain_does_not_analyze(self, paper_table):
+        statement = parse_statement(
+            paper_table, "EXPLAIN SELECT a2 FROM T"
+        )
+        assert statement.analyze is False
+
+    def test_explain_analyze_case_insensitive(self, paper_table):
+        statement = parse_statement(
+            paper_table, "explain analyze select a2 from T"
+        )
+        assert statement.analyze is True
+
+    def test_bare_explain_analyze_rejected(self, paper_table):
+        with pytest.raises(InvalidQueryError, match="followed by a SELECT"):
+            parse_statement(paper_table, "EXPLAIN ANALYZE")
+
+    def test_analyze_without_explain_rejected(self, paper_table):
+        with pytest.raises(InvalidQueryError, match="only valid after EXPLAIN"):
+            parse_statement(paper_table, "ANALYZE SELECT a2 FROM T")
+
     def test_parse_query_refuses_explain(self, paper_table):
         with pytest.raises(InvalidQueryError, match="parse_statement"):
             parse_query(paper_table, "EXPLAIN SELECT a2 FROM T")
