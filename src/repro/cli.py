@@ -93,7 +93,12 @@ def _demo_layout(args, layout_name: str):
         raise SystemExit(
             f"unknown layout {layout_name!r}; choices: {sorted(builders)}"
         )
-    ctx = BuildContext(file_segment_bytes=2048, schism_sample_size=100)
+    ctx = BuildContext(
+        file_segment_bytes=2048,
+        schism_sample_size=100,
+        prefetch_depth=args.prefetch_depth,
+        sketch_budget_bytes=args.sketch_budget,
+    )
     layout = builders[layout_name]().build(table, workload, ctx)
     return table, workload, layout
 
@@ -253,6 +258,20 @@ def main(argv: List[str] | None = None) -> int:
         "--metrics",
         action="store_true",
         help="profile: also print the Prometheus text exposition",
+    )
+    parser.add_argument(
+        "--prefetch-depth",
+        type=int,
+        default=0,
+        help="explain/profile: engine read-ahead depth (0 = inline loads)",
+    )
+    parser.add_argument(
+        "--sketch-budget",
+        type=int,
+        default=0,
+        metavar="BYTES",
+        help="explain/profile: per-partition byte budget for data-skipping "
+        "sketches (0 = zone maps only)",
     )
     parser.add_argument(
         "--seed", type=int, default=0, help="explain: demo table seed"

@@ -57,6 +57,7 @@ from ..plan.result import ResultSet
 from ..plan.stats import ExecutionStats
 from ..storage.device import DeviceProfile
 from ..storage.partition_manager import PartitionManager
+from ..storage.prefetch import Prefetcher
 
 __all__ = [
     "ThreadedPartitionEngine",
@@ -89,6 +90,7 @@ class ThreadedPartitionEngine:
         n_threads: int = 4,
         strategy: str = "locking",
         n_buckets: int = 64,
+        prefetch_depth: int = 0,
     ):
         if strategy not in ("locking", "shared"):
             raise ValueError(f"unknown strategy {strategy!r}")
@@ -97,6 +99,7 @@ class ThreadedPartitionEngine:
         self.n_threads = max(1, n_threads)
         self.strategy = strategy
         self.n_buckets = n_buckets
+        self.prefetch_depth = prefetch_depth
         self.planner = QueryPlanner(
             manager, table, policy=POLICY_PARTITION, pruning=False
         )
@@ -147,34 +150,44 @@ class ThreadedPartitionEngine:
             fill_op = ProjectFillOp(projected)
 
             pred_pids = plan.selection_pids()
-            with tracer.phase(
-                "exec.selection", ledgers, strategy=self.strategy
-            ):
-                if not conjunction:
-                    for tid in range(self.table.n_tuples):
-                        status[tid] = _VALID
-                        ret[tid] = {}
-                elif self.strategy == "locking":
-                    self._selection_locking(
-                        plan, pred_pids, select_op, status, ret, load_lock,
-                        fctx, failed,
-                    )
-                else:
-                    self._selection_shared(
-                        plan, pred_pids, select_op, status, ret, load_lock,
-                        fctx, failed,
-                    )
-            if failed:
+            prefetcher = None
+            if self.prefetch_depth > 0:
+                prefetcher = Prefetcher(self.manager, depth=self.prefetch_depth)
+            try:
                 with tracer.phase(
-                    "exec.drain", ledgers, n_failed=len(failed)
+                    "exec.selection", ledgers, strategy=self.strategy
                 ):
-                    self._drain_selection_failures(
-                        plan, failed, select_op, status, ret, fctx,
-                        coordinator,
-                    )
+                    if not conjunction:
+                        for tid in range(self.table.n_tuples):
+                            status[tid] = _VALID
+                            ret[tid] = {}
+                    elif self.strategy == "locking":
+                        self._selection_locking(
+                            plan, pred_pids, select_op, status, ret, load_lock,
+                            fctx, failed, prefetcher,
+                        )
+                    else:
+                        self._selection_shared(
+                            plan, pred_pids, select_op, status, ret, load_lock,
+                            fctx, failed, prefetcher,
+                        )
+                if failed:
+                    with tracer.phase(
+                        "exec.drain", ledgers, n_failed=len(failed)
+                    ):
+                        self._drain_selection_failures(
+                            plan, failed, select_op, status, ret, fctx,
+                            coordinator,
+                        )
 
-            with tracer.phase("exec.projection", ledgers):
-                self._projection(plan, fill_op, status, ret, fctx, coordinator)
+                with tracer.phase("exec.projection", ledgers):
+                    self._projection(
+                        plan, fill_op, status, ret, fctx, coordinator,
+                        prefetcher,
+                    )
+            finally:
+                if prefetcher is not None:
+                    prefetcher.close()
 
             self.coordinator_stats = coordinator
             totals = ExecutionStats()
@@ -249,17 +262,21 @@ class ThreadedPartitionEngine:
                 yield int(tid), {name: columns[name][row] for name in attrs}
 
     def _selection_locking(
-        self, plan, pred_pids, select_op, status, ret, load_lock, fctx, failed
+        self, plan, pred_pids, select_op, status, ret, load_lock, fctx,
+        failed, prefetcher=None,
     ):
         """Algorithm 6: threads pop partitions; bucket locks serialize tuples."""
         queue = list(pred_pids)
         queue_lock = threading.Lock()
         bucket_locks = [threading.Lock() for _ in range(self.n_buckets)]
         wanted = plan.logical.selection_columns
+        if prefetcher is not None:
+            prefetcher.start(pred_pids, wanted)
 
         def worker(thread_id: int) -> None:
             reader = PlanReader(
-                self.manager, self.worker_stats[thread_id], fctx, lock=load_lock
+                self.manager, self.worker_stats[thread_id], fctx,
+                lock=load_lock, prefetcher=prefetcher,
             )
             while True:
                 with queue_lock:
@@ -276,7 +293,8 @@ class ThreadedPartitionEngine:
         self._run_threads(worker, pass_id=True)
 
     def _selection_shared(
-        self, plan, pred_pids, select_op, status, ret, load_lock, fctx, failed
+        self, plan, pred_pids, select_op, status, ret, load_lock, fctx,
+        failed, prefetcher=None,
     ):
         """Algorithm 7: barrier after loading; threads own bucket ranges."""
         partitions: List = [None] * len(pred_pids)
@@ -284,10 +302,13 @@ class ThreadedPartitionEngine:
         queue_lock = threading.Lock()
         barrier = threading.Barrier(self.n_threads)
         wanted = plan.logical.selection_columns
+        if prefetcher is not None:
+            prefetcher.start(pred_pids, wanted)
 
         def worker(thread_id: int) -> None:
             reader = PlanReader(
-                self.manager, self.worker_stats[thread_id], fctx, lock=load_lock
+                self.manager, self.worker_stats[thread_id], fctx,
+                lock=load_lock, prefetcher=prefetcher,
             )
             while True:
                 with queue_lock:
@@ -339,7 +360,8 @@ class ThreadedPartitionEngine:
 
         loop.run(process)
 
-    def _projection(self, plan, fill_op, status, ret, fctx, stats):
+    def _projection(self, plan, fill_op, status, ret, fctx, stats,
+                    prefetcher=None):
         """Fill missing projected cells; safe without locks (Section 5.2.1).
 
         Partitions are loaded once, serially by the coordinator (the load
@@ -376,7 +398,7 @@ class ThreadedPartitionEngine:
             }
 
         partitions: List = []
-        reader = PlanReader(self.manager, stats, fctx)
+        reader = PlanReader(self.manager, stats, fctx, prefetcher=prefetcher)
         degrade = DegradeOp(self.manager, stats, fctx)
         loop = AccessLoop(
             reader,
@@ -387,6 +409,7 @@ class ThreadedPartitionEngine:
             tids_by_attribute=still_missing,
         )
         loop.enqueue(sorted(missing_pids))
+        reader.prefetch(sorted(missing_pids), wanted)
         loop.run(lambda pid, partition: partitions.append(partition))
 
         def worker(thread_id: int) -> None:

@@ -48,6 +48,7 @@ from ..plan.operators import (
     PlanReader,
     ProjectFillOp,
     SelectOp,
+    count_prune,
     finalize_stats,
     invalidate_pruned,
     merge_results,
@@ -56,6 +57,7 @@ from ..plan.physical import PhysicalPlan, QueryPlanner
 from ..plan.result import ResultSet
 from ..plan.stats import CpuModel, ExecutionStats
 from ..storage.partition_manager import PartitionManager
+from ..storage.prefetch import Prefetcher
 
 __all__ = [
     "STATUS_NOT_CHECKED",
@@ -83,11 +85,13 @@ class PartitionAtATimeExecutor:
         cpu_model: CpuModel | None = None,
         zone_maps: bool = False,
         pin_pool: bool = False,
+        prefetch_depth: int = 0,
     ):
         self.manager = manager
         self.table = table
         self.cpu_model = cpu_model or CpuModel()
         self.zone_maps = zone_maps
+        self.prefetch_depth = prefetch_depth
         self.planner = QueryPlanner(
             manager,
             table,
@@ -129,8 +133,12 @@ class PartitionAtATimeExecutor:
                 present[name] = np.zeros(n, dtype=bool)
 
             fctx = FaultContext()
+            prefetcher = None
+            if self.prefetch_depth > 0:
+                prefetcher = Prefetcher(self.manager, depth=self.prefetch_depth)
             reader = PlanReader(
-                self.manager, stats, fctx, pin_hints=plan.pin_hints()
+                self.manager, stats, fctx, pin_hints=plan.pin_hints(),
+                prefetcher=prefetcher,
             )
             degrade = DegradeOp(self.manager, stats, fctx)
             try:
@@ -156,6 +164,8 @@ class PartitionAtATimeExecutor:
                     )
             finally:
                 reader.release()
+                if prefetcher is not None:
+                    prefetcher.close()
 
             valid = np.nonzero(status == STATUS_VALID)[0].astype(np.int64)
             result = merge_results(valid, values, projected, stats)
@@ -184,6 +194,13 @@ class PartitionAtATimeExecutor:
             plan.logical.selection_columns,
         )
         loop.enqueue(plan.selection_pids())
+        reader.prefetch(
+            [
+                pid for pid in plan.selection_pids()
+                if not plan.decision_for(pid).is_pruned
+            ],
+            plan.logical.selection_columns,
+        )
 
         def skip(pid: int) -> bool:
             decision = plan.decision_for(pid)
@@ -194,8 +211,7 @@ class PartitionAtATimeExecutor:
                     self.manager.info(pid), decision.pruned_attributes,
                     status, stats,
                 )
-                stats.n_partitions_skipped += 1
-                stats.n_partitions_pruned += 1
+                count_prune(decision, stats)
                 return True
             return False
 
@@ -245,6 +261,7 @@ class PartitionAtATimeExecutor:
             tids_by_attribute=missing_by_attr,
         )
         loop.enqueue(sorted(proj_pids))
+        reader.prefetch(sorted(proj_pids), frozenset(missing_attrs))
         loop.run(
             lambda pid, partition: fill_op.fill_valid(
                 partition, status, values, present, stats

@@ -30,11 +30,18 @@ from ..obs import record_query
 from ..obs import tracer as obs_tracer
 from ..plan.explain import ExplainReport
 from ..plan.logical import POLICY_SCAN
-from ..plan.operators import PlanReader, ProjectFillOp, finalize_stats, merge_results
+from ..plan.operators import (
+    PlanReader,
+    ProjectFillOp,
+    count_prune,
+    finalize_stats,
+    merge_results,
+)
 from ..plan.physical import PhysicalPlan, QueryPlanner
 from ..plan.result import ResultSet
 from ..plan.stats import CpuModel, ExecutionStats
 from ..storage.partition_manager import PartitionManager
+from ..storage.prefetch import Prefetcher
 from .partition_at_a_time import PartitionAtATimeExecutor
 
 __all__ = ["ReplicatedExecutor"]
@@ -49,12 +56,15 @@ class ReplicatedExecutor:
         table: TableMeta,
         cpu_model: CpuModel | None = None,
         zone_maps: bool = False,
+        prefetch_depth: int = 0,
     ):
         self.manager = manager
         self.table = table
         self.cpu_model = cpu_model or CpuModel()
+        self.prefetch_depth = prefetch_depth
         self.standard = PartitionAtATimeExecutor(
-            manager, table, cpu_model=cpu_model, zone_maps=zone_maps
+            manager, table, cpu_model=cpu_model, zone_maps=zone_maps,
+            prefetch_depth=prefetch_depth,
         )
         self.planner = QueryPlanner(
             manager,
@@ -144,70 +154,85 @@ class ReplicatedExecutor:
             pred_values[name] = np.zeros(n, dtype=self.table.schema[name].np_dtype)
             pred_present[name] = np.zeros(n, dtype=bool)
 
-        reader = PlanReader(self.manager, stats)
+        prefetcher = None
+        if self.prefetch_depth > 0:
+            prefetcher = Prefetcher(self.manager, depth=self.prefetch_depth)
+        reader = PlanReader(self.manager, stats, prefetcher=prefetcher)
         fill_op = ProjectFillOp(projected)
-        with tracer.phase("exec.local", stats, cpu_model=self.cpu_model):
-            for pid in plan.selection_pids():
-                # Zone pruning: the partition's zone map covers every tuple's
-                # predicate cells (full coverage), so a disjoint range proves
-                # no local tuple can match — nothing to evaluate or emit.
-                if plan.decision_for(pid).is_pruned:
-                    stats.n_partitions_skipped += 1
-                    stats.n_partitions_pruned += 1
-                    continue
-                try:
-                    partition = reader.load(pid, columns=needed)
-                except PartitionUnreadableError as exc:
-                    # Local evaluation needs this exact partition (it owns
-                    # the tuples), so there is no partition-local substitute;
-                    # retreat to the standard engine, whose tuple-level index
-                    # can reassemble the lost cells from replicas or
-                    # overlapping primaries — or prove that nothing can.  The
-                    # aborted local attempt's I/O and CPU events stay on the
-                    # bill.
-                    stats.n_unreadable_partitions += 1
-                    if exc.io_delta is not None:
-                        stats.accrue_io(exc.io_delta)
-                    result, fallback = self.standard.execute(query)
-                    fallback.add(stats)
-                    fallback.charge_cpu(self.cpu_model)
-                    fallback.wall_time_s = time.perf_counter() - started
-                    return result, fallback, None
-                # 1. scatter the partition's predicate cells by tuple ID.
-                local_tids = self.manager.info(pid).tuple_ids()
-                for segment in partition.segments:
-                    tids = segment.tuple_ids
-                    if not len(tids):
-                        continue
-                    stats.cells_scanned += len(tids) * len(segment.attributes)
-                    for name in segment.attributes:
-                        if name in pred_values:
-                            pred_values[name][tids] = segment.columns[name]
-                            pred_present[name][tids] = True
-                # 2. evaluate the conjunction over the partition's own tuples.
-                local_mask = np.ones(len(local_tids), dtype=bool)
-                for predicate in conjunction.predicates:
-                    if not np.all(pred_present[predicate.attribute][local_tids]):
-                        raise StorageError(
-                            f"partition {pid} lacks predicate cells for "
-                            f"{predicate.attribute!r}; local plan was unsound"
-                        )
-                    local_mask &= predicate.mask(
-                        pred_values[predicate.attribute][local_tids]
-                    )
-                matching = local_tids[local_mask]
-                matched[matching] = True
-                if not len(matching):
-                    continue
-                # 3. emit the projected cells of the matching local tuples
-                #    (primary segments only — a replica's cells belong to
-                #    some other partition's tuples and would double-emit).
-                matching_mask = np.zeros(n, dtype=bool)
-                matching_mask[matching] = True
-                fill_op.gather(
-                    partition, matching_mask, values, present, stats,
-                    skip_replicas=True,
+        try:
+            with tracer.phase("exec.local", stats, cpu_model=self.cpu_model):
+                reader.prefetch(
+                    [
+                        pid for pid in plan.selection_pids()
+                        if not plan.decision_for(pid).is_pruned
+                    ],
+                    needed,
                 )
+                for pid in plan.selection_pids():
+                    # Zone pruning: the partition's zone map covers every
+                    # tuple's predicate cells (full coverage), so a disjoint
+                    # range proves no local tuple can match — nothing to
+                    # evaluate or emit.
+                    if plan.decision_for(pid).is_pruned:
+                        count_prune(plan.decision_for(pid), stats)
+                        continue
+                    try:
+                        partition = reader.load(pid, columns=needed)
+                    except PartitionUnreadableError as exc:
+                        # Local evaluation needs this exact partition (it owns
+                        # the tuples), so there is no partition-local
+                        # substitute; retreat to the standard engine, whose
+                        # tuple-level index can reassemble the lost cells from
+                        # replicas or overlapping primaries — or prove that
+                        # nothing can.  The aborted local attempt's I/O and
+                        # CPU events stay on the bill.
+                        stats.n_unreadable_partitions += 1
+                        if exc.io_delta is not None:
+                            stats.accrue_io(exc.io_delta)
+                        result, fallback = self.standard.execute(query)
+                        fallback.add(stats)
+                        fallback.charge_cpu(self.cpu_model)
+                        fallback.wall_time_s = time.perf_counter() - started
+                        return result, fallback, None
+                    # 1. scatter the partition's predicate cells by tuple ID.
+                    local_tids = self.manager.info(pid).tuple_ids()
+                    for segment in partition.segments:
+                        tids = segment.tuple_ids
+                        if not len(tids):
+                            continue
+                        stats.cells_scanned += len(tids) * len(segment.attributes)
+                        for name in segment.attributes:
+                            if name in pred_values:
+                                pred_values[name][tids] = segment.columns[name]
+                                pred_present[name][tids] = True
+                    # 2. evaluate the conjunction over the partition's own
+                    #    tuples.
+                    local_mask = np.ones(len(local_tids), dtype=bool)
+                    for predicate in conjunction.predicates:
+                        if not np.all(pred_present[predicate.attribute][local_tids]):
+                            raise StorageError(
+                                f"partition {pid} lacks predicate cells for "
+                                f"{predicate.attribute!r}; local plan was unsound"
+                            )
+                        local_mask &= predicate.mask(
+                            pred_values[predicate.attribute][local_tids]
+                        )
+                    matching = local_tids[local_mask]
+                    matched[matching] = True
+                    if not len(matching):
+                        continue
+                    # 3. emit the projected cells of the matching local tuples
+                    #    (primary segments only — a replica's cells belong to
+                    #    some other partition's tuples and would double-emit).
+                    matching_mask = np.zeros(n, dtype=bool)
+                    matching_mask[matching] = True
+                    fill_op.gather(
+                        partition, matching_mask, values, present, stats,
+                        skip_replicas=True,
+                    )
+        finally:
+            if prefetcher is not None:
+                prefetcher.close()
 
         valid = np.nonzero(matched)[0].astype(np.int64)
         for name in projected:

@@ -41,6 +41,7 @@ from ..plan.operators import (
     PlanReader,
     ProjectFillOp,
     SelectOp,
+    count_prune,
     finalize_stats,
     merge_results,
 )
@@ -48,6 +49,7 @@ from ..plan.physical import PhysicalPlan, QueryPlanner
 from ..plan.result import ResultSet
 from ..plan.stats import CpuModel, ExecutionStats
 from ..storage.partition_manager import PartitionInfo, PartitionManager
+from ..storage.prefetch import Prefetcher
 
 __all__ = ["ScanExecutor"]
 
@@ -64,6 +66,7 @@ class ScanExecutor:
         chunk_size: int | None = None,
         row_major: bool = False,
         pin_pool: bool = False,
+        prefetch_depth: int = 0,
     ):
         self.manager = manager
         self.table = table
@@ -71,6 +74,7 @@ class ScanExecutor:
         self.zone_maps = zone_maps
         self.chunk_size = chunk_size
         self.row_major = row_major
+        self.prefetch_depth = prefetch_depth
         self.planner = QueryPlanner(
             manager,
             table,
@@ -114,6 +118,13 @@ class ScanExecutor:
             # selection phase decodes further columns on demand when the
             # gather phase revisits it, so the reuse stays sound under lazy
             # loads.
+            prefetcher = None
+            if self.prefetch_depth > 0:
+                prefetcher = Prefetcher(
+                    self.manager,
+                    depth=self.prefetch_depth,
+                    chunk_size=self.chunk_size,
+                )
             reader = PlanReader(
                 self.manager,
                 stats,
@@ -121,6 +132,7 @@ class ScanExecutor:
                 chunk_size=self.chunk_size,
                 cache={},
                 pin_hints=plan.pin_hints(),
+                prefetcher=prefetcher,
             )
             degrade = DegradeOp(self.manager, stats, fctx)
             try:
@@ -149,6 +161,8 @@ class ScanExecutor:
                     )
             finally:
                 reader.release()
+                if prefetcher is not None:
+                    prefetcher.close()
 
             for name in projected:
                 missing = selected[~present[name][selected]]
@@ -189,11 +203,17 @@ class ScanExecutor:
             plan.logical.selection_columns,
         )
         loop.enqueue(plan.selection_pids())
+        reader.prefetch(
+            [
+                pid for pid in plan.selection_pids()
+                if not plan.decision_for(pid).is_pruned
+            ],
+            plan.logical.selection_columns,
+        )
 
         def skip(pid: int) -> bool:
             if plan.decision_for(pid).is_pruned:
-                stats.n_partitions_skipped += 1
-                stats.n_partitions_pruned += 1
+                count_prune(plan.decision_for(pid), stats)
                 return True
             return False
 
@@ -242,13 +262,22 @@ class ScanExecutor:
             tids_by_attribute=still_missing,
         )
         loop.enqueue(plan.projection_pids())
+        reader.prefetch(
+            [
+                pid for pid in plan.projection_pids()
+                if pid not in loaded
+                and not plan.decision_for(pid).is_pruned
+                and len(selected)
+                and self._any_selected(self.manager.info(pid), selection)
+            ],
+            plan.logical.projection_columns,
+        )
 
         def skip(pid: int) -> bool:
             info = self.manager.info(pid)
             if pid not in loaded:
                 if plan.decision_for(pid).is_pruned:
-                    stats.n_partitions_skipped += 1
-                    stats.n_partitions_pruned += 1
+                    count_prune(plan.decision_for(pid), stats)
                     return True
                 if len(selected) and not self._any_selected(info, selection):
                     stats.n_partitions_skipped += 1

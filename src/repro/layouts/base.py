@@ -18,7 +18,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Any, Dict, Tuple
 
-from ..core.cost import MemoryModel
+from ..core.cost import CostModel, MemoryModel
 from ..core.partition import PartitioningPlan
 from ..core.query import Query, Workload
 from ..core.schema import TableMeta
@@ -28,9 +28,15 @@ from ..storage.blob import BlobStore, MemoryBlobStore
 from ..storage.buffer_pool import BufferPool
 from ..storage.device import BALOS_HDD, DeviceProfile, StorageDevice
 from ..storage.partition_manager import PartitionManager
+from ..storage.sketches import profile_workload, select_sketches
 from ..storage.table_data import ColumnTable
 
-__all__ = ["BuildContext", "MaterializedLayout", "LayoutBuilder"]
+__all__ = [
+    "BuildContext",
+    "MaterializedLayout",
+    "LayoutBuilder",
+    "build_sketch_catalog",
+]
 
 
 @dataclass(slots=True)
@@ -49,6 +55,11 @@ class BuildContext:
     memory_model: MemoryModel = field(default_factory=MemoryModel)
     schism_sample_size: int = 2000
     seed: int = 0
+    #: read-ahead depth of the engines' prefetch pipeline; 0 keeps every
+    #: load inline (the historical behaviour).
+    prefetch_depth: int = 0
+    #: per-partition byte budget for data-skipping sketches; 0 builds none.
+    sketch_budget_bytes: int = 0
 
     @property
     def min_size(self) -> int:
@@ -75,6 +86,45 @@ class BuildContext:
             buffer_pool=pool,
         )
         return manager, device
+
+
+def build_sketch_catalog(
+    manager: PartitionManager,
+    table: ColumnTable,
+    train: Workload,
+    ctx: BuildContext,
+) -> int:
+    """Build and attach per-partition data-skipping sketches.
+
+    For every partition, candidate sketches over the training workload's
+    predicate shapes are scored ``frequency x read-cost-saved / bytes``
+    through the existing :class:`~repro.core.cost.CostModel` and admitted
+    greedily under ``ctx.sketch_budget_bytes`` per partition (see
+    :func:`~repro.storage.sketches.select_sketches`).  Selected sketches are
+    persisted into each blob's format-v2 trailer.  Returns the number of
+    partitions that received at least one sketch; a zero budget is a no-op.
+    """
+    if ctx.sketch_budget_bytes <= 0:
+        return 0
+    cost_model = CostModel(
+        table.meta,
+        ctx.device_profile.io_model,
+        memory_model=ctx.memory_model,
+        page_size=ctx.file_segment_bytes,
+    )
+    profile = profile_workload(train)
+    columns = {name: table.column(name) for name in table.meta.schema.attribute_names}
+    n_sketched = 0
+    for pid in manager.pids():
+        info = manager.info(pid)
+        sketches = select_sketches(
+            info, columns, profile, cost_model.io(info.n_bytes),
+            ctx.sketch_budget_bytes,
+        )
+        if sketches is not None:
+            manager.attach_sketches(pid, sketches)
+            n_sketched += 1
+    return n_sketched
 
 
 class MaterializedLayout:

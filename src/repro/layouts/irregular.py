@@ -15,7 +15,7 @@ from ..core.query import Workload
 from ..engine.partition_at_a_time import PartitionAtATimeExecutor
 from ..storage.physical import TID_EXPLICIT
 from ..storage.table_data import ColumnTable
-from .base import BuildContext, LayoutBuilder, MaterializedLayout
+from .base import BuildContext, LayoutBuilder, MaterializedLayout, build_sketch_catalog
 from .natural import ColumnLayout
 
 __all__ = ["IrregularLayout"]
@@ -83,8 +83,10 @@ class IrregularLayout(LayoutBuilder):
 
         manager, _device = ctx.make_manager(table.meta)
         manager.materialize_plan(plan, table, tid_storage=TID_EXPLICIT)
+        build_sketch_catalog(manager, table, train, ctx)
         executor = PartitionAtATimeExecutor(
-            manager, table.meta, cpu_model=ctx.cpu_model, zone_maps=self.zone_maps
+            manager, table.meta, cpu_model=ctx.cpu_model,
+            zone_maps=self.zone_maps, prefetch_depth=ctx.prefetch_depth,
         )
         return MaterializedLayout(
             self.name,

@@ -14,7 +14,7 @@ from ..core.query import Workload
 from ..engine.scan import ScanExecutor
 from ..storage.physical import TID_IMPLICIT, SegmentSpec
 from ..storage.table_data import ColumnTable
-from .base import BuildContext, LayoutBuilder, MaterializedLayout
+from .base import BuildContext, LayoutBuilder, MaterializedLayout, build_sketch_catalog
 
 __all__ = ["RowLayout", "ColumnLayout"]
 
@@ -37,12 +37,14 @@ class RowLayout(LayoutBuilder):
         ] or [[SegmentSpec(attrs, np.arange(0))]]
         manager, _device = ctx.make_manager(table.meta)
         manager.materialize_specs(spec_groups, table, tid_storage=TID_IMPLICIT)
+        build_sketch_catalog(manager, table, train, ctx)
         executor = ScanExecutor(
             manager,
             table.meta,
             cpu_model=ctx.cpu_model,
             zone_maps=False,
             row_major=True,
+            prefetch_depth=ctx.prefetch_depth,
         )
         return MaterializedLayout(
             self.name,
@@ -74,6 +76,7 @@ class ColumnLayout(LayoutBuilder):
         ]
         manager, _device = ctx.make_manager(table.meta)
         manager.materialize_specs(spec_groups, table, tid_storage=TID_IMPLICIT)
+        build_sketch_catalog(manager, table, train, ctx)
         executor = ScanExecutor(
             manager,
             table.meta,
@@ -81,5 +84,6 @@ class ColumnLayout(LayoutBuilder):
             zone_maps=False,
             chunk_size=ctx.file_segment_bytes,
             row_major=False,
+            prefetch_depth=ctx.prefetch_depth,
         )
         return MaterializedLayout(self.name, table.meta, manager, executor, train=train)

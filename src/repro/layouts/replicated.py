@@ -15,7 +15,7 @@ from ..core.query import Workload
 from ..core.replication import ReplicationAdvisor, ReplicationConfig
 from ..engine.replicated import ReplicatedExecutor
 from ..storage.table_data import ColumnTable
-from .base import BuildContext, LayoutBuilder, MaterializedLayout
+from .base import BuildContext, LayoutBuilder, MaterializedLayout, build_sketch_catalog
 from .irregular import IrregularLayout
 
 __all__ = ["ReplicatedIrregularLayout"]
@@ -57,8 +57,13 @@ class ReplicatedIrregularLayout(LayoutBuilder):
         report = advisor.plan(base.manager, table, train)
         if report.replicas:
             advisor.apply(base.manager, table, report)
+            # Replication rewrote the target partitions (fresh catalog
+            # entries, no trailer), so rebuild the sketch catalog against
+            # the post-replication stored cells.
+            build_sketch_catalog(base.manager, table, train, ctx)
         executor = ReplicatedExecutor(
-            base.manager, table.meta, cpu_model=ctx.cpu_model, zone_maps=self.zone_maps
+            base.manager, table.meta, cpu_model=ctx.cpu_model,
+            zone_maps=self.zone_maps, prefetch_depth=ctx.prefetch_depth,
         )
         return MaterializedLayout(
             self.name,

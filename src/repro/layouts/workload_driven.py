@@ -25,7 +25,7 @@ from ..partitioning.peloton import PelotonPartitioner
 from ..partitioning.schism import SchismPartitioner
 from ..storage.physical import TID_CATALOG, TID_IMPLICIT, SegmentSpec
 from ..storage.table_data import ColumnTable
-from .base import BuildContext, LayoutBuilder, MaterializedLayout
+from .base import BuildContext, LayoutBuilder, MaterializedLayout, build_sketch_catalog
 
 __all__ = ["RowHLayout", "ColumnHLayout", "RowVLayout", "HierarchicalLayout"]
 
@@ -65,8 +65,10 @@ class RowHLayout(LayoutBuilder):
         spec_groups = [[SegmentSpec(attrs, tids)] for tids in groups]
         manager, _device = ctx.make_manager(table.meta)
         manager.materialize_specs(spec_groups, table, tid_storage=TID_CATALOG)
+        build_sketch_catalog(manager, table, train, ctx)
         executor = ScanExecutor(
-            manager, table.meta, cpu_model=ctx.cpu_model, zone_maps=True, row_major=True
+            manager, table.meta, cpu_model=ctx.cpu_model, zone_maps=True,
+            row_major=True, prefetch_depth=ctx.prefetch_depth,
         )
         return MaterializedLayout(
             self.name, table.meta, manager, executor,
@@ -96,8 +98,10 @@ class ColumnHLayout(LayoutBuilder):
         ]
         manager, _device = ctx.make_manager(table.meta)
         manager.materialize_specs(spec_groups, table, tid_storage=TID_CATALOG)
+        build_sketch_catalog(manager, table, train, ctx)
         executor = ScanExecutor(
-            manager, table.meta, cpu_model=ctx.cpu_model, zone_maps=True, row_major=False
+            manager, table.meta, cpu_model=ctx.cpu_model, zone_maps=True,
+            row_major=False, prefetch_depth=ctx.prefetch_depth,
         )
         return MaterializedLayout(
             self.name, table.meta, manager, executor,
@@ -119,6 +123,7 @@ class RowVLayout(LayoutBuilder):
         spec_groups = [[SegmentSpec(group, all_tids)] for group in column_groups]
         manager, _device = ctx.make_manager(table.meta)
         manager.materialize_specs(spec_groups, table, tid_storage=TID_IMPLICIT)
+        build_sketch_catalog(manager, table, train, ctx)
         executor = ScanExecutor(
             manager,
             table.meta,
@@ -126,6 +131,7 @@ class RowVLayout(LayoutBuilder):
             zone_maps=False,
             chunk_size=ctx.file_segment_bytes,
             row_major=True,
+            prefetch_depth=ctx.prefetch_depth,
         )
         return MaterializedLayout(
             self.name,
@@ -165,8 +171,10 @@ class HierarchicalLayout(LayoutBuilder):
                 spec_groups.append([SegmentSpec(column_group, tids)])
         manager, _device = ctx.make_manager(table.meta)
         manager.materialize_specs(spec_groups, table, tid_storage=TID_CATALOG)
+        build_sketch_catalog(manager, table, train, ctx)
         executor = ScanExecutor(
-            manager, table.meta, cpu_model=ctx.cpu_model, zone_maps=True, row_major=True
+            manager, table.meta, cpu_model=ctx.cpu_model, zone_maps=True,
+            row_major=True, prefetch_depth=ctx.prefetch_depth,
         )
         return MaterializedLayout(
             self.name,

@@ -33,6 +33,7 @@ ROOT_SPAN = "exec.query"
 _ROW_COUNTERS: Tuple[Tuple[str, str], ...] = (
     ("n_partition_reads", "reads"),
     ("n_partitions_pruned", "pruned"),
+    ("n_partitions_sketch_pruned", "sketch_pruned"),
     ("cells_scanned", "cells"),
     ("bytes_read", "bytes"),
     ("n_cache_hits", "cache_hits"),

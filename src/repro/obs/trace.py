@@ -48,6 +48,7 @@ STATS_COUNTER_FIELDS: Tuple[str, ...] = (
     "n_partition_reads",
     "n_partitions_skipped",
     "n_partitions_pruned",
+    "n_partitions_sketch_pruned",
     "n_cache_hits",
     "n_pool_hits",
     "n_retries",

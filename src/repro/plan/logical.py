@@ -65,12 +65,19 @@ class PartitionDecision:
     executor must invalidate the tuples owning those cells (see
     :func:`~repro.plan.operators.invalidate_pruned`) — skipping the read is
     sound precisely because the verdict on those tuples is already known.
+
+    ``source`` records which catalog structure proved a PRUNED verdict:
+    ``"zone"`` when min/max ranges sufficed, ``"sketch"`` when a
+    per-partition sketch (dictionary, Bloom, or grid — see
+    :mod:`repro.storage.sketches`) was needed.  Executors use it to count
+    ``n_partitions_sketch_pruned``.
     """
 
     pid: int
     decision: str
     reason: str = ""
     pruned_attributes: frozenset = frozenset()
+    source: str = "zone"
 
     @property
     def is_pruned(self) -> bool:
@@ -156,6 +163,37 @@ class LogicalPlan:
                     f"zone of {predicate.attribute!r} disjoint from "
                     f"[{predicate.lo:g}, {predicate.hi:g}]",
                 )
+        sketches = info.sketches
+        if sketches is None:
+            return None
+        # Sketch pass, only after every zone overlapped.  A 1-D sketch refutes
+        # one predicate outright (same soundness as the zone rule); a grid
+        # refutes the *conjunction* of its attribute pair — sound here because
+        # grids are only built when every segment storing either attribute
+        # stores both, so each affected tuple's joint (a, b) cell pair lives
+        # in this partition and provably misses the query rectangle.
+        for predicate in self.conjunction.predicates:
+            kind = sketches.refuting_sketch(
+                predicate.attribute, predicate.lo, predicate.hi
+            )
+            if kind is not None:
+                return PartitionDecision(
+                    info.pid,
+                    PRUNED,
+                    f"{kind} sketch of {predicate.attribute!r} refutes "
+                    f"[{predicate.lo:g}, {predicate.hi:g}]",
+                    source="sketch",
+                )
+        grid = sketches.refuting_grid(self.conjunction.ranges())
+        if grid is not None:
+            name_a, name_b = grid.attributes
+            return PartitionDecision(
+                info.pid,
+                PRUNED,
+                f"grid sketch over ({name_a!r}, {name_b!r}) refutes the "
+                "joint query rectangle",
+                source="sketch",
+            )
         return None
 
     def _prune_partition(self, info: PartitionInfo) -> PartitionDecision | None:
@@ -165,16 +203,66 @@ class LogicalPlan:
         ]
         if not stored:
             return None
+        sketches = info.sketches
+        used_sketch = False
         for predicate in stored:
             disjoint = info.zone_disjoint(
                 predicate.attribute, predicate.lo, predicate.hi
             )
-            if disjoint is None or not disjoint:
-                return None
+            if disjoint:
+                continue
+            # Zone overlaps (or the attribute has no zone entry): a 1-D
+            # sketch refutation carries the same guarantee — every tuple
+            # owning a cell of this attribute here fails the predicate.
+            if sketches is not None and sketches.refuting_sketch(
+                predicate.attribute, predicate.lo, predicate.hi
+            ):
+                used_sketch = True
+                continue
+            return self._prune_partition_grid(info, stored)
         names = frozenset(p.attribute for p in stored)
+        if used_sketch:
+            return PartitionDecision(
+                info.pid,
+                PRUNED,
+                "zones/sketches of " + ", ".join(sorted(names))
+                + " all refute the query",
+                pruned_attributes=names,
+                source="sketch",
+            )
         return PartitionDecision(
             info.pid,
             PRUNED,
             "zones of " + ", ".join(sorted(names)) + " all disjoint from the query",
             pruned_attributes=names,
+        )
+
+    def _prune_partition_grid(
+        self, info: PartitionInfo, stored
+    ) -> PartitionDecision | None:
+        """Grid fallback for the partition policy.
+
+        Sound only when the partition's stored predicate attributes are
+        exactly the grid's pair: the grid then proves every tuple owning
+        predicate cells here fails the conjunction jointly, so invalidating
+        those tuples (``pruned_attributes`` = the pair) reaches the verdict
+        Algorithm 5 would have.  A third stored-but-unrefuted predicate
+        attribute forbids the skip — its cells might belong to surviving
+        tuples.
+        """
+        sketches = info.sketches
+        if sketches is None:
+            return None
+        stored_names = frozenset(p.attribute for p in stored)
+        grid = sketches.refuting_grid(self.conjunction.ranges())
+        if grid is None or stored_names != frozenset(grid.attributes):
+            return None
+        name_a, name_b = grid.attributes
+        return PartitionDecision(
+            info.pid,
+            PRUNED,
+            f"grid sketch over ({name_a!r}, {name_b!r}) refutes the "
+            "joint query rectangle",
+            pruned_attributes=stored_names,
+            source="sketch",
         )

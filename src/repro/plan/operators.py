@@ -57,6 +57,7 @@ __all__ = [
     "AccessLoop",
     "SelectOp",
     "ProjectFillOp",
+    "count_prune",
     "invalidate_pruned",
     "merge_results",
     "finalize_stats",
@@ -76,12 +77,15 @@ class PlanReader:
     serializes loads for threaded drivers (the manager's counters are not
     thread-safe); ``pin_hints`` are the physical plan's buffer-pool pinning
     hints — pids kept pinned between phases so a concurrent query cannot
-    evict them mid-plan (released by :meth:`release`).
+    evict them mid-plan (released by :meth:`release`); ``prefetcher`` is an
+    optional read-ahead pipeline — :meth:`prefetch` queues a phase's access
+    list and :meth:`load` claims staged outcomes before falling back to an
+    inline load, accruing the staged delta exactly as the inline load would.
     """
 
     __slots__ = (
         "manager", "stats", "fctx", "chunk_size", "cache", "lock",
-        "pin_hints", "_pinned", "tracer",
+        "pin_hints", "_pinned", "tracer", "prefetcher",
     )
 
     def __init__(
@@ -93,6 +97,7 @@ class PlanReader:
         cache: Optional[Dict[int, PhysicalPartition]] = None,
         lock: Optional[threading.Lock] = None,
         pin_hints: frozenset = frozenset(),
+        prefetcher=None,
     ):
         self.manager = manager
         self.stats = stats
@@ -101,11 +106,31 @@ class PlanReader:
         self.cache = cache
         self.lock = lock
         self.pin_hints = pin_hints
+        self.prefetcher = prefetcher
         self._pinned: Set[int] = set()
         # Resolved once per execution (readers are per-query objects), so a
         # scoped trace installed before execute() is honoured and a disabled
         # call site pays one attribute load + truth test per partition.
         self.tracer = obs_tracer()
+
+    def prefetch(self, pids: Iterable[int], columns: Optional[frozenset] = None) -> None:
+        """Queue read-ahead for the loads a phase is about to drive.
+
+        No-op without a prefetcher.  Pids already in the within-query cache
+        or known-dead are filtered out — the inline path would not load them
+        either, and a background load of a dead key would perturb its fault
+        draw sequence.
+        """
+        if self.prefetcher is None:
+            return
+        cache, fctx = self.cache, self.fctx
+        wanted = [
+            pid for pid in pids
+            if (cache is None or pid not in cache)
+            and (fctx is None or pid not in fctx.unreadable)
+        ]
+        if wanted:
+            self.prefetcher.start(wanted, columns)
 
     def load(
         self, pid: int, columns: Optional[frozenset] = None
@@ -117,7 +142,9 @@ class PlanReader:
         if not tracer.enabled:
             return self._load_accounted(pid, columns)[0]
         with tracer.span("exec.partition", pid=pid) as span:
-            partition, io_delta, degraded = self._load_accounted(pid, columns)
+            partition, io_delta, degraded, prefetched = self._load_accounted(
+                pid, columns
+            )
             span.sim_io_s = io_delta.io_time_s
             span.set(
                 bytes_read=io_delta.bytes_read,
@@ -125,15 +152,24 @@ class PlanReader:
                 cache_hit=io_delta.n_cache_hits > 0,
                 n_retries=io_delta.n_retries,
                 degraded=degraded,
+                prefetched=prefetched,
             )
         return partition
 
     def _load_accounted(self, pid: int, columns: Optional[frozenset]):
         """The load + accounting body (verbatim from the seed engines)."""
-        with self.lock if self.lock is not None else nullcontext():
-            partition, io_delta = self.manager.load(
-                pid, chunk_size=self.chunk_size, columns=columns
-            )
+        staged = None
+        if self.prefetcher is not None:
+            # Re-raises a staged PartitionUnreadableError here, exactly
+            # where the inline load would have raised it.
+            staged = self.prefetcher.take(pid)
+        if staged is not None:
+            partition, io_delta = staged
+        else:
+            with self.lock if self.lock is not None else nullcontext():
+                partition, io_delta = self.manager.load(
+                    pid, chunk_size=self.chunk_size, columns=columns
+                )
         self.stats.accrue_io(io_delta)
         self.stats.n_partition_reads += 1
         degraded = self.fctx is not None and pid in self.fctx.degraded
@@ -145,7 +181,7 @@ class PlanReader:
         if pool is not None and pid in self.pin_hints and pid not in self._pinned:
             if pool.pin(pid):
                 self._pinned.add(pid)
-        return partition, io_delta, degraded
+        return partition, io_delta, degraded, staged is not None
 
     def release(self) -> None:
         """Unpin every plan-pinned pool entry (end of execution)."""
@@ -464,6 +500,14 @@ class ProjectFillOp:
         for name in self.projected:
             if name in cells and name not in row:
                 row[name] = cells[name]
+
+
+def count_prune(decision, stats: ExecutionStats) -> None:
+    """Count one planner-pruned partition, attributing sketch-won skips."""
+    stats.n_partitions_skipped += 1
+    stats.n_partitions_pruned += 1
+    if decision.source == "sketch":
+        stats.n_partitions_sketch_pruned += 1
 
 
 def invalidate_pruned(

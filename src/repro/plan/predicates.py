@@ -84,6 +84,10 @@ class Conjunction:
     def predicate_for(self, attribute: str) -> RangePredicate | None:
         return self._by_attribute.get(attribute)
 
+    def ranges(self) -> Dict[str, Tuple[float, float]]:
+        """``{attribute: (lo, hi)}`` — the shape sketch probes consume."""
+        return {p.attribute: (p.lo, p.hi) for p in self.predicates}
+
     def evaluate_available(
         self, columns: Mapping[str, np.ndarray], n_rows: int
     ) -> Tuple[np.ndarray, int]:

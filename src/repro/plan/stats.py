@@ -86,6 +86,10 @@ class ExecutionStats:
     #: catalog metadata (zone pruning) before any I/O; runtime skips (e.g.
     #: "no selected tuple lives here") count only in the broader field.
     n_partitions_pruned: int = 0
+    #: subset of ``n_partitions_pruned`` where the zone map could not refute
+    #: the query but a per-partition sketch (dictionary, Bloom, or grid)
+    #: could — the skips added by the sketch catalog beyond zone pruning.
+    n_partitions_sketch_pruned: int = 0
     n_cache_hits: int = 0
     n_pool_hits: int = 0
     n_retries: int = 0

@@ -1,7 +1,7 @@
 """Storage substrate: devices, blob stores, the partition file format and the
 partition manager."""
 
-from .blob import BlobStore, DirectoryBlobStore, MemoryBlobStore
+from .blob import BlobStore, DelayedBlobStore, DirectoryBlobStore, MemoryBlobStore
 from .buffer_pool import BufferPool, BufferPoolStats
 from .device import (
     BALOS_HDD,
@@ -22,6 +22,16 @@ from .format import (
 )
 from .io_stats import IOStats
 from .partition_manager import PartitionInfo, PartitionManager
+from .prefetch import Prefetcher, PrefetchStats
+from .sketches import (
+    BloomSketch,
+    DictSketch,
+    GridSketch,
+    SketchSet,
+    WorkloadProfile,
+    profile_workload,
+    select_sketches,
+)
 from .physical import (
     TID_CATALOG,
     TID_EXPLICIT,
@@ -37,10 +47,13 @@ from .table_data import ColumnTable
 __all__ = [
     "BALOS_HDD",
     "BlobStore",
+    "DelayedBlobStore",
+    "BloomSketch",
     "BufferPool",
     "BufferPoolStats",
     "ColumnTable",
     "DeviceProfile",
+    "DictSketch",
     "DirectoryBlobStore",
     "EBS_GP2",
     "EBS_IO1",
@@ -48,6 +61,7 @@ __all__ = [
     "FaultConfig",
     "FaultInjectingBlobStore",
     "FaultStats",
+    "GridSketch",
     "IOStats",
     "LazyColumnBlock",
     "MemoryBlobStore",
@@ -55,17 +69,23 @@ __all__ = [
     "PartitionManager",
     "PhysicalPartition",
     "PhysicalSegment",
+    "PrefetchStats",
+    "Prefetcher",
     "RetryPolicy",
     "SegmentSpec",
+    "SketchSet",
     "StorageDevice",
     "TID_CATALOG",
     "TID_EXPLICIT",
     "TID_IMPLICIT",
+    "WorkloadProfile",
     "build_physical_partition",
     "checksum_overhead",
     "deserialize_partition",
     "physical_from_logical",
+    "profile_workload",
     "segment_row_dtype",
+    "select_sketches",
     "serialize_partition",
     "synthetic_profile_measurements",
 ]

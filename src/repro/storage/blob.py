@@ -8,12 +8,18 @@ format).  Both stores expose the same minimal byte-oriented interface.
 from __future__ import annotations
 
 import os
+import time
 from abc import ABC, abstractmethod
 from typing import Dict, Iterator
 
 from ..errors import StorageError
 
-__all__ = ["BlobStore", "MemoryBlobStore", "DirectoryBlobStore"]
+__all__ = [
+    "BlobStore",
+    "DelayedBlobStore",
+    "MemoryBlobStore",
+    "DirectoryBlobStore",
+]
 
 
 class BlobStore(ABC):
@@ -76,6 +82,53 @@ class MemoryBlobStore(BlobStore):
 
     def delete(self, key: str) -> None:
         self._blobs.pop(key, None)
+
+
+class DelayedBlobStore(BlobStore):
+    """Wraps a store and sleeps for *real* time on every ``get``.
+
+    The simulated :class:`~repro.storage.device.StorageDevice` charges I/O
+    seconds without ever sleeping, so inline and overlapped read pipelines
+    finish in the same wall time.  Benchmarks that want to measure the
+    *actual* overlap win of the prefetcher (``benchmarks/bench_prefetch.py``)
+    interpose this wrapper: each read blocks its calling thread for
+    ``delay_s`` (plus ``delay_per_mib_s`` per MiB served), so background
+    read-ahead threads genuinely overlap their waits while the evaluator
+    works.  Accounting is untouched — the wrapper only burns wall clock.
+    """
+
+    def __init__(
+        self,
+        inner: BlobStore,
+        delay_s: float = 0.002,
+        delay_per_mib_s: float = 0.0,
+    ):
+        self.inner = inner
+        self.delay_s = float(delay_s)
+        self.delay_per_mib_s = float(delay_per_mib_s)
+        self.n_delayed_gets = 0
+        self.delayed_s = 0.0
+
+    def get(self, key: str) -> bytes:
+        data = self.inner.get(key)
+        pause = self.delay_s + self.delay_per_mib_s * (len(data) / (1 << 20))
+        if pause > 0:
+            time.sleep(pause)
+        self.n_delayed_gets += 1
+        self.delayed_s += pause
+        return data
+
+    def put(self, key: str, data: bytes) -> None:
+        self.inner.put(key, data)
+
+    def size(self, key: str) -> int:
+        return self.inner.size(key)
+
+    def keys(self) -> Iterator[str]:
+        return self.inner.keys()
+
+    def delete(self, key: str) -> None:
+        self.inner.delete(key)
 
 
 class DirectoryBlobStore(BlobStore):

@@ -14,6 +14,7 @@ the paper's explicit cache flushes.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import List, Tuple
@@ -74,6 +75,9 @@ class StorageDevice:
         self.stats = IOStats()
         self._cache: "OrderedDict[str, int]" = OrderedDict()
         self._cached_bytes = 0
+        #: guards ``stats``, ``_cache`` and ``_cached_bytes`` — the threaded
+        #: engines and the prefetcher read through one shared device.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------- reading
 
@@ -86,39 +90,59 @@ class StorageDevice:
         that spans many file segments); otherwise as a single request (how a
         partition file is read).
         """
+        return self.read_delta(key, n_bytes, chunk_size).io_time_s
+
+    def read_delta(
+        self, key: str, n_bytes: int, chunk_size: int | None = None
+    ) -> IOStats:
+        """Charge one read and return exactly what it accrued, atomically.
+
+        Concurrent readers must use this instead of the snapshot/``diff``
+        idiom around :meth:`read`: a snapshot pair taken around another
+        thread's read would fold that thread's charges into this read's
+        delta.
+        """
+        delta = IOStats()
         if n_bytes <= 0:
-            return 0.0
-        if self.cache_bytes > 0 and key in self._cache:
-            self._cache.move_to_end(key)
-            self.stats.n_cache_hits += 1
-            self.stats.cache_hit_bytes += n_bytes
-            return 0.0
-        model = self.profile.io_model
-        if chunk_size and chunk_size > 0 and n_bytes > chunk_size:
-            n_full, remainder = divmod(n_bytes, chunk_size)
-            elapsed = n_full * model.io_time(chunk_size)
-            if remainder:
-                elapsed += model.io_time(remainder)
-            n_requests = n_full + (1 if remainder else 0)
-        else:
-            elapsed = model.io_time(n_bytes)
-            n_requests = 1
-        self.stats.n_reads += n_requests
-        self.stats.bytes_read += n_bytes
-        self.stats.io_time_s += elapsed
-        if self.cache_bytes > 0:
-            self._insert_cached(key, n_bytes)
-        return elapsed
+            return delta
+        with self._lock:
+            if self.cache_bytes > 0 and key in self._cache:
+                self._cache.move_to_end(key)
+                self.stats.n_cache_hits += 1
+                self.stats.cache_hit_bytes += n_bytes
+                delta.n_cache_hits = 1
+                delta.cache_hit_bytes = n_bytes
+                return delta
+            model = self.profile.io_model
+            if chunk_size and chunk_size > 0 and n_bytes > chunk_size:
+                n_full, remainder = divmod(n_bytes, chunk_size)
+                elapsed = n_full * model.io_time(chunk_size)
+                if remainder:
+                    elapsed += model.io_time(remainder)
+                n_requests = n_full + (1 if remainder else 0)
+            else:
+                elapsed = model.io_time(n_bytes)
+                n_requests = 1
+            self.stats.n_reads += n_requests
+            self.stats.bytes_read += n_bytes
+            self.stats.io_time_s += elapsed
+            delta.n_reads = n_requests
+            delta.bytes_read = n_bytes
+            delta.io_time_s = elapsed
+            if self.cache_bytes > 0:
+                self._insert_cached(key, n_bytes)
+        return delta
 
     def write(self, key: str, n_bytes: int) -> float:
         """Charge one write; writes also populate the buffer cache."""
         if n_bytes <= 0:
             return 0.0
         elapsed = self.profile.io_model.io_time(n_bytes)
-        self.stats.n_writes += 1
-        self.stats.bytes_written += n_bytes
-        if self.cache_bytes > 0:
-            self._insert_cached(key, n_bytes)
+        with self._lock:
+            self.stats.n_writes += 1
+            self.stats.bytes_written += n_bytes
+            if self.cache_bytes > 0:
+                self._insert_cached(key, n_bytes)
         return elapsed
 
     # ------------------------------------------------------------- caching
@@ -136,23 +160,27 @@ class StorageDevice:
 
     def drop_caches(self) -> None:
         """Simulate ``echo 3 > /proc/sys/vm/drop_caches`` between queries."""
-        self._cache.clear()
-        self._cached_bytes = 0
+        with self._lock:
+            self._cache.clear()
+            self._cached_bytes = 0
 
     def invalidate(self, key: str) -> None:
         """Drop one key from the cache (file overwritten)."""
-        if key in self._cache:
-            self._cached_bytes -= self._cache.pop(key)
+        with self._lock:
+            if key in self._cache:
+                self._cached_bytes -= self._cache.pop(key)
 
     @property
     def cached_bytes(self) -> int:
         return self._cached_bytes
 
     def reset_stats(self) -> None:
-        self.stats = IOStats()
+        with self._lock:
+            self.stats = IOStats()
 
     def snapshot(self) -> IOStats:
-        return self.stats.copy()
+        with self._lock:
+            return self.stats.copy()
 
 
 def synthetic_profile_measurements(

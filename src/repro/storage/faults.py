@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import hashlib
 import struct
+import threading
 from dataclasses import dataclass
 from typing import Dict, Iterator, Optional
 
@@ -126,30 +127,48 @@ class FaultInjectingBlobStore(BlobStore):
         self.overrides: Dict[str, FaultConfig] = dict(overrides or {})
         self.stats = FaultStats()
         self._attempts: Dict[str, int] = {}
-        self._pending_latency_s = 0.0
+        #: injected latency awaiting drain, *per key* — concurrent readers of
+        #: different keys must each drain exactly their own spikes.
+        self._pending_latency_s: Dict[str, float] = {}
+        self._lock = threading.Lock()
 
     # --------------------------------------------------------- fault engine
 
     def config_for(self, key: str) -> FaultConfig:
         return self.overrides.get(key, self.config)
 
-    def consume_injected_latency(self) -> float:
-        """Return and reset simulated seconds injected since the last call."""
-        pending = self._pending_latency_s
-        self._pending_latency_s = 0.0
-        return pending
+    def consume_injected_latency(self, key: Optional[str] = None) -> float:
+        """Return and reset simulated seconds injected since the last call.
+
+        With ``key`` the drain covers only spikes injected for that key —
+        the form concurrent readers must use so one reader cannot swallow
+        another's pending latency.  Without it, everything pending is
+        drained (single-threaded legacy callers).
+        """
+        with self._lock:
+            if key is not None:
+                return self._pending_latency_s.pop(key, 0.0)
+            pending = sum(self._pending_latency_s.values())
+            self._pending_latency_s.clear()
+            return pending
 
     def get(self, key: str) -> bytes:
         cfg = self.config_for(key)
-        attempt = self._attempts.get(key, 0)
-        self._attempts[key] = attempt + 1
-        self.stats.n_gets += 1
+        with self._lock:
+            attempt = self._attempts.get(key, 0)
+            self._attempts[key] = attempt + 1
+            self.stats.n_gets += 1
         u_err, u_lat, u_trunc, u_flip, u_pos = _draws(self.seed, key, attempt, 5)
         if u_lat < cfg.latency_spike_rate:
-            self.stats.n_latency_spikes += 1
-            self._pending_latency_s += cfg.latency_spike_s
+            with self._lock:
+                self.stats.n_latency_spikes += 1
+                self.stats.latency_injected_s += cfg.latency_spike_s
+                self._pending_latency_s[key] = (
+                    self._pending_latency_s.get(key, 0.0) + cfg.latency_spike_s
+                )
         if u_err < cfg.transient_error_rate:
-            self.stats.n_transient_errors += 1
+            with self._lock:
+                self.stats.n_transient_errors += 1
             raise TransientStorageError(
                 f"injected transient fault reading {key!r} (attempt {attempt})"
             )

@@ -53,9 +53,13 @@ __all__ = [
     "deserialize_partition",
     "segment_row_dtype",
     "checksum_overhead",
+    "append_trailer",
+    "read_trailer",
+    "strip_trailer",
     "LazyColumnBlock",
     "FORMAT_VERSION",
     "MAGIC",
+    "TRAILER_MAGIC",
 ]
 
 MAGIC = b"JGSW"
@@ -64,6 +68,9 @@ FORMAT_VERSION = 2
 _HEADER = struct.Struct("<4sHIIH")
 _SEGMENT_HEADER = struct.Struct("<BQQ")
 _CRC = struct.Struct("<I")
+#: optional metadata trailer (sketch catalog) appended after the segments.
+TRAILER_MAGIC = b"JGSK"
+_TRAILER_FOOTER = struct.Struct("<II4s")  # payload crc32 | payload length | magic
 _TID_MODES = {TID_EXPLICIT: 0, TID_IMPLICIT: 1, TID_CATALOG: 2}
 _TID_MODES_REVERSE = {code: mode for mode, code in _TID_MODES.items()}
 #: high bit of the mode byte marks a replica segment (limited replication).
@@ -188,6 +195,49 @@ def checksum_overhead(n_segments: int) -> int:
     accounting.
     """
     return _CRC.size * (1 + n_segments)
+
+
+def append_trailer(data: bytes, payload: bytes) -> bytes:
+    """Append an optional metadata trailer to a serialized partition.
+
+    The trailer rides *after* the last segment — ``deserialize_partition``
+    stops at ``n_segments`` and never sees it, so version-1 and version-2
+    readers are both unaffected.  Its fixed-size footer (payload CRC32,
+    payload length, ``JGSK`` magic) sits at the very end of the file so a
+    reader can find it without re-parsing the segments.  Like checksum
+    overhead, trailer bytes are excluded from the accounted partition size.
+    """
+    footer = _TRAILER_FOOTER.pack(zlib.crc32(payload), len(payload), TRAILER_MAGIC)
+    return strip_trailer(data) + payload + footer
+
+
+def read_trailer(data: bytes) -> bytes | None:
+    """The trailer payload of a partition file, or None when absent.
+
+    A corrupt footer (bad length or CRC) reads as "no trailer": sketches
+    are an optimization hint, never required for correctness, so a damaged
+    trailer degrades to zone-map-only pruning instead of failing the read.
+    """
+    if len(data) < _TRAILER_FOOTER.size or not data.endswith(TRAILER_MAGIC):
+        return None
+    crc, length, _magic = _TRAILER_FOOTER.unpack_from(
+        data, len(data) - _TRAILER_FOOTER.size
+    )
+    start = len(data) - _TRAILER_FOOTER.size - length
+    if start < _HEADER.size:
+        return None
+    payload = data[start : len(data) - _TRAILER_FOOTER.size]
+    if zlib.crc32(payload) != crc:
+        return None
+    return payload
+
+
+def strip_trailer(data: bytes) -> bytes:
+    """The partition file without its trailer (idempotent)."""
+    payload = read_trailer(data)
+    if payload is None:
+        return data
+    return data[: len(data) - _TRAILER_FOOTER.size - len(payload)]
 
 
 def serialize_partition(

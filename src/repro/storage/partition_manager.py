@@ -29,7 +29,15 @@ from .buffer_pool import BufferPool
 from .device import StorageDevice
 from .faults import RetryPolicy
 from .io_stats import IOStats
-from .format import checksum_overhead, deserialize_partition, serialize_partition
+from .format import (
+    append_trailer,
+    checksum_overhead,
+    deserialize_partition,
+    read_trailer,
+    serialize_partition,
+    strip_trailer,
+)
+from .sketches import SketchSet
 from .physical import (
     TID_CATALOG,
     TID_EXPLICIT,
@@ -71,6 +79,9 @@ class PartitionInfo:
     segment_tid_bounds: List[Tuple[int, int]] = field(default_factory=list)
     #: catalog version at which this partition became visible.
     version: int = 0
+    #: optional per-partition data-skipping sketches (see
+    #: :mod:`repro.storage.sketches`); ``None`` when none were built.
+    sketches: Optional[SketchSet] = None
     _tuple_ids_cache: Optional[np.ndarray] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
@@ -482,16 +493,14 @@ class PartitionManager:
                 data = self.store.get(info.key)
             except StorageError as exc:
                 if drain_latency is not None:
-                    delta.io_time_s += drain_latency()
+                    delta.io_time_s += drain_latency(info.key)
                 last_error = exc
                 continue
             # Bytes flowed, so the device charge applies even if the payload
             # turns out corrupt; the accounted size is the v1-equivalent one.
-            before = self.device.snapshot()
-            self.device.read(info.key, info.n_bytes, chunk_size=chunk_size)
-            delta.add(self.device.stats.diff(before))
+            delta.add(self.device.read_delta(info.key, info.n_bytes, chunk_size=chunk_size))
             if drain_latency is not None:
-                delta.io_time_s += drain_latency()
+                delta.io_time_s += drain_latency(info.key)
             catalog_tids = {
                 ordinal: tids
                 for ordinal, (tids, mode) in enumerate(
@@ -524,6 +533,40 @@ class PartitionManager:
             pid=pid,
             io_delta=delta,
         ) from last_error
+
+    # ----------------------------------------------------------- sketches
+
+    def attach_sketches(
+        self, pid: int, sketches: Optional[SketchSet], persist: bool = True
+    ) -> None:
+        """Attach (or clear, with ``None``) a partition's sketch set.
+
+        With ``persist`` the sketches are also written into the blob's
+        format-v2 trailer, replacing any previous one, so a rebuilt catalog
+        can recover them via :meth:`load_sketches`.  The accounted
+        ``n_bytes`` is untouched: like checksum overhead, the trailer exists
+        in the file but charges nothing — attaching sketches must not
+        perturb simulated I/O accounting.
+        """
+        info = self.info(pid)
+        info.sketches = sketches
+        if not persist:
+            return
+        data = strip_trailer(self.store.get(info.key))
+        if sketches is not None:
+            data = append_trailer(data, sketches.to_bytes())
+        self.store.put(info.key, data)
+        self.device.invalidate(info.key)
+
+    def load_sketches(self, pid: int) -> Optional[SketchSet]:
+        """Recover a partition's sketches from its blob trailer (catalog
+        metadata path: reads raw bytes, charges no simulated I/O)."""
+        info = self.info(pid)
+        payload = read_trailer(self.store.get(info.key))
+        info.sketches = (
+            SketchSet.from_bytes(payload) if payload is not None else None
+        )
+        return info.sketches
 
     # ------------------------------------------------------------ indexes
 

@@ -1,0 +1,445 @@
+"""Per-partition light-weight sketches: data skipping beyond zone maps.
+
+A zone map refutes a predicate only when the partition's *entire value
+range* misses the query window — one outlier cell ruins the prune.  Three
+sketch shapes recover most of those lost skips at a few dozen bytes per
+partition (following the cost-gated sketch selection of arXiv:2504.19252):
+
+* :class:`DictSketch` — the sorted distinct values of a low-cardinality
+  attribute.  Exact: refutes *any* range with no stored value inside it.
+* :class:`BloomSketch` — a Bloom filter over an attribute's distinct
+  values, for high-cardinality columns where the dictionary would not fit.
+  Refutes **equality** predicates only (``lo == hi``); sound because a
+  reported-absent value is definitely absent.
+* :class:`GridSketch` — a small occupancy bitmap over the joint value
+  space of an attribute *pair*.  Refutes a **conjunction** whose query
+  rectangle touches no occupied cell, even when each attribute's own range
+  overlaps the query (correlated columns).
+
+All three answer conservatively: ``True`` means *provably no matching
+cell*, ``None`` means "cannot judge" — exactly the contract of
+:meth:`~repro.storage.partition_manager.PartitionInfo.zone_disjoint`, so
+the logical planner consults them with the same soundness arguments.
+
+Sketch selection is cost-based per partition: every candidate is scored
+``benefit / size`` where benefit is (training-workload frequency of the
+predicate shape it can refute) x (simulated seconds a skipped read of this
+partition saves), and a greedy knapsack fills ``sketch_budget_bytes``.
+
+Sketches serialize into a self-describing byte payload carried in the
+format-v2 file trailer (see :func:`repro.storage.format.append_trailer`),
+so a rebuilt catalog can recover them from the blobs alone.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "BloomSketch",
+    "DictSketch",
+    "GridSketch",
+    "SketchSet",
+    "WorkloadProfile",
+    "profile_workload",
+    "select_sketches",
+]
+
+#: Distinct-value ceiling under which the exact dictionary is preferred.
+DICT_MAX_DISTINCT = 64
+#: Bloom filter sizing: bits per distinct value and hash count.
+BLOOM_BITS_PER_VALUE = 10
+BLOOM_K = 4
+#: Grid sketch resolution (n x n buckets).
+GRID_SIDE = 8
+
+_U32 = struct.Struct("<I")
+_F64 = struct.Struct("<d")
+
+
+def _as_int_key(value: float) -> Optional[int]:
+    """The integral hash key of ``value``, or None when not integral."""
+    if float(value) != float(int(value)):
+        return None
+    return int(value)
+
+
+class DictSketch:
+    """Exact sorted distinct values of one attribute."""
+
+    kind = "dict"
+
+    def __init__(self, attribute: str, values: np.ndarray):
+        self.attribute = attribute
+        self.values = np.asarray(values, dtype=np.float64)
+
+    def disjoint(self, lo: float, hi: float) -> Optional[bool]:
+        """True when no stored distinct value lies in ``[lo, hi]``."""
+        index = int(np.searchsorted(self.values, lo, side="left"))
+        return index >= len(self.values) or float(self.values[index]) > hi
+
+    def size_bytes(self) -> int:
+        return 8 * len(self.values)
+
+    def to_bytes(self) -> bytes:
+        return _U32.pack(len(self.values)) + self.values.tobytes()
+
+    @classmethod
+    def from_bytes(cls, attribute: str, payload: bytes) -> "DictSketch":
+        (count,) = _U32.unpack_from(payload, 0)
+        values = np.frombuffer(payload, dtype=np.float64, count=count, offset=4)
+        return cls(attribute, values.copy())
+
+
+class BloomSketch:
+    """Bloom filter over an attribute's distinct (integral) values."""
+
+    kind = "bloom"
+
+    def __init__(self, attribute: str, n_bits: int, bits: np.ndarray):
+        self.attribute = attribute
+        self.n_bits = int(n_bits)
+        self.bits = np.asarray(bits, dtype=np.uint8)
+
+    @staticmethod
+    def _positions(key: int, n_bits: int) -> Iterable[int]:
+        # Two multiplicative hashes combined (Kirsch-Mitzenmacher), reduced
+        # modulo 2**64 so build and probe agree bit for bit.
+        k1 = key & 0xFFFFFFFFFFFFFFFF
+        h1 = (k1 * 0x9E3779B97F4A7C15 & 0xFFFFFFFFFFFFFFFF) % n_bits
+        h2 = (k1 * 0xC2B2AE3D27D4EB4F & 0xFFFFFFFFFFFFFFFF) % (n_bits - 1) + 1
+        for i in range(BLOOM_K):
+            yield (h1 + i * h2) % n_bits
+
+    @classmethod
+    def build(cls, attribute: str, distinct: np.ndarray) -> Optional["BloomSketch"]:
+        keys = [_as_int_key(v) for v in distinct]
+        if any(k is None for k in keys):
+            return None
+        n_bits = max(64, BLOOM_BITS_PER_VALUE * len(keys))
+        bits = np.zeros((n_bits + 7) // 8, dtype=np.uint8)
+        for key in keys:
+            for pos in cls._positions(int(key), n_bits):
+                bits[pos // 8] |= 1 << (pos % 8)
+        return cls(attribute, n_bits, bits)
+
+    def disjoint(self, lo: float, hi: float) -> Optional[bool]:
+        """True when an equality probe (``lo == hi``) is definitely absent."""
+        if lo != hi:
+            return None
+        key = _as_int_key(lo)
+        if key is None:
+            return None
+        for pos in self._positions(key, self.n_bits):
+            if not self.bits[pos // 8] & (1 << (pos % 8)):
+                return True
+        return None  # maybe present: cannot refute
+
+    def size_bytes(self) -> int:
+        return len(self.bits)
+
+    def to_bytes(self) -> bytes:
+        return _U32.pack(self.n_bits) + _U32.pack(len(self.bits)) + self.bits.tobytes()
+
+    @classmethod
+    def from_bytes(cls, attribute: str, payload: bytes) -> "BloomSketch":
+        n_bits, n_bytes = struct.unpack_from("<II", payload, 0)
+        bits = np.frombuffer(payload, dtype=np.uint8, count=n_bytes, offset=8)
+        return cls(attribute, n_bits, bits.copy())
+
+
+class GridSketch:
+    """Joint occupancy bitmap over the value space of an attribute pair."""
+
+    kind = "grid"
+
+    def __init__(
+        self,
+        attributes: Tuple[str, str],
+        bounds: Tuple[float, float, float, float],
+        side: int,
+        occupancy: np.ndarray,
+    ):
+        self.attributes = attributes
+        self.bounds = bounds  # (a_lo, a_hi, b_lo, b_hi)
+        self.side = int(side)
+        self.occupancy = np.asarray(occupancy, dtype=bool).reshape(side, side)
+
+    @staticmethod
+    def _bucket(value: np.ndarray, lo: float, hi: float, side: int) -> np.ndarray:
+        span = hi - lo
+        if span <= 0:
+            return np.zeros(np.shape(value), dtype=np.int64)
+        raw = ((np.asarray(value, dtype=np.float64) - lo) * side / span).astype(np.int64)
+        return np.clip(raw, 0, side - 1)
+
+    @classmethod
+    def build(
+        cls,
+        attributes: Tuple[str, str],
+        a_values: np.ndarray,
+        b_values: np.ndarray,
+        side: int = GRID_SIDE,
+    ) -> Optional["GridSketch"]:
+        if not len(a_values) or len(a_values) != len(b_values):
+            return None
+        a_lo, a_hi = float(np.min(a_values)), float(np.max(a_values))
+        b_lo, b_hi = float(np.min(b_values)), float(np.max(b_values))
+        occupancy = np.zeros((side, side), dtype=bool)
+        rows = cls._bucket(a_values, a_lo, a_hi, side)
+        cols = cls._bucket(b_values, b_lo, b_hi, side)
+        occupancy[rows, cols] = True
+        return cls(attributes, (a_lo, a_hi, b_lo, b_hi), side, occupancy)
+
+    def disjoint_rect(
+        self, a_range: Tuple[float, float], b_range: Tuple[float, float]
+    ) -> bool:
+        """True when no stored (a, b) pair falls inside the query rectangle.
+
+        Sound: the bucket function is monotone, so every stored pair inside
+        the rectangle would light a bucket within the probed index window.
+        """
+        a_lo, a_hi, b_lo, b_hi = self.bounds
+        qa_lo, qa_hi = max(a_range[0], a_lo), min(a_range[1], a_hi)
+        qb_lo, qb_hi = max(b_range[0], b_lo), min(b_range[1], b_hi)
+        if qa_lo > qa_hi or qb_lo > qb_hi:
+            return True  # rectangle misses the bounding box entirely
+        r0 = int(self._bucket(np.float64(qa_lo), a_lo, a_hi, self.side))
+        r1 = int(self._bucket(np.float64(qa_hi), a_lo, a_hi, self.side))
+        c0 = int(self._bucket(np.float64(qb_lo), b_lo, b_hi, self.side))
+        c1 = int(self._bucket(np.float64(qb_hi), b_lo, b_hi, self.side))
+        return not bool(self.occupancy[r0 : r1 + 1, c0 : c1 + 1].any())
+
+    def size_bytes(self) -> int:
+        return (self.side * self.side + 7) // 8
+
+    def to_bytes(self) -> bytes:
+        packed = np.packbits(self.occupancy.reshape(-1))
+        return (
+            _U32.pack(self.side)
+            + b"".join(_F64.pack(b) for b in self.bounds)
+            + _U32.pack(len(packed))
+            + packed.tobytes()
+        )
+
+    @classmethod
+    def from_bytes(cls, attributes: Tuple[str, str], payload: bytes) -> "GridSketch":
+        (side,) = _U32.unpack_from(payload, 0)
+        bounds = struct.unpack_from("<4d", payload, 4)
+        (n_packed,) = _U32.unpack_from(payload, 36)
+        packed = np.frombuffer(payload, dtype=np.uint8, count=n_packed, offset=40)
+        occupancy = np.unpackbits(packed)[: side * side].astype(bool)
+        return cls(attributes, tuple(bounds), side, occupancy)
+
+
+class SketchSet:
+    """Every sketch attached to one partition."""
+
+    __slots__ = ("by_attr", "grids")
+
+    def __init__(
+        self,
+        by_attr: Optional[Dict[str, object]] = None,
+        grids: Optional[List[GridSketch]] = None,
+    ):
+        self.by_attr: Dict[str, object] = dict(by_attr or {})
+        self.grids: List[GridSketch] = list(grids or [])
+
+    def __bool__(self) -> bool:
+        return bool(self.by_attr) or bool(self.grids)
+
+    def refuting_sketch(self, attribute: str, lo: float, hi: float) -> Optional[str]:
+        """The kind of the sketch that refutes ``attribute in [lo, hi]``,
+        or None when no attached sketch can."""
+        sketch = self.by_attr.get(attribute)
+        if sketch is not None and sketch.disjoint(lo, hi):
+            return sketch.kind
+        return None
+
+    def refuting_grid(
+        self, ranges: Dict[str, Tuple[float, float]]
+    ) -> Optional[GridSketch]:
+        """A grid whose attribute pair both carry predicates and whose
+        occupancy refutes the joint query rectangle."""
+        for grid in self.grids:
+            name_a, name_b = grid.attributes
+            if name_a in ranges and name_b in ranges:
+                if grid.disjoint_rect(ranges[name_a], ranges[name_b]):
+                    return grid
+        return None
+
+    def size_bytes(self) -> int:
+        return sum(s.size_bytes() for s in self.by_attr.values()) + sum(
+            g.size_bytes() for g in self.grids
+        )
+
+    # -------------------------------------------------------- serialization
+
+    _KINDS = {"dict": 1, "bloom": 2, "grid": 3}
+    _CLASSES = {1: DictSketch, 2: BloomSketch, 3: GridSketch}
+
+    def to_bytes(self) -> bytes:
+        chunks = [_U32.pack(len(self.by_attr) + len(self.grids))]
+        entries = [(s.kind, (s.attribute,), s) for s in self.by_attr.values()]
+        entries += [(g.kind, g.attributes, g) for g in self.grids]
+        for kind, names, sketch in entries:
+            blob = sketch.to_bytes()
+            header = bytes([self._KINDS[kind], len(names)])
+            for name in names:
+                encoded = name.encode("utf-8")
+                header += _U32.pack(len(encoded)) + encoded
+            chunks.append(header + _U32.pack(len(blob)) + blob)
+        return b"".join(chunks)
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "SketchSet":
+        (count,) = _U32.unpack_from(payload, 0)
+        offset = 4
+        result = cls()
+        for _ in range(count):
+            tag, n_names = payload[offset], payload[offset + 1]
+            offset += 2
+            names = []
+            for _n in range(n_names):
+                (length,) = _U32.unpack_from(payload, offset)
+                offset += 4
+                names.append(payload[offset : offset + length].decode("utf-8"))
+                offset += length
+            (blob_len,) = _U32.unpack_from(payload, offset)
+            offset += 4
+            blob = payload[offset : offset + blob_len]
+            offset += blob_len
+            sketch_cls = cls._CLASSES[tag]
+            if sketch_cls is GridSketch:
+                grid = GridSketch.from_bytes((names[0], names[1]), blob)
+                result.grids.append(grid)
+            else:
+                sketch = sketch_cls.from_bytes(names[0], blob)
+                result.by_attr[names[0]] = sketch
+        return result
+
+
+# ---------------------------------------------------------------------------
+# Cost-based selection
+# ---------------------------------------------------------------------------
+
+
+class WorkloadProfile:
+    """Predicate-shape frequencies of a training workload."""
+
+    __slots__ = ("attr_any", "attr_eq", "pairs", "n_queries")
+
+    def __init__(self, attr_any, attr_eq, pairs, n_queries: int):
+        self.attr_any: Dict[str, int] = attr_any
+        self.attr_eq: Dict[str, int] = attr_eq
+        self.pairs: Dict[Tuple[str, str], int] = pairs
+        self.n_queries = n_queries
+
+
+def profile_workload(queries) -> WorkloadProfile:
+    """Count, per attribute and attribute pair, how often the training
+    queries constrain them (equality counted separately for Bloom)."""
+    attr_any: Dict[str, int] = {}
+    attr_eq: Dict[str, int] = {}
+    pairs: Dict[Tuple[str, str], int] = {}
+    n_queries = 0
+    for query in queries:
+        n_queries += 1
+        names = sorted(query.where)
+        for name in names:
+            interval = query.where[name]
+            attr_any[name] = attr_any.get(name, 0) + 1
+            if interval.lo == interval.hi:
+                attr_eq[name] = attr_eq.get(name, 0) + 1
+        for i, name_a in enumerate(names):
+            for name_b in names[i + 1 :]:
+                key = (name_a, name_b)
+                pairs[key] = pairs.get(key, 0) + 1
+    return WorkloadProfile(attr_any, attr_eq, pairs, n_queries)
+
+
+def _aligned_pair_values(
+    info, columns: Dict[str, np.ndarray], name_a: str, name_b: str
+) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """The partition's joint (a, b) cells, if every segment storing either
+    attribute stores both (the grid prune's soundness precondition)."""
+    a_parts, b_parts = [], []
+    for attrs, tids in zip(info.segment_attrs, info.segment_tids):
+        has_a, has_b = name_a in attrs, name_b in attrs
+        if has_a != has_b:
+            return None
+        if has_a and len(tids):
+            a_parts.append(columns[name_a][tids])
+            b_parts.append(columns[name_b][tids])
+    if not a_parts:
+        return None
+    return np.concatenate(a_parts), np.concatenate(b_parts)
+
+
+def select_sketches(
+    info,
+    columns: Dict[str, np.ndarray],
+    profile: WorkloadProfile,
+    io_time_s: float,
+    budget_bytes: int,
+) -> Optional[SketchSet]:
+    """Pick this partition's sketches greedily by benefit density.
+
+    ``io_time_s`` is the simulated cost of reading the partition (what one
+    extra prune saves); benefit = shape frequency x that saving; candidates
+    are ranked by benefit per byte and admitted until ``budget_bytes``.
+    """
+    candidates = []  # (score, size, kind, payload)
+    attr_values: Dict[str, np.ndarray] = {}
+    for name in sorted(info.attributes):
+        if profile.attr_any.get(name, 0) == 0 or name not in columns:
+            continue
+        parts = [
+            columns[name][tids]
+            for attrs, tids in zip(info.segment_attrs, info.segment_tids)
+            if name in attrs and len(tids)
+        ]
+        if not parts:
+            continue
+        attr_values[name] = np.concatenate(parts)
+        distinct = np.unique(attr_values[name]).astype(np.float64)
+        if len(distinct) <= DICT_MAX_DISTINCT:
+            sketch: object = DictSketch(name, distinct)
+            weight = profile.attr_any[name]
+        else:
+            sketch = BloomSketch.build(name, distinct)
+            weight = profile.attr_eq.get(name, 0)
+            if sketch is None or weight == 0:
+                continue
+        size = max(1, sketch.size_bytes())
+        candidates.append((weight * io_time_s / size, size, "attr", sketch))
+    for (name_a, name_b), weight in sorted(profile.pairs.items()):
+        if name_a not in info.attributes or name_b not in info.attributes:
+            continue
+        if name_a not in columns or name_b not in columns:
+            continue
+        aligned = _aligned_pair_values(info, columns, name_a, name_b)
+        if aligned is None:
+            continue
+        grid = GridSketch.build((name_a, name_b), *aligned)
+        if grid is None:
+            continue
+        size = max(1, grid.size_bytes())
+        candidates.append((weight * io_time_s / size, size, "grid", grid))
+
+    selected = SketchSet()
+    spent = 0
+    for score, size, shape, sketch in sorted(
+        candidates, key=lambda c: (-c[0], c[1])
+    ):
+        if spent + size > budget_bytes:
+            continue
+        spent += size
+        if shape == "grid":
+            selected.grids.append(sketch)  # type: ignore[arg-type]
+        else:
+            selected.by_attr[sketch.attribute] = sketch  # type: ignore[union-attr]
+    return selected if selected else None

@@ -238,19 +238,19 @@ def pruning_executors(layout: MaterializedLayout):
             return ScanExecutor(
                 ex.manager, ex.table, cpu_model=ex.cpu_model,
                 zone_maps=pruning, chunk_size=ex.chunk_size,
-                row_major=ex.row_major,
+                row_major=ex.row_major, prefetch_depth=ex.prefetch_depth,
             )
     elif isinstance(ex, ReplicatedExecutor):
         def make(pruning: bool) -> ReplicatedExecutor:
             return ReplicatedExecutor(
                 ex.manager, ex.table, cpu_model=ex.cpu_model,
-                zone_maps=pruning,
+                zone_maps=pruning, prefetch_depth=ex.prefetch_depth,
             )
     elif isinstance(ex, PartitionAtATimeExecutor):
         def make(pruning: bool) -> PartitionAtATimeExecutor:
             return PartitionAtATimeExecutor(
                 ex.manager, ex.table, cpu_model=ex.cpu_model,
-                zone_maps=pruning,
+                zone_maps=pruning, prefetch_depth=ex.prefetch_depth,
             )
     else:
         return None
