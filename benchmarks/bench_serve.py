@@ -1,0 +1,243 @@
+"""Serving-tier benchmark: many-client replay QPS, cold vs warm cache.
+
+Measures what the serving tier adds on an I/O-bound store: a
+:class:`~repro.storage.DelayedBlobStore` makes every blob ``get`` sleep a
+few real milliseconds (a cloud block store), eight closed-loop clients
+replay an overlapping query mix through a :class:`~repro.serve
+.QueryScheduler`, and the same seeded mix runs twice:
+
+* **cold**  — empty buffer pool, empty partition cache: every partition
+  read pays the delayed store, every plan pays zone classification;
+* **warm**  — the pool holds the hot partitions and the
+  :class:`~repro.serve.PartitionCache` replays every pruning verdict.
+
+Every replayed result is verified against the dense numpy reference in the
+client thread, and a serial sweep asserts that cache-on plans prune to
+exactly the partition-ID sets cache-off plans do.  The CI-enforced
+acceptance bar: warm QPS >= 1.5x cold.
+
+Run standalone for JSON output (written to ``BENCH_serve.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bench.reporting import ExperimentResult
+from repro.core import Query, TableSchema
+from repro.engine import PartitionAtATimeExecutor
+from repro.serve import (
+    PartitionCache,
+    QueryScheduler,
+    build_client_mix,
+    run_replay,
+)
+from repro.storage import (
+    BALOS_HDD,
+    BufferPool,
+    ColumnTable,
+    DelayedBlobStore,
+    MemoryBlobStore,
+    PartitionManager,
+    SegmentSpec,
+    StorageDevice,
+    TID_CATALOG,
+)
+from repro.testing.oracle import run_reference_query
+
+try:
+    from conftest import emit
+except ImportError:  # standalone script run, not under pytest
+    emit = print
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    n_tuples: int = 24_000
+    n_attrs: int = 8
+    n_partitions: int = 48
+    n_clients: int = 8
+    requests_per_client: int = 8
+    n_distinct_queries: int = 6
+    serve_workers: int = 4
+    queue_depth: int = 16
+    delay_s: float = 0.004  # real seconds per blob get
+    pool_bytes: int = 64 << 20
+    seed: int = 11
+
+
+def _build_table(cfg: BenchConfig) -> ColumnTable:
+    rng = np.random.default_rng(cfg.seed)
+    schema = TableSchema.uniform([f"a{i}" for i in range(1, cfg.n_attrs + 1)])
+    columns = {
+        name: rng.integers(0, 100_000, cfg.n_tuples).astype(np.int32)
+        for name in schema.attribute_names
+    }
+    return ColumnTable.build("T", schema, columns)
+
+
+def _build_manager(table: ColumnTable, cfg: BenchConfig) -> PartitionManager:
+    manager = PartitionManager(
+        table.schema,
+        StorageDevice(BALOS_HDD),
+        DelayedBlobStore(MemoryBlobStore(), delay_s=cfg.delay_s),
+        buffer_pool=BufferPool(cfg.pool_bytes),
+    )
+    bounds = np.linspace(
+        0, table.n_tuples, cfg.n_partitions + 1, dtype=np.int64
+    )
+    attrs = table.schema.attribute_names
+    manager.materialize_specs(
+        [
+            [SegmentSpec(attrs, np.arange(lo, hi, dtype=np.int64))]
+            for lo, hi in zip(bounds[:-1], bounds[1:])
+        ],
+        table,
+        tid_storage=TID_CATALOG,
+    )
+    return manager
+
+
+def _query_pool(table: ColumnTable, cfg: BenchConfig) -> list:
+    """Selective overlapping range queries — the cache's natural workload."""
+    rng = np.random.default_rng(cfg.seed + 1)
+    queries = []
+    for index in range(cfg.n_distinct_queries):
+        pred_attr = f"a{1 + index % cfg.n_attrs}"
+        proj_attr = f"a{1 + (index + 1) % cfg.n_attrs}"
+        lo = int(rng.integers(0, 80_000))
+        hi = lo + int(rng.integers(2_000, 15_000))
+        queries.append(
+            Query.build(
+                table.meta,
+                [proj_attr],
+                {pred_attr: (lo, min(hi, 99_999))},
+                label=f"q{index}",
+            )
+        )
+    return queries
+
+
+def _accessed_pids(executor, query) -> tuple:
+    plan = executor.plan(query)
+    pids = {a.pid for a in plan.selection if not a.decision.is_pruned}
+    pids.update(a.pid for a in plan.projection if not a.decision.is_pruned)
+    return tuple(sorted(pids))
+
+
+def run(cfg: BenchConfig | None = None) -> ExperimentResult:
+    cfg = cfg or BenchConfig()
+    table = _build_table(cfg)
+    queries = _query_pool(table, cfg)
+
+    result = ExperimentResult(
+        experiment="serve",
+        title="Serving tier: many-client replay QPS, cold vs warm cache",
+        parameters={
+            "n_tuples": cfg.n_tuples,
+            "n_partitions": cfg.n_partitions,
+            "n_clients": cfg.n_clients,
+            "requests_per_client": cfg.requests_per_client,
+            "serve_workers": cfg.serve_workers,
+            "queue_depth": cfg.queue_depth,
+            "delay_s": cfg.delay_s,
+        },
+    )
+
+    manager = _build_manager(table, cfg)
+    cache = PartitionCache(manager)
+    engine = PartitionAtATimeExecutor(
+        manager, table.meta, zone_maps=True, partition_cache=cache
+    )
+
+    def verify(engine_name, query, replay_result, _stats):
+        if replay_result.equals(run_reference_query(table, query)):
+            return None
+        return f"{engine_name}: {query.label!r} diverged from the reference"
+
+    mix = build_client_mix(
+        np.random.default_rng(cfg.seed + 2),
+        ("partition-at-a-time",),
+        queries,
+        n_clients=cfg.n_clients,
+        requests_per_client=cfg.requests_per_client,
+    )
+    scheduler = QueryScheduler(
+        {"partition-at-a-time": engine},
+        workers=cfg.serve_workers,
+        queue_depth=cfg.queue_depth,
+    )
+    reports = {}
+    with scheduler:
+        for phase in ("cold", "warm"):
+            report = run_replay(scheduler, mix, verify=verify)
+            reports[phase] = report
+            result.add_row(
+                phase=phase,
+                completed=report.n_completed,
+                rejected=report.n_rejected,
+                failures=len(report.failures) + report.n_errors,
+                qps=round(report.qps, 1),
+                p50_ms=round(report.latency_percentile(50) * 1e3, 2),
+                p99_ms=round(report.latency_percentile(99) * 1e3, 2),
+                cache_hits=cache.stats.n_hits,
+                cache_misses=cache.stats.n_misses,
+            )
+
+    # Cache-on plans must prune to exactly the cache-off partition sets.
+    plain = PartitionAtATimeExecutor(manager, table.meta, zone_maps=True)
+    pruning_identical = all(
+        _accessed_pids(engine, query) == _accessed_pids(plain, query)
+        for query in queries
+    )
+
+    cold, warm = reports["cold"], reports["warm"]
+    speedup = warm.qps / cold.qps if cold.qps else 0.0
+    result.parameters["oracle_exact"] = cold.ok and warm.ok
+    result.parameters["pruning_identical"] = pruning_identical
+    result.parameters["warm_over_cold_qps"] = round(speedup, 2)
+    result.notes.append(
+        f"warm/cold QPS: {warm.qps:.1f} / {cold.qps:.1f} = {speedup:.2f}x"
+    )
+    result.notes.append(
+        f"partition cache: {cache.stats.n_hits} hits, "
+        f"{cache.stats.n_misses} misses, hit rate {cache.stats.hit_rate:.0%}"
+    )
+    result.notes.append(f"pruning sets identical cache-on vs off: {pruning_identical}")
+    return result
+
+
+def test_bench_serve(benchmark):
+    cfg = BenchConfig()
+    result = benchmark.pedantic(run, args=(cfg,), rounds=1, iterations=1)
+    emit(result)
+    rows = {row["phase"]: row for row in result.rows}
+    # Every concurrent result matched the dense numpy reference.
+    assert result.parameters["oracle_exact"] is True
+    assert rows["cold"]["failures"] == 0 and rows["warm"]["failures"] == 0
+    # Cache-on plans touch exactly the partitions cache-off plans do.
+    assert result.parameters["pruning_identical"] is True
+    # The acceptance threshold: warm-cache QPS >= 1.5x cold (CI-enforced).
+    assert rows["warm"]["qps"] >= 1.5 * rows["cold"]["qps"]
+    # The warm pass actually exercised the partition cache.
+    assert rows["warm"]["cache_hits"] > rows["cold"]["cache_hits"]
+
+
+if __name__ == "__main__":
+    outcome = run()
+    print(outcome.to_text())
+    document = {
+        "experiment": outcome.experiment,
+        "parameters": outcome.parameters,
+        "rows": outcome.rows,
+        "notes": outcome.notes,
+    }
+    with open("BENCH_serve.json", "w") as handle:
+        json.dump(document, handle, indent=1)
+        handle.write("\n")
+    print("wrote BENCH_serve.json")

@@ -27,6 +27,7 @@ indistinguishable from the fitted workload and 1 = disjoint behaviour.
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from typing import Deque, Dict, Iterable, Mapping, Optional, Tuple
 
@@ -95,18 +96,23 @@ class WorkloadMonitor:
         self._baseline_pids: Dict[int, int] = {}
         self._baseline_attrs: Dict[str, int] = {}
         self.n_observed = 0
+        # Serving-tier queries observe concurrently with daemon-side window
+        # iteration (``deque`` append during iteration raises RuntimeError).
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------ feeding
 
     def observe(self, query: Query, plan: PhysicalPlan) -> None:
         """Planner-observer entry point: record one planned query."""
-        self._entries.append((query, accessed_pids(plan)))
-        self.n_observed += 1
+        with self._lock:
+            self._entries.append((query, accessed_pids(plan)))
+            self.n_observed += 1
 
     def record(self, query: Query, pids: Iterable[int] = ()) -> None:
         """Record a query without a physical plan (tests, external feeds)."""
-        self._entries.append((query, tuple(sorted(set(pids)))))
-        self.n_observed += 1
+        with self._lock:
+            self._entries.append((query, tuple(sorted(set(pids)))))
+            self.n_observed += 1
 
     # ----------------------------------------------------------- baseline
 
@@ -121,18 +127,23 @@ class WorkloadMonitor:
         and comparing those against a new-catalog baseline would report
         phantom drift (and keep the advisor's hysteresis from re-arming).
         """
-        self._fitted = fitted
-        self._baseline_pids = {}
+        baseline_pids: Dict[int, int] = {}
         for query in fitted:
             for pid in accessed_pids(planner.plan(query, notify=False)):
-                self._baseline_pids[pid] = self._baseline_pids.get(pid, 0) + 1
-        self._baseline_attrs = _attribute_counts(fitted)
+                baseline_pids[pid] = baseline_pids.get(pid, 0) + 1
+        baseline_attrs = _attribute_counts(fitted)
+        with self._lock:
+            entries = list(self._entries)
         remapped = [
             (query, accessed_pids(planner.plan(query, notify=False)))
-            for query, _pids in self._entries
+            for query, _pids in entries
         ]
-        self._entries.clear()
-        self._entries.extend(remapped)
+        with self._lock:
+            self._fitted = fitted
+            self._baseline_pids = baseline_pids
+            self._baseline_attrs = baseline_attrs
+            self._entries.clear()
+            self._entries.extend(remapped)
 
     @property
     def fitted(self) -> Optional[Workload]:
@@ -141,17 +152,21 @@ class WorkloadMonitor:
     # ------------------------------------------------------------- window
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def window_workload(self) -> Workload:
         """The observed window as a :class:`Workload` (oldest first)."""
-        queries = tuple(query for query, _pids in self._entries)
+        with self._lock:
+            queries = tuple(query for query, _pids in self._entries)
         return Workload(self.table, queries).window(self.window_size)
 
     def observed_partition_counts(self) -> Dict[int, int]:
         """Per-partition access counts over the current window."""
         counts: Dict[int, int] = {}
-        for _query, pids in self._entries:
+        with self._lock:
+            entries = list(self._entries)
+        for _query, pids in entries:
             for pid in pids:
                 counts[pid] = counts.get(pid, 0) + 1
         return counts
@@ -164,13 +179,19 @@ class WorkloadMonitor:
         0.0 when either side is empty — an un-baselined monitor or an empty
         window has no evidence of drift.
         """
-        if self._fitted is None or not self._entries:
-            return 0.0
-        partition_tv = total_variation(
-            self._baseline_pids, self.observed_partition_counts()
-        )
+        with self._lock:
+            if self._fitted is None or not self._entries:
+                return 0.0
+            entries = list(self._entries)
+            baseline_pids = dict(self._baseline_pids)
+            baseline_attrs = dict(self._baseline_attrs)
+        counts: Dict[int, int] = {}
+        for _query, pids in entries:
+            for pid in pids:
+                counts[pid] = counts.get(pid, 0) + 1
+        partition_tv = total_variation(baseline_pids, counts)
         attribute_tv = total_variation(
-            self._baseline_attrs,
-            _attribute_counts(q for q, _pids in self._entries),
+            baseline_attrs,
+            _attribute_counts(q for q, _pids in entries),
         )
         return max(partition_tv, attribute_tv)

@@ -29,6 +29,15 @@ under tracing, writes the spans as JSONL, and prints the top-N hotspots::
 
     jigsaw-bench profile --trace-out trace.jsonl --top 10
     jigsaw-bench profile --metrics      # also print the Prometheus text
+
+The ``serve`` command starts the query-serving tier over a seeded demo
+layout and replays a many-client workload through it, verifying every
+result against the dense numpy reference and reporting QPS, latency
+percentiles and partition-cache effectiveness::
+
+    jigsaw-bench serve --clients 8 --requests 25
+    jigsaw-bench serve --serve-workers 8 --queue-depth 32 --partition-cache off
+    jigsaw-bench serve --layout replicated --metrics
 """
 
 from __future__ import annotations
@@ -193,6 +202,117 @@ def _run_profile(args) -> int:
     return 0
 
 
+def _serve_engines(layout, table, cache):
+    """Cache-wired executors suited to the layout's partitioning family.
+
+    Rectangular layouts get the scan engine; irregular families get the
+    partition-at-a-time engine plus both threaded protocols (the scheduler
+    caps the threaded engines at one in-flight query each); the replicated
+    family adds its replica-local dispatcher.
+    """
+    from .engine.parallel import ThreadedPartitionEngine
+    from .engine.partition_at_a_time import PartitionAtATimeExecutor
+    from .engine.replicated import ReplicatedExecutor
+    from .engine.scan import ScanExecutor
+
+    manager = layout.manager
+    meta = table.meta
+    engines: dict = {}
+    executor = layout.executor
+    if isinstance(executor, ScanExecutor):
+        engines["scan"] = ScanExecutor(
+            manager, meta, zone_maps=True, partition_cache=cache
+        )
+    elif isinstance(executor, ReplicatedExecutor):
+        engines["replicated"] = ReplicatedExecutor(
+            manager, meta, zone_maps=True, partition_cache=cache
+        )
+        engines["partition-at-a-time"] = PartitionAtATimeExecutor(
+            manager, meta, zone_maps=True, partition_cache=cache
+        )
+    else:
+        engines["partition-at-a-time"] = PartitionAtATimeExecutor(
+            manager, meta, zone_maps=True, partition_cache=cache
+        )
+        engines["jigsaw-l"] = ThreadedPartitionEngine(
+            manager, meta, strategy="locking", partition_cache=cache
+        )
+        engines["jigsaw-s"] = ThreadedPartitionEngine(
+            manager, meta, strategy="shared", partition_cache=cache
+        )
+    return engines
+
+
+def _run_serve(args) -> int:
+    """Serve a seeded demo layout to N replay clients; verify every result."""
+    import numpy as np
+
+    from . import obs
+    from .serve import (
+        PartitionCache,
+        QueryScheduler,
+        build_client_mix,
+        run_replay,
+    )
+    from .testing.oracle import run_reference_query
+
+    table, workload, layout = _demo_layout(args, args.layout)
+    cache = (
+        PartitionCache(layout.manager)
+        if args.partition_cache == "on"
+        else None
+    )
+    engines = _serve_engines(layout, table, cache)
+    if args.metrics:
+        obs.enable(trace=False, metrics=True)
+    rng = np.random.default_rng(args.seed + 1)
+    mix = build_client_mix(
+        rng,
+        tuple(engines),
+        list(workload.queries),
+        n_clients=args.clients,
+        requests_per_client=args.requests,
+    )
+
+    def verify(engine, query, result, _stats):
+        if result.equals(run_reference_query(table, query)):
+            return None
+        return f"{engine}: {query.label!r} diverged from the reference"
+
+    scheduler = QueryScheduler(
+        engines,
+        workers=args.serve_workers,
+        queue_depth=args.queue_depth,
+    )
+    with scheduler:
+        report = run_replay(scheduler, mix, verify=verify)
+    print(
+        f"-- demo table {table.meta.name!r}: {table.n_tuples} tuples x "
+        f"{len(table.schema)} attributes, layout {args.layout!r} with "
+        f"{layout.n_partitions} partitions; engines: {', '.join(engines)}"
+    )
+    print(
+        f"-- scheduler: {args.serve_workers} workers, "
+        f"queue depth {args.queue_depth}, partition cache "
+        f"{args.partition_cache}"
+    )
+    print(report.summary())
+    if cache is not None:
+        obs.publish_partition_cache(cache)
+        stats = cache.stats
+        print(
+            f"partition cache: {stats.n_hits} hits / {stats.n_misses} misses "
+            f"({stats.hit_rate:.0%}), {len(cache)} entries resident, "
+            f"{stats.n_invalidated} invalidated, {stats.n_evicted} evicted"
+        )
+    if args.metrics:
+        print()
+        print(obs.render_prometheus())
+    for failure in report.failures:
+        print(f"FAILURE: {failure}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="jigsaw-bench",
@@ -200,10 +320,11 @@ def main(argv: List[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "explain", "profile"],
+        choices=sorted(EXPERIMENTS) + ["all", "explain", "profile", "serve"],
         help="which figure to reproduce ('all' runs every one; 'explain' "
         "plans a SQL statement against a demo table; 'profile' traces a "
-        "demo workload across every engine)",
+        "demo workload across every engine; 'serve' replays a many-client "
+        "workload through the concurrent serving tier)",
     )
     parser.add_argument(
         "sql",
@@ -274,6 +395,39 @@ def main(argv: List[str] | None = None) -> int:
         "sketches (0 = zone maps only)",
     )
     parser.add_argument(
+        "--serve-workers",
+        type=int,
+        default=4,
+        help="serve: scheduler worker threads",
+    )
+    parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=16,
+        metavar="N",
+        help="serve: admission-control bound on pending requests "
+        "(beyond it submits are rejected and clients back off)",
+    )
+    parser.add_argument(
+        "--partition-cache",
+        choices=["on", "off"],
+        default="on",
+        help="serve: semantic partition cache replaying pruning verdicts "
+        "across overlapping queries",
+    )
+    parser.add_argument(
+        "--clients",
+        type=int,
+        default=8,
+        help="serve: concurrent replay client threads",
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=25,
+        help="serve: requests each client replays",
+    )
+    parser.add_argument(
         "--seed", type=int, default=0, help="explain: demo table seed"
     )
     parser.add_argument(
@@ -294,6 +448,12 @@ def main(argv: List[str] | None = None) -> int:
                 "a SQL argument is only valid with the explain command"
             )
         return _run_profile(args)
+    if args.experiment == "serve":
+        if args.sql is not None:
+            raise SystemExit(
+                "a SQL argument is only valid with the explain command"
+            )
+        return _run_serve(args)
     if args.sql is not None:
         raise SystemExit("a SQL argument is only valid with the explain command")
 

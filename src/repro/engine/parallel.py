@@ -91,6 +91,7 @@ class ThreadedPartitionEngine:
         strategy: str = "locking",
         n_buckets: int = 64,
         prefetch_depth: int = 0,
+        partition_cache=None,
     ):
         if strategy not in ("locking", "shared"):
             raise ValueError(f"unknown strategy {strategy!r}")
@@ -101,7 +102,8 @@ class ThreadedPartitionEngine:
         self.n_buckets = n_buckets
         self.prefetch_depth = prefetch_depth
         self.planner = QueryPlanner(
-            manager, table, policy=POLICY_PARTITION, pruning=False
+            manager, table, policy=POLICY_PARTITION, pruning=False,
+            partition_cache=partition_cache,
         )
         # Fault counters of the most recent execute(); the threaded engine
         # returns a bare ResultSet, so these are the quick-look stand-in.

@@ -86,6 +86,7 @@ class PartitionAtATimeExecutor:
         zone_maps: bool = False,
         pin_pool: bool = False,
         prefetch_depth: int = 0,
+        partition_cache=None,
     ):
         self.manager = manager
         self.table = table
@@ -98,6 +99,7 @@ class PartitionAtATimeExecutor:
             policy=POLICY_PARTITION,
             pruning=zone_maps,
             pin_pool=pin_pool,
+            partition_cache=partition_cache,
         )
 
     # ---------------------------------------------------------- planning

@@ -57,6 +57,7 @@ class ReplicatedExecutor:
         cpu_model: CpuModel | None = None,
         zone_maps: bool = False,
         prefetch_depth: int = 0,
+        partition_cache=None,
     ):
         self.manager = manager
         self.table = table
@@ -64,7 +65,7 @@ class ReplicatedExecutor:
         self.prefetch_depth = prefetch_depth
         self.standard = PartitionAtATimeExecutor(
             manager, table, cpu_model=cpu_model, zone_maps=zone_maps,
-            prefetch_depth=prefetch_depth,
+            prefetch_depth=prefetch_depth, partition_cache=partition_cache,
         )
         self.planner = QueryPlanner(
             manager,
@@ -72,6 +73,7 @@ class ReplicatedExecutor:
             policy=POLICY_SCAN,
             pruning=True,
             replica_fallback=True,
+            partition_cache=partition_cache,
         )
 
     # ------------------------------------------------------------ planning

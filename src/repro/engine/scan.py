@@ -67,6 +67,7 @@ class ScanExecutor:
         row_major: bool = False,
         pin_pool: bool = False,
         prefetch_depth: int = 0,
+        partition_cache=None,
     ):
         self.manager = manager
         self.table = table
@@ -82,6 +83,7 @@ class ScanExecutor:
             pruning=zone_maps,
             pin_pool=pin_pool,
             chunk_size=chunk_size,
+            partition_cache=partition_cache,
         )
 
     # ---------------------------------------------------------- planning

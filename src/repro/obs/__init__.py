@@ -156,6 +156,8 @@ from .publish import (  # noqa: E402
     publish_adaptation,
     publish_buffer_pool,
     publish_fault_stats,
+    publish_partition_cache,
+    publish_serve,
     record_query,
 )
 
@@ -168,6 +170,8 @@ __all__ += [
     "publish_adaptation",
     "publish_buffer_pool",
     "publish_fault_stats",
+    "publish_partition_cache",
+    "publish_serve",
     "record_query",
     "render_prometheus",
     "top_hotspots",

@@ -27,6 +27,8 @@ __all__ = [
     "publish_adaptation",
     "publish_buffer_pool",
     "publish_fault_stats",
+    "publish_partition_cache",
+    "publish_serve",
     "record_query",
 ]
 
@@ -156,6 +158,87 @@ def publish_fault_stats(stats) -> None:
         "jigsaw_faults_latency_injected_seconds",
         "Simulated latency injected by fault spikes",
     ).set(stats.latency_injected_s)
+
+
+def publish_serve(scheduler, ticket=None) -> None:
+    """Snapshot a :class:`~repro.serve.QueryScheduler`'s load figures.
+
+    Called at the natural boundaries — submit and request completion — so
+    the gauges track queue depth and per-engine occupancy without a scrape
+    thread.  ``ticket`` (a finished :class:`~repro.serve.QueryTicket`) adds
+    the per-request counters and latency observation.
+    """
+    from . import get_registry, metrics_enabled
+
+    if not metrics_enabled() or scheduler is None:
+        return
+    registry = get_registry()
+    for priority, depth in scheduler.pending().items():
+        registry.gauge(
+            "jigsaw_serve_queue_depth",
+            "Pending requests per priority level",
+            ("priority",),
+        ).set(depth, priority=priority)
+    for engine, inflight in scheduler.occupancy().items():
+        registry.gauge(
+            "jigsaw_serve_inflight",
+            "In-flight queries per engine",
+            ("engine",),
+        ).set(inflight, engine=engine)
+    registry.gauge(
+        "jigsaw_serve_rejected_total", "Requests refused by admission control"
+    ).set(scheduler.n_rejected)
+    if ticket is None:
+        return
+    outcome = "error" if ticket.error is not None else "ok"
+    registry.counter(
+        "jigsaw_serve_requests_total",
+        "Requests served, by engine/priority/outcome",
+        ("engine", "priority", "outcome"),
+    ).inc(engine=ticket.engine, priority=ticket.priority, outcome=outcome)
+    registry.histogram(
+        "jigsaw_serve_latency_seconds",
+        "Submit-to-done wall latency",
+        ("engine",),
+    ).observe(ticket.latency_s, engine=ticket.engine)
+    registry.histogram(
+        "jigsaw_serve_queue_wait_seconds",
+        "Submit-to-start wall wait",
+        ("priority",),
+    ).observe(ticket.queue_wait_s, priority=ticket.priority)
+
+
+def publish_partition_cache(cache, name: str = "main") -> None:
+    """Snapshot a :class:`~repro.serve.PartitionCache`'s counters."""
+    from . import get_registry, metrics_enabled
+
+    if not metrics_enabled() or cache is None:
+        return
+    registry = get_registry()
+    stats = cache.stats
+    for field_name in (
+        "n_hits",
+        "n_misses",
+        "n_records",
+        "n_stale_drops",
+        "n_invalidated",
+        "n_evicted",
+    ):
+        registry.gauge(
+            f"jigsaw_partition_cache_{field_name}",
+            f"Partition cache lifetime {field_name}",
+            ("cache",),
+        ).set(getattr(stats, field_name), cache=name)
+    registry.gauge(
+        "jigsaw_partition_cache_hit_rate",
+        "Partition cache lifetime hit rate",
+        ("cache",),
+    ).set(stats.hit_rate, cache=name)
+    registry.gauge(
+        "jigsaw_partition_cache_entries",
+        "Entries resident in the partition cache",
+        ("cache",),
+    ).set(len(cache), cache=name)
 
 
 def publish_adaptation(stats, cycle_outcome: Optional[str] = None) -> None:

@@ -105,9 +105,14 @@ class ExplainReport:
         if self.actual is not None:
             actual = self.actual
             out("actual:")
+            cache_note = (
+                f", {actual.n_partitions_cache_pruned} via partition cache"
+                if actual.n_partitions_cache_pruned
+                else ""
+            )
             out(f"  {actual.n_partition_reads} partition reads "
                 f"({actual.n_partitions_skipped} skipped, "
-                f"{actual.n_partitions_pruned} by pruning), "
+                f"{actual.n_partitions_pruned} by pruning{cache_note}), "
                 f"{actual.bytes_read} bytes, "
                 f"{actual.io_time_s * 1e3:.3f} ms simulated I/O")
             out(f"  {actual.n_result_tuples} result tuples, "

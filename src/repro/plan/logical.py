@@ -29,8 +29,8 @@ Algorithm 5 would have reached with I/O.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, Mapping, Tuple
 
 from ..core.query import Query
 from ..storage.partition_manager import PartitionInfo
@@ -71,6 +71,13 @@ class PartitionDecision:
     per-partition sketch (dictionary, Bloom, or grid — see
     :mod:`repro.storage.sketches`) was needed.  Executors use it to count
     ``n_partitions_sketch_pruned``.
+
+    ``via_cache`` marks a decision *replayed* from the serving tier's
+    semantic partition cache (:class:`repro.serve.PartitionCache`) rather
+    than recomputed from zones/sketches.  The verdict and ``source`` are the
+    original ones — a replayed sketch prune still counts as a sketch prune —
+    so cache-on accounting differs from cache-off only in the dedicated
+    ``n_partitions_cache_pruned`` counter.
     """
 
     pid: int
@@ -78,6 +85,7 @@ class PartitionDecision:
     reason: str = ""
     pruned_attributes: frozenset = frozenset()
     source: str = "zone"
+    via_cache: bool = False
 
     @property
     def is_pruned(self) -> bool:
@@ -98,6 +106,7 @@ class LogicalPlan:
         "pruning",
         "policy",
         "_decisions",
+        "_cached",
     )
 
     def __init__(self, query: Query, policy: str = POLICY_PARTITION,
@@ -123,20 +132,46 @@ class LogicalPlan:
         self.pruning = pruning
         self.policy = policy
         self._decisions: Dict[int, PartitionDecision] = {}
+        self._cached: Dict[int, PartitionDecision] = {}
 
     # -------------------------------------------------------- classification
+
+    def use_cached(self, decisions: Mapping[int, PartitionDecision]) -> None:
+        """Seed classification with verdicts replayed from a partition cache.
+
+        A replayed verdict short-circuits the zone/sketch probes in
+        :meth:`_classify`; it is sound only when the cache key guaranteed the
+        catalog state (zones *and* sketches) is the one the verdict was
+        computed against — :class:`repro.serve.PartitionCache` keys entries
+        by the manager's ``cache_token()`` for exactly that reason.  Pids
+        absent from the seed fall back to a full classification, so a cached
+        entry never has to cover the current query's whole access list.
+        """
+        self._cached = dict(decisions)
 
     def classify(self, info: PartitionInfo) -> PartitionDecision:
         """Classify one partition from catalog metadata (cached per pid)."""
         decision = self._decisions.get(info.pid)
         if decision is None:
-            decision = self._classify(info)
+            replayed = self._cached.get(info.pid)
+            if replayed is not None:
+                decision = replace(
+                    replayed,
+                    via_cache=True,
+                    reason=replayed.reason + " [partition cache]",
+                )
+            else:
+                decision = self._classify(info)
             self._decisions[info.pid] = decision
         return decision
 
     def decisions(self) -> Tuple[PartitionDecision, ...]:
         """Every decision taken so far, in pid order (for explain output)."""
         return tuple(self._decisions[pid] for pid in sorted(self._decisions))
+
+    def decision_map(self) -> Dict[int, PartitionDecision]:
+        """Copy of every decision taken so far, keyed by pid (for caching)."""
+        return dict(self._decisions)
 
     def _classify(self, info: PartitionInfo) -> PartitionDecision:
         if self.pruning and self.conjunction:

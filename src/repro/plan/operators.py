@@ -503,11 +503,18 @@ class ProjectFillOp:
 
 
 def count_prune(decision, stats: ExecutionStats) -> None:
-    """Count one planner-pruned partition, attributing sketch-won skips."""
+    """Count one planner-pruned partition, attributing sketch-won skips.
+
+    A verdict replayed from the partition cache keeps its original
+    ``source`` (so sketch attribution is identical cache-on vs cache-off)
+    and additionally counts in ``n_partitions_cache_pruned``.
+    """
     stats.n_partitions_skipped += 1
     stats.n_partitions_pruned += 1
     if decision.source == "sketch":
         stats.n_partitions_sketch_pruned += 1
+    if decision.via_cache:
+        stats.n_partitions_cache_pruned += 1
 
 
 def invalidate_pruned(

@@ -182,6 +182,16 @@ class QueryPlanner:
     plan through this class, so attaching an observer here feeds a
     :class:`~repro.adaptive.WorkloadMonitor` from every entry point without
     touching the executors.  Observers must not mutate the plan.
+
+    ``partition_cache`` is the serving tier's semantic cache
+    (:class:`repro.serve.PartitionCache`, duck-typed to avoid a layering
+    cycle).  When set, the planner consults it before classification —
+    ``lookup(logical)`` returns replayed per-partition verdicts for an equal
+    normalized-predicate signature under the *current* catalog token, which
+    :meth:`LogicalPlan.use_cached` short-circuits into — and records fresh
+    decisions back on a miss (``record`` drops the entry if the catalog
+    changed mid-plan, so a concurrent ``swap_partitions`` can never poison
+    the cache).
     """
 
     def __init__(
@@ -195,12 +205,14 @@ class QueryPlanner:
         pin_pool: bool = False,
         chunk_size: Optional[int] = None,
         observer: Optional[Callable[[Query, "PhysicalPlan"], None]] = None,
+        partition_cache=None,
     ):
         self.manager = manager
         self.table = table
         self.policy = policy
         self.pruning = pruning
         self.observer = observer
+        self.partition_cache = partition_cache
         self.access_policy = AccessPolicy(
             max_attempts=manager.retry_policy.max_attempts,
             degrade_enabled=degrade_enabled,
@@ -234,6 +246,12 @@ class QueryPlanner:
     def _plan(self, query: Query, notify: bool) -> PhysicalPlan:
         logical = self.logical_plan(query)
         manager = self.manager
+        cache = self.partition_cache
+        cache_hit = cache_token = None
+        if cache is not None:
+            cache_hit, cache_token = cache.lookup(logical)
+            if cache_hit is not None:
+                logical.use_cached(cache_hit)
         if logical.conjunction:
             pred_pids = manager.partitions_for_attributes(
                 logical.predicate_attributes
@@ -260,6 +278,8 @@ class QueryPlanner:
         plan = PhysicalPlan(
             manager, logical, self.access_policy, selection, projection
         )
+        if cache is not None and cache_hit is None:
+            cache.record(logical, cache_token)
         if notify and self.observer is not None:
             self.observer(query, plan)
         return plan

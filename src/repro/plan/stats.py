@@ -90,6 +90,12 @@ class ExecutionStats:
     #: the query but a per-partition sketch (dictionary, Bloom, or grid)
     #: could — the skips added by the sketch catalog beyond zone pruning.
     n_partitions_sketch_pruned: int = 0
+    #: subset of ``n_partitions_pruned`` whose verdict was *replayed* from the
+    #: serving tier's semantic partition cache (same normalized-predicate
+    #: signature, same catalog version) instead of re-probing zones/sketches.
+    #: Attribution only — the replayed verdicts are identical to what a fresh
+    #: classification would produce, so every other counter matches cache-off.
+    n_partitions_cache_pruned: int = 0
     n_cache_hits: int = 0
     n_pool_hits: int = 0
     n_retries: int = 0

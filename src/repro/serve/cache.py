@@ -1,0 +1,204 @@
+"""The semantic partition cache: memoized pruning verdicts per predicate.
+
+Overlapping queries from many clients repeat the same WHERE clauses against
+the same catalog.  Classifying a partition — zone probes, then the sketch
+pass — is pure metadata work, but at serving rates it is *hot* metadata
+work, repeated for every partition of every plan.  :class:`PartitionCache`
+memoizes the planner's per-partition verdicts keyed by
+
+* the **normalized-predicate signature** — attribute-sorted ``(attribute,
+  lo, hi)`` triples with min/max-normalized bounds plus the pruning policy,
+  so two queries spelled differently (reordered conjuncts, flipped bounds)
+  share an entry while queries under different soundness rules never do; and
+* the manager's **cache token** ``(catalog_version, pruning_version)`` —
+  any :meth:`~repro.storage.partition_manager.PartitionManager
+  .swap_partitions` or sketch-catalog rebuild bumps the token, so entries
+  computed against the old catalog can never be replayed against the new
+  one.  (This is the cached-provenance idea of arXiv:2504.19252 applied at
+  serving time: reuse *which partitions survived*, not the data itself.)
+
+A hit hands the stored verdicts to :meth:`~repro.plan.logical.LogicalPlan
+.use_cached`; pids the entry does not cover fall back to a full
+classification, so an entry recorded for one projection is safely replayed
+for another.  Projection never affects a verdict (REQUIRED vs
+PROJECTION-ONLY depends on predicate attributes only), which is what makes
+the predicate-only key sound.
+
+Coherence protocol: the cache registers an invalidation hook with the
+manager; a version bump drops every stale entry.  Even without the hook the
+cache stays correct — lookups key on the *current* token, so stale entries
+are unreachable — the hook only reclaims their memory promptly.  Recording
+re-reads the token and drops the entry if it changed mid-plan, so a
+concurrent swap can never publish verdicts computed against a torn view.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..plan.logical import LogicalPlan, PartitionDecision
+from ..storage.partition_manager import PartitionManager
+
+__all__ = ["CacheStats", "PartitionCache", "predicate_signature"]
+
+#: ``(policy, pruning, ((attribute, lo, hi), ...))`` — hashable, order-free.
+Signature = Tuple[str, bool, Tuple[Tuple[str, float, float], ...]]
+#: ``(catalog_version, pruning_version)`` from the manager.
+Token = Tuple[int, int]
+
+
+def predicate_signature(
+    ranges: Mapping[str, Tuple[float, float]],
+    policy: str,
+    pruning: bool,
+) -> Signature:
+    """Canonical hashable form of a normalized conjunction.
+
+    Bounds are min/max-normalized and attributes sorted, so conjunct order
+    and bound spelling never split entries.  The policy and pruning flag are
+    part of the key because the scan (any-disjoint) and partition
+    (all-disjoint) rules reach *different* verdicts for the same predicates.
+    """
+    triples = []
+    for name, (lo, hi) in ranges.items():
+        lo, hi = float(lo), float(hi)
+        if hi < lo:
+            lo, hi = hi, lo
+        triples.append((str(name), lo, hi))
+    triples.sort()
+    return (policy, bool(pruning), tuple(triples))
+
+
+class CacheStats:
+    """Lifetime counters; reads are approximate under concurrency, which is
+    fine for metrics (the cache itself is exact)."""
+
+    __slots__ = ("n_hits", "n_misses", "n_records", "n_stale_drops",
+                 "n_invalidated", "n_evicted")
+
+    def __init__(self) -> None:
+        self.n_hits = 0
+        self.n_misses = 0
+        #: entries successfully recorded after a miss
+        self.n_records = 0
+        #: record() calls dropped because the catalog changed mid-plan
+        self.n_stale_drops = 0
+        #: entries purged by a version-bump invalidation
+        self.n_invalidated = 0
+        #: entries evicted by the LRU capacity bound
+        self.n_evicted = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.n_hits + self.n_misses
+        return self.n_hits / total if total else 0.0
+
+
+class PartitionCache:
+    """LRU map ``(signature, token) -> {pid: PartitionDecision}``.
+
+    Bound to one :class:`PartitionManager`; ``capacity`` bounds the number
+    of distinct predicate signatures retained.  Thread-safe: the serving
+    tier consults it from every worker concurrently with daemon-side
+    invalidations.
+    """
+
+    def __init__(self, manager: PartitionManager, capacity: int = 512):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.manager = manager
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[Tuple[Signature, Token], Dict[int, PartitionDecision]]" = (
+            OrderedDict()
+        )
+        self._lock = threading.Lock()
+        manager.add_invalidation_hook(self._on_invalidate)
+
+    # ------------------------------------------------------------- keying
+
+    def token(self) -> Token:
+        return self.manager.cache_token()
+
+    @staticmethod
+    def signature(logical: LogicalPlan) -> Signature:
+        return predicate_signature(
+            logical.conjunction.ranges(), logical.policy, logical.pruning
+        )
+
+    # ---------------------------------------------------- planner protocol
+
+    def lookup(
+        self, logical: LogicalPlan
+    ) -> Tuple[Optional[Dict[int, PartitionDecision]], Token]:
+        """Verdicts for this plan's signature under the current token.
+
+        Returns ``(decisions or None, token_at_lookup)``; the planner passes
+        the token back to :meth:`record` so a mid-plan catalog change is
+        detected.
+        """
+        token = self.manager.cache_token()
+        key = (self.signature(logical), token)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.stats.n_hits += 1
+                return dict(entry), token
+            self.stats.n_misses += 1
+        return None, token
+
+    def record(self, logical: LogicalPlan, token: Optional[Token]) -> bool:
+        """Store a missed plan's verdicts, unless the catalog moved on.
+
+        ``token`` is the value :meth:`lookup` returned when the plan began;
+        if the manager's token differs now, some verdicts may have been
+        computed against the pre-swap catalog and the entry is dropped
+        (sound: a dropped record only costs a future miss).
+        """
+        if token is None or self.manager.cache_token() != token:
+            self.stats.n_stale_drops += 1
+            return False
+        decisions = {
+            pid: d for pid, d in logical.decision_map().items() if not d.via_cache
+        }
+        if not decisions:
+            return False
+        key = (self.signature(logical), token)
+        with self._lock:
+            self._entries[key] = decisions
+            self._entries.move_to_end(key)
+            self.stats.n_records += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.n_evicted += 1
+        return True
+
+    # ------------------------------------------------------- invalidation
+
+    def _on_invalidate(self, catalog_version: int, pruning_version: int) -> None:
+        live = (catalog_version, pruning_version)
+        with self._lock:
+            stale = [key for key in self._entries if key[1] != live]
+            for key in stale:
+                del self._entries[key]
+            self.stats.n_invalidated += len(stale)
+
+    def clear(self) -> None:
+        with self._lock:
+            self.stats.n_invalidated += len(self._entries)
+            self._entries.clear()
+
+    # ---------------------------------------------------------- inspection
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PartitionCache({len(self)} entries, capacity={self.capacity}, "
+            f"hits={self.stats.n_hits}, misses={self.stats.n_misses})"
+        )

@@ -10,8 +10,9 @@ phase's "partitions containing attribute ``a`` of tuple ``t``" lookups.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -189,12 +190,58 @@ class PartitionManager:
         self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
         #: bumped once per successful :meth:`swap_partitions` commit.
         self.catalog_version = 0
+        #: bumped whenever anything that can change a *pruning* verdict
+        #: changes — every catalog swap, plus sketch attach/recover (which
+        #: alter prunability without a catalog commit).  Consumers that
+        #: memoize pruning decisions (the semantic partition cache) key on
+        #: :meth:`cache_token`, which folds both versions in.
+        self.pruning_version = 0
+        #: callbacks invoked (outside the catalog mutex) after any commit
+        #: that invalidates memoized pruning state; each receives the new
+        #: ``(catalog_version, pruning_version)`` stamp.
+        self._invalidation_hooks: List[Callable[[int, int], None]] = []
+        #: serializes catalog/index mutation against concurrent readers —
+        #: the serving tier plans queries while the adaptive daemon swaps.
+        self._mutex = threading.RLock()
         self._catalog: Dict[int, PartitionInfo] = {}
         #: pid -> info for partitions removed by a swap but kept readable so
         #: queries planned against the old catalog can still finish.
         self._retired: Dict[int, PartitionInfo] = {}
         self._attribute_index: Dict[str, List[int]] = {}
         self._replica_index: Dict[str, List[int]] = {}
+
+    # ------------------------------------------------------- invalidation
+
+    def add_invalidation_hook(
+        self, hook: Callable[[int, int], None]
+    ) -> None:
+        """Register a callback fired after every pruning-relevant commit.
+
+        Hooks receive the new ``(catalog_version, pruning_version)`` stamp
+        and run outside the catalog mutex (they may take their own locks but
+        must not re-enter the manager's write path).  The semantic partition
+        cache registers here to drop entries memoized against older stamps.
+        """
+        with self._mutex:
+            self._invalidation_hooks.append(hook)
+
+    def cache_token(self) -> Tuple[int, int]:
+        """The version stamp pruning memoization must key on.
+
+        Any difference in the token between memoize time and consult time
+        means a swap or a sketch rebuild may have changed a verdict; equal
+        tokens guarantee every catalog-derived pruning decision is still
+        exact.
+        """
+        with self._mutex:
+            return (self.catalog_version, self.pruning_version)
+
+    def _notify_invalidation(self) -> None:
+        with self._mutex:
+            hooks = tuple(self._invalidation_hooks)
+            stamp = (self.catalog_version, self.pruning_version)
+        for hook in hooks:
+            hook(*stamp)
 
     # -------------------------------------------------------- materialize
 
@@ -333,36 +380,39 @@ class PartitionManager:
             raise
 
         # ------------------------------------------------------------ commit
-        self.catalog_version += 1
-        for pid in sorted(removals | (added_pids & set(self._catalog))):
-            old = self._catalog.pop(pid, None)
-            if old is None:
-                continue
-            for index in (self._attribute_index, self._replica_index):
-                for pids in index.values():
-                    if pid in pids:
-                        pids.remove(pid)
-            if pid in removals and pid not in added_pids:
-                # Stamp the *retirement* version: a pruning pass with
-                # ``before_version=catalog_version`` then spares partitions
-                # retired by the current swap, so plans built just before the
-                # commit can still finish against them.
-                old.version = self.catalog_version
-                self._retired[pid] = old
-            if self.buffer_pool is not None:
-                self.buffer_pool.invalidate(pid)
-        infos = []
-        for _physical, info in staged:
-            info.version = self.catalog_version
-            self._retired.pop(info.pid, None)
-            self._catalog[info.pid] = info
-            for attribute in info.attributes:
-                self._attribute_index.setdefault(attribute, []).append(info.pid)
-            for attribute in info.replica_attributes - info.attributes:
-                self._replica_index.setdefault(attribute, []).append(info.pid)
-            if self.buffer_pool is not None:
-                self.buffer_pool.invalidate(info.pid)
-            infos.append(info)
+        with self._mutex:
+            self.catalog_version += 1
+            self.pruning_version += 1
+            for pid in sorted(removals | (added_pids & set(self._catalog))):
+                old = self._catalog.pop(pid, None)
+                if old is None:
+                    continue
+                for index in (self._attribute_index, self._replica_index):
+                    for pids in index.values():
+                        if pid in pids:
+                            pids.remove(pid)
+                if pid in removals and pid not in added_pids:
+                    # Stamp the *retirement* version: a pruning pass with
+                    # ``before_version=catalog_version`` then spares partitions
+                    # retired by the current swap, so plans built just before
+                    # the commit can still finish against them.
+                    old.version = self.catalog_version
+                    self._retired[pid] = old
+                if self.buffer_pool is not None:
+                    self.buffer_pool.invalidate(pid)
+            infos = []
+            for _physical, info in staged:
+                info.version = self.catalog_version
+                self._retired.pop(info.pid, None)
+                self._catalog[info.pid] = info
+                for attribute in info.attributes:
+                    self._attribute_index.setdefault(attribute, []).append(info.pid)
+                for attribute in info.replica_attributes - info.attributes:
+                    self._replica_index.setdefault(attribute, []).append(info.pid)
+                if self.buffer_pool is not None:
+                    self.buffer_pool.invalidate(info.pid)
+                infos.append(info)
+        self._notify_invalidation()
         return infos
 
     def add_partition(self, physical: PhysicalPartition) -> PartitionInfo:
@@ -383,21 +433,25 @@ class PartitionManager:
         Defaults to everything retired.
         """
         pruned = 0
-        for pid in sorted(self._retired):
-            info = self._retired[pid]
-            if before_version is not None and info.version >= before_version:
-                continue
-            del self._retired[pid]
+        with self._mutex:
+            doomed = [
+                self._retired.pop(pid)
+                for pid in sorted(self._retired)
+                if before_version is None
+                or self._retired[pid].version < before_version
+            ]
+        for info in doomed:
             self.store.delete(info.key)
             self.device.invalidate(info.key)
             if self.buffer_pool is not None:
-                self.buffer_pool.invalidate(pid)
+                self.buffer_pool.invalidate(info.pid)
             pruned += 1
         return pruned
 
     def next_pid(self) -> int:
         """Smallest pid never used by an active or retired partition."""
-        used = set(self._catalog) | set(self._retired)
+        with self._mutex:
+            used = set(self._catalog) | set(self._retired)
         return max(used, default=-1) + 1
 
     def materialize_plan(
@@ -549,55 +603,66 @@ class PartitionManager:
         perturb simulated I/O accounting.
         """
         info = self.info(pid)
-        info.sketches = sketches
-        if not persist:
-            return
-        data = strip_trailer(self.store.get(info.key))
-        if sketches is not None:
-            data = append_trailer(data, sketches.to_bytes())
-        self.store.put(info.key, data)
-        self.device.invalidate(info.key)
+        with self._mutex:
+            info.sketches = sketches
+            self.pruning_version += 1
+        if persist:
+            data = strip_trailer(self.store.get(info.key))
+            if sketches is not None:
+                data = append_trailer(data, sketches.to_bytes())
+            self.store.put(info.key, data)
+            self.device.invalidate(info.key)
+        self._notify_invalidation()
 
     def load_sketches(self, pid: int) -> Optional[SketchSet]:
         """Recover a partition's sketches from its blob trailer (catalog
         metadata path: reads raw bytes, charges no simulated I/O)."""
         info = self.info(pid)
         payload = read_trailer(self.store.get(info.key))
-        info.sketches = (
-            SketchSet.from_bytes(payload) if payload is not None else None
-        )
+        with self._mutex:
+            info.sketches = (
+                SketchSet.from_bytes(payload) if payload is not None else None
+            )
+            self.pruning_version += 1
+        self._notify_invalidation()
         return info.sketches
 
     # ------------------------------------------------------------ indexes
 
     def info(self, pid: int) -> PartitionInfo:
         """Catalog entry for an active — or retired but unpruned — pid."""
-        entry = self._catalog.get(pid)
-        if entry is None:
-            entry = self._retired.get(pid)
+        with self._mutex:
+            entry = self._catalog.get(pid)
+            if entry is None:
+                entry = self._retired.get(pid)
         if entry is None:
             raise PartitionNotFoundError(f"no partition with id {pid}")
         return entry
 
     def pids(self) -> Tuple[int, ...]:
-        return tuple(sorted(self._catalog))
+        with self._mutex:
+            return tuple(sorted(self._catalog))
 
     def retired_pids(self) -> Tuple[int, ...]:
-        return tuple(sorted(self._retired))
+        with self._mutex:
+            return tuple(sorted(self._retired))
 
     def partitions_for_attribute(self, attribute: str) -> Tuple[int, ...]:
         """Attribute-level index: partitions storing a *primary* cell of
         ``attribute`` (replica copies are indexed separately)."""
-        return tuple(self._attribute_index.get(attribute, ()))
+        with self._mutex:
+            return tuple(self._attribute_index.get(attribute, ()))
 
     def replica_partitions_for_attribute(self, attribute: str) -> Tuple[int, ...]:
         """Partitions holding replica-only copies of ``attribute``."""
-        return tuple(self._replica_index.get(attribute, ()))
+        with self._mutex:
+            return tuple(self._replica_index.get(attribute, ()))
 
     def partitions_for_attributes(self, attributes: Iterable[str]) -> Tuple[int, ...]:
         pids: set = set()
-        for attribute in attributes:
-            pids.update(self._attribute_index.get(attribute, ()))
+        with self._mutex:
+            for attribute in attributes:
+                pids.update(self._attribute_index.get(attribute, ()))
         return tuple(sorted(pids))
 
     def partitions_with_missing_cells(
@@ -608,9 +673,14 @@ class PartitionManager:
         Returns the partitions that store ``attribute`` for at least one of
         the given tuples.
         """
+        with self._mutex:
+            candidates = [
+                (pid, self._catalog[pid])
+                for pid in self._attribute_index.get(attribute, ())
+            ]
         hits = []
-        for pid in self._attribute_index.get(attribute, ()):
-            if self._catalog[pid].contains_attribute_of(attribute, tids):
+        for pid, info in candidates:
+            if info.contains_attribute_of(attribute, tids):
                 hits.append(pid)
         return tuple(hits)
 
@@ -646,9 +716,10 @@ class PartitionManager:
         excluded = frozenset(exclude)
         remaining = np.unique(np.asarray(tids, dtype=np.int64))
         chosen: List[int] = []
-        candidates = list(self._attribute_index.get(attribute, ())) + list(
-            self._replica_index.get(attribute, ())
-        )
+        with self._mutex:
+            candidates = list(self._attribute_index.get(attribute, ())) + list(
+                self._replica_index.get(attribute, ())
+            )
         for pid in candidates:
             if pid in excluded or not len(remaining):
                 continue
@@ -663,10 +734,12 @@ class PartitionManager:
 
     def total_bytes(self) -> int:
         """Total stored bytes across all partitions (storage footprint)."""
-        return sum(info.n_bytes for info in self._catalog.values())
+        with self._mutex:
+            return sum(info.n_bytes for info in self._catalog.values())
 
     def __len__(self) -> int:
-        return len(self._catalog)
+        with self._mutex:
+            return len(self._catalog)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -1,6 +1,10 @@
-"""Shared fixtures: small tables, workloads and build contexts."""
+"""Shared fixtures: small tables, workloads and build contexts — plus the
+suite-wide thread-leak check."""
 
 from __future__ import annotations
+
+import threading
+import time
 
 import numpy as np
 import pytest
@@ -15,6 +19,34 @@ from repro.core import (
 )
 from repro.layouts import BuildContext
 from repro.storage import ColumnTable
+
+
+@pytest.fixture(autouse=True)
+def no_thread_leaks():
+    """Fail any test that leaves non-daemon threads running.
+
+    The serving tier, the prefetcher and the adaptive daemon all spawn
+    threads; a test that forgets to close them would hang the interpreter
+    at exit (non-daemon) or silently poison later tests' timing.  A short
+    grace period lets threads that were already joining finish.
+    """
+    before = set(threading.enumerate())
+    yield
+    def leaked():
+        return [
+            thread
+            for thread in threading.enumerate()
+            if thread not in before and thread.is_alive() and not thread.daemon
+        ]
+    deadline = time.monotonic() + 2.0
+    remaining = leaked()
+    while remaining and time.monotonic() < deadline:
+        time.sleep(0.01)
+        remaining = leaked()
+    assert not remaining, (
+        "test leaked non-daemon threads: "
+        + ", ".join(thread.name for thread in remaining)
+    )
 
 
 @pytest.fixture()
