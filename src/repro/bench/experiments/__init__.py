@@ -7,6 +7,7 @@ from . import (
     fig06_selectivity,
     fig07_projectivity,
     fig08_templates,
+    fig09_join,
     fig09_tpch,
     fig10_inmemory,
     fig11_dbsize,
@@ -22,6 +23,7 @@ EXPERIMENTS = {
     "fig07": fig07_projectivity,
     "fig08": fig08_templates,
     "fig09": fig09_tpch,
+    "fig09-join": fig09_join,
     "fig10": fig10_inmemory,
     "fig11": fig11_dbsize,
     "fig12": fig12_partitioning,

@@ -1,10 +1,15 @@
-"""Aggregation over query results.
+"""Aggregation over query results — deprecated shim.
 
-The paper's engine stops at the select/project result hash table; real
-workloads (e.g. every TPC-H template) aggregate it.  This module provides
-vectorized scalar and grouped aggregation over :class:`ResultSet`, plus the
-TPC-H ``revenue`` idiom, so the examples and benchmarks can report the same
-quantities the paper's queries compute.
+These helpers predate the relational operator DAG; grouped and scalar
+aggregation now live in :class:`repro.plan.relops.GroupAggOp` (driven by
+:class:`repro.plan.dag.DagExecutor` for SQL ``GROUP BY``).  The functions
+here keep their historical signatures and output shapes for the examples
+and old callers, but delegate the actual math to ``GroupAggOp`` — there is
+exactly one aggregation implementation in the repository.
+
+Deprecated: new code should express aggregation as a
+:class:`~repro.plan.relational.RelationalQuery` (or call ``GroupAggOp``
+directly on a :class:`~repro.plan.relops.Relation`).
 """
 
 from __future__ import annotations
@@ -14,10 +19,15 @@ from typing import Callable, Dict, Mapping
 import numpy as np
 
 from ..errors import InvalidQueryError
+from ..plan.relational import AGG_FUNCTIONS, AggSpec, ColumnRef
+from ..plan.relops import GroupAggOp, Relation
+from ..plan.stats import ExecutionStats
 from .result import ResultSet
 
 __all__ = ["aggregate", "group_aggregate", "revenue", "AGGREGATE_FUNCTIONS"]
 
+#: Kept for backwards compatibility with callers that introspected the
+#: function table; the implementations now live in ``GroupAggOp``.
 AGGREGATE_FUNCTIONS: Dict[str, Callable[[np.ndarray], float]] = {
     "sum": lambda values: float(values.sum()),
     "min": lambda values: float(values.min()),
@@ -26,14 +36,34 @@ AGGREGATE_FUNCTIONS: Dict[str, Callable[[np.ndarray], float]] = {
     "count": lambda values: float(len(values)),
 }
 
+#: Pseudo table name qualifying ResultSet columns inside the shim.
+_TABLE = "r"
 
-def _function(name: str) -> Callable[[np.ndarray], float]:
-    try:
-        return AGGREGATE_FUNCTIONS[name]
-    except KeyError:
+
+def _check_function(name: str) -> None:
+    if name not in AGG_FUNCTIONS:
         raise InvalidQueryError(
-            f"unknown aggregate {name!r}; choose from {sorted(AGGREGATE_FUNCTIONS)}"
-        ) from None
+            f"unknown aggregate {name!r}; choose from {sorted(AGG_FUNCTIONS)}"
+        )
+
+
+def _as_relation(result: ResultSet) -> Relation:
+    return Relation.from_result(_TABLE, result)
+
+
+def _specs(spec: Mapping[str, str]) -> list[AggSpec]:
+    for name in spec.values():
+        _check_function(name)
+    return [
+        AggSpec(name, ColumnRef(_TABLE, attribute))
+        for attribute, name in spec.items()
+    ]
+
+
+def _legacy_name(agg: AggSpec) -> str:
+    # GroupAggOp names outputs "func(r.attr)"; the legacy key is "func(attr)".
+    assert agg.column is not None
+    return f"{agg.func}({agg.column.column})"
 
 
 def aggregate(result: ResultSet, spec: Mapping[str, str]) -> Dict[str, float]:
@@ -42,15 +72,14 @@ def aggregate(result: ResultSet, spec: Mapping[str, str]) -> Dict[str, float]:
     Empty results yield 0 for sum/count and NaN for min/max/mean (the SQL
     NULL of this numeric world).
     """
-    out: Dict[str, float] = {}
-    for attribute, name in spec.items():
-        function = _function(name)
-        values = result.column(attribute)
-        if not len(values):
-            out[f"{name}({attribute})"] = 0.0 if name in ("sum", "count") else float("nan")
-        else:
-            out[f"{name}({attribute})"] = function(values)
-    return out
+    aggs = _specs(spec)
+    out_relation = GroupAggOp(keys=(), aggs=aggs).run(
+        _as_relation(result), ExecutionStats()
+    )
+    return {
+        _legacy_name(agg): float(out_relation.column(agg.name)[0])
+        for agg in aggs
+    }
 
 
 def group_aggregate(
@@ -61,30 +90,30 @@ def group_aggregate(
     """GROUP BY one attribute, computing the given aggregates per group.
 
     Returns ``{group_value: {"sum(x)": ..., ...}}`` with groups in ascending
-    key order, vectorized via a single sort.
+    key order (GroupAggOp's canonical output order).
     """
-    keys = result.column(by)
-    if not len(keys):
-        return {}
-    order = np.argsort(keys, kind="stable")
-    sorted_keys = keys[order]
-    boundaries = np.nonzero(np.diff(sorted_keys))[0] + 1
-    starts = np.concatenate([[0], boundaries])
-    ends = np.concatenate([boundaries, [len(sorted_keys)]])
-    columns = {attribute: result.column(attribute)[order] for attribute in spec}
+    aggs = _specs(spec)
+    key = f"{_TABLE}.{by}"
+    out_relation = GroupAggOp(keys=(key,), aggs=aggs).run(
+        _as_relation(result), ExecutionStats()
+    )
+    keys = out_relation.column(key)
     groups: Dict[float, Dict[str, float]] = {}
-    for start, end in zip(starts, ends):
-        key = sorted_keys[start]
-        key = key.item() if hasattr(key, "item") else key
-        entry: Dict[str, float] = {}
-        for attribute, name in spec.items():
-            entry[f"{name}({attribute})"] = _function(name)(columns[attribute][start:end])
-        groups[key] = entry
+    for row in range(out_relation.n_rows):
+        value = keys[row]
+        groups[value.item() if hasattr(value, "item") else value] = {
+            _legacy_name(agg): float(out_relation.column(agg.name)[row])
+            for agg in aggs
+        }
     return groups
 
 
 def revenue(result: ResultSet) -> float:
-    """TPC-H revenue: ``sum(l_extendedprice * (1 - l_discount))``."""
+    """TPC-H revenue: ``sum(l_extendedprice * (1 - l_discount))``.
+
+    The product is an expression, not a stored column, so it is computed
+    here and summed through the scalar aggregation path.
+    """
     price = result.column("l_extendedprice")
     discount = result.column("l_discount")
     if not len(price):

@@ -16,10 +16,28 @@ engines that evaluate it:
    selection / projection-fill / degrade / merge pipeline the four engines
    drive with their own scheduling (serial scan, partition-at-a-time,
    lock-based and shared-scan threading, replica-local).
+
+On top of the single-table stack sits the **relational layer**
+(:mod:`repro.plan.relational`, :mod:`repro.plan.joins`,
+:mod:`repro.plan.relops`, :mod:`repro.plan.dag`): multi-table queries with
+hash joins and grouped aggregation, planned as a DAG whose leaves are
+ordinary single-table plans and whose joins pick a per-split physical
+strategy (partition-wise vs broadcast) from zone maps and the cost model.
 """
 
+from .dag import Catalog, DagExecutor, RelationalResult, explain_relational
 from .degrade import FaultContext, handle_unreadable, plan_alternates
 from .explain import AccessExplain, ExplainReport
+from .joins import JoinSplit, JoinStrategy, choose_join_strategy
+from .relational import (
+    AggSpec,
+    ColumnRef,
+    JoinCondition,
+    RelationalPlan,
+    RelationalQuery,
+    build_relational_plan,
+)
+from .relops import GroupAggOp, HashJoinOp, Relation, SpillConfig
 from .logical import (
     POLICY_PARTITION,
     POLICY_SCAN,
@@ -51,12 +69,21 @@ __all__ = [
     "AccessExplain",
     "AccessLoop",
     "AccessPolicy",
+    "AggSpec",
+    "Catalog",
+    "ColumnRef",
     "Conjunction",
     "CpuModel",
+    "DagExecutor",
     "DegradeOp",
     "ExecutionStats",
     "ExplainReport",
     "FaultContext",
+    "GroupAggOp",
+    "HashJoinOp",
+    "JoinCondition",
+    "JoinSplit",
+    "JoinStrategy",
     "LogicalPlan",
     "PartitionAccess",
     "PartitionDecision",
@@ -69,12 +96,20 @@ __all__ = [
     "PRUNED",
     "QueryPlanner",
     "RangePredicate",
+    "Relation",
+    "RelationalPlan",
+    "RelationalQuery",
+    "RelationalResult",
     "REQUIRED",
     "ResultSet",
     "SelectOp",
+    "SpillConfig",
     "STATUS_INVALID",
     "STATUS_NOT_CHECKED",
     "STATUS_VALID",
+    "build_relational_plan",
+    "choose_join_strategy",
+    "explain_relational",
     "finalize_stats",
     "handle_unreadable",
     "invalidate_pruned",

@@ -107,6 +107,13 @@ class ExecutionStats:
     hash_updates: int = 0
     materialized_bytes: int = 0
     tuples_iterated: int = 0
+    #: hash-join build-side spilling: when a build side exceeds the spill
+    #: budget it is hash-partitioned into chunks written to the blob store
+    #: and re-read one chunk at a time (hybrid-hash style).  Zero on every
+    #: single-table query, so the 768-entry stats snapshot is unaffected.
+    n_spill_chunks: int = 0
+    spill_bytes_written: int = 0
+    spill_bytes_read: int = 0
     n_result_tuples: int = 0
     cpu_time_s: float = 0.0
     wall_time_s: float = 0.0

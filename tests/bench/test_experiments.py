@@ -24,7 +24,7 @@ class TestRegistry:
         assert sorted(EXPERIMENTS) == [
             "ablations", "adapt",
             "fig05", "fig06", "fig07", "fig08",
-            "fig09", "fig10", "fig11", "fig12",
+            "fig09", "fig09-join", "fig10", "fig11", "fig12",
         ]
 
     def test_every_module_has_run(self):

@@ -1,0 +1,267 @@
+"""Unit tests for the relational operators and the join-strategy chooser."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Query, TableSchema, Workload
+from repro.layouts import BuildContext, IrregularLayout
+from repro.plan.joins import _merge_components, choose_join_strategy
+from repro.plan.relational import AggSpec, ColumnRef
+from repro.plan.relops import (
+    GroupAggOp,
+    HashJoinOp,
+    Relation,
+    SpillConfig,
+    tid_column,
+)
+from repro.plan.stats import ExecutionStats
+from repro.storage import ColumnTable
+from repro.storage.blob import MemoryBlobStore
+from repro.testing.join_oracle import build_join_catalog, random_join_tables
+
+
+def relation(table: str, **columns) -> Relation:
+    arrays = {tid_column(table): np.arange(len(next(iter(columns.values()))))}
+    for name, values in columns.items():
+        arrays[f"{table}.{name}"] = np.asarray(values)
+    return Relation(columns=arrays, tid_tables=(table,))
+
+
+class TestMatchPairs:
+    def test_duplicates_cross_product(self):
+        build = np.array([1, 2, 2, 3])
+        probe = np.array([2, 2, 4])
+        b, p = HashJoinOp._match_pairs(build, probe)
+        pairs = sorted(zip(b.tolist(), p.tolist()))
+        # Two build 2s x two probe 2s = four pairs; 4 matches nothing.
+        assert pairs == [(1, 0), (1, 1), (2, 0), (2, 1)]
+
+    def test_no_matches(self):
+        b, p = HashJoinOp._match_pairs(np.array([1, 2]), np.array([3, 4]))
+        assert len(b) == 0 and len(p) == 0
+
+
+class TestHashJoinOp:
+    def setup_method(self):
+        self.left = relation("l", k=[1, 2, 2, 5], v=[10, 20, 21, 50])
+        self.right = relation("r", k=[2, 2, 5, 7], w=[200, 201, 500, 700])
+
+    def run_join(self, spill=None, build_is_left=True) -> Relation:
+        op = HashJoinOp(spill=spill)
+        build, probe = (
+            (self.left, self.right) if build_is_left else (self.right, self.left)
+        )
+        build_key = "l.k" if build_is_left else "r.k"
+        probe_key = "r.k" if build_is_left else "l.k"
+        stats = ExecutionStats()
+        out = op.run(
+            build, probe, build_key, probe_key, stats, build_is_left=build_is_left
+        )
+        return out.sorted_canonical(), stats, op
+
+    def test_memory_join(self):
+        out, stats, op = self.run_join()
+        assert op.last_mode == "memory"
+        # 2x2 on key 2 plus 1x1 on key 5 = five rows.
+        assert out.n_rows == 5
+        assert stats.hash_inserts == 4 and stats.hash_updates == 4
+        assert stats.materialized_bytes > 0
+        # tid order follows FROM order regardless of build choice.
+        assert out.tid_tables == ("l", "r")
+
+    def test_build_side_flip_is_invisible(self):
+        a, _, _ = self.run_join(build_is_left=True)
+        # Building the right side instead must not change the output: the
+        # tid order follows the logical FROM order, not the build choice.
+        b, _, _ = self.run_join(build_is_left=False)
+        assert tuple(b.tid_tables) == ("l", "r")
+        assert set(a.columns) == set(b.columns)
+        for name in a.columns:
+            np.testing.assert_array_equal(a.columns[name], b.columns[name])
+
+    def test_spill_equals_memory(self):
+        store = MemoryBlobStore()
+        spill = SpillConfig(store=store, budget_bytes=32)
+        spilled, stats, op = self.run_join(spill=spill)
+        plain, _, _ = self.run_join()
+        assert op.last_mode.startswith("spill(")
+        assert stats.n_spill_chunks >= 2
+        assert stats.spill_bytes_written == stats.spill_bytes_read > 0
+        for name in plain.columns:
+            np.testing.assert_array_equal(
+                spilled.columns[name], plain.columns[name]
+            )
+        # Spill chunks are deleted after the join.
+        assert list(store.keys()) == []
+
+
+class TestSpillConfig:
+    def test_thresholds(self):
+        cfg = SpillConfig(store=MemoryBlobStore(), budget_bytes=100)
+        assert not cfg.should_spill(100)
+        assert cfg.should_spill(101)
+        assert cfg.n_chunks(101) == 2
+        assert cfg.n_chunks(950) == 10
+
+    def test_zero_budget_never_spills(self):
+        cfg = SpillConfig(store=MemoryBlobStore(), budget_bytes=0)
+        assert not cfg.should_spill(10**9)
+
+
+class TestGroupAggOp:
+    def test_grouped_known_answer(self):
+        rel = relation("t", g=[2, 1, 2, 1, 3], x=[10, 1, 30, 3, 7])
+        op = GroupAggOp(
+            keys=("t.g",),
+            aggs=(
+                AggSpec("sum", ColumnRef("t", "x")),
+                AggSpec("mean", ColumnRef("t", "x")),
+                AggSpec("count", None),
+            ),
+        )
+        out = op.run(rel, ExecutionStats())
+        np.testing.assert_array_equal(out.column("t.g"), [1, 2, 3])
+        np.testing.assert_array_equal(out.column("sum(t.x)"), [4.0, 40.0, 7.0])
+        np.testing.assert_array_equal(out.column("mean(t.x)"), [2.0, 20.0, 7.0])
+        counts = out.column("count(*)")
+        np.testing.assert_array_equal(counts, [2, 2, 1])
+        assert counts.dtype == np.int64
+
+    def test_scalar_empty_semantics(self):
+        rel = relation("t", x=np.empty(0, dtype=np.int32))
+        op = GroupAggOp(
+            keys=(),
+            aggs=(
+                AggSpec("sum", ColumnRef("t", "x")),
+                AggSpec("count", None),
+                AggSpec("min", ColumnRef("t", "x")),
+                AggSpec("mean", ColumnRef("t", "x")),
+            ),
+        )
+        out = op.run(rel, ExecutionStats())
+        assert out.n_rows == 1
+        assert out.column("sum(t.x)")[0] == 0.0
+        assert out.column("count(*)")[0] == 0
+        assert np.isnan(out.column("min(t.x)")[0])
+        assert np.isnan(out.column("mean(t.x)")[0])
+
+    def test_grouped_empty_input_is_zero_rows(self):
+        rel = relation("t", g=np.empty(0, dtype=np.int32), x=np.empty(0))
+        op = GroupAggOp(
+            keys=("t.g",), aggs=(AggSpec("sum", ColumnRef("t", "x")),)
+        )
+        out = op.run(rel, ExecutionStats())
+        assert out.n_rows == 0
+        assert tuple(out.columns) == ("t.g", "sum(t.x)")
+
+
+class TestMergeComponents:
+    def test_touching_integer_zones_stay_separate(self):
+        assert _merge_components([(1, 100), (101, 200)]) == [(1, 100), (101, 200)]
+
+    def test_shared_endpoint_merges(self):
+        assert _merge_components([(1, 100), (100, 200)]) == [(1, 200)]
+
+    def test_unsorted_nested_input(self):
+        got = _merge_components([(50, 60), (0, 100), (150, 160), (155, 170)])
+        assert got == [(0, 100), (150, 170)]
+
+    def test_empty(self):
+        assert _merge_components([]) == []
+
+
+class TestChooseJoinStrategy:
+    @pytest.fixture(scope="class")
+    def co_partitioned(self):
+        # Big enough that both sides split into several contiguous key
+        # zones (a ~2 KB partition holds ~250 int32 rows per column).
+        rng = np.random.default_rng(11)
+        fact = ColumnTable.build(
+            "fact",
+            TableSchema.uniform(["f_key", "f_a"]),
+            {
+                "f_key": rng.integers(0, 400, 6000).astype(np.int32),
+                "f_a": rng.integers(0, 400, 6000).astype(np.int32),
+            },
+        )
+        dim = ColumnTable.build(
+            "dim",
+            TableSchema.uniform(["d_key", "d_a"]),
+            {
+                "d_key": rng.integers(0, 400, 1500).astype(np.int32),
+                "d_a": rng.integers(0, 400, 1500).astype(np.int32),
+            },
+        )
+
+        def windows(meta, key):
+            queries = [
+                Query.build(
+                    meta,
+                    list(meta.schema.attribute_names),
+                    {key: (i * 100, i * 100 + 99)},
+                    label=f"train{i}",
+                )
+                for i in range(4)
+            ]
+            return Workload(meta, queries)
+
+        make = lambda: IrregularLayout(zone_maps=True, selection_enabled=False)
+        return build_join_catalog(
+            make, fact, dim, windows(fact.meta, "f_key"),
+            windows(dim.meta, "d_key"),
+            ctx=BuildContext(file_segment_bytes=2048, schism_sample_size=100),
+        )
+
+    def choose(self, catalog, **kwargs):
+        return choose_join_strategy(
+            catalog["fact"],
+            catalog["dim"],
+            "f_key",
+            "d_key",
+            kwargs.pop("key_range", (0, 399)),
+            ("f_key", "f_a"),
+            ("d_key", "d_a"),
+            **kwargs,
+        )
+
+    def test_co_partitioned_picks_partition_wise(self, co_partitioned):
+        strategy = self.choose(co_partitioned)
+        assert len(strategy.splits) >= 2
+        assert strategy.kind == "partition-wise"
+        assert strategy.est_partition_wise_cost <= strategy.est_broadcast_cost
+        for split in strategy.splits:
+            assert split.build_side in ("left", "right")
+            assert split.lo <= split.hi
+
+    def test_narrow_key_range_prunes_splits(self, co_partitioned):
+        wide = self.choose(co_partitioned)
+        narrow = self.choose(co_partitioned, key_range=(0, 99))
+        assert len(narrow.splits) < len(wide.splits)
+        for split in narrow.splits:
+            assert split.hi <= 99
+
+    def test_force_overrides_pricing(self, co_partitioned):
+        for kind in ("partition-wise", "broadcast", "naive"):
+            strategy = self.choose(co_partitioned, force=kind)
+            assert strategy.kind == kind
+            assert "forced" in strategy.reason
+
+    def test_unclustered_key_falls_back_to_broadcast(self):
+        rng = np.random.default_rng(12)
+        fact, dim, fwl, dwl = random_join_tables(rng, co_partitioned=False)
+        make = lambda: IrregularLayout(zone_maps=True, selection_enabled=False)
+        catalog = build_join_catalog(
+            make, fact, dim, fwl, dwl,
+            ctx=BuildContext(file_segment_bytes=2048, schism_sample_size=100),
+        )
+        strategy = self.choose(catalog)
+        # Key zones are wide and overlapping: one connected component at
+        # best, or replicated reads price partition-wise out.
+        assert strategy.kind == "broadcast"
+
+    def test_spill_budget_raises_broadcast_cost(self, co_partitioned):
+        free = self.choose(co_partitioned)
+        tight = self.choose(co_partitioned, spill_budget_bytes=64)
+        assert tight.est_broadcast_cost >= free.est_broadcast_cost

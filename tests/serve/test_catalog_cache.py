@@ -1,0 +1,89 @@
+"""CatalogPartitionCache: per-table verdict caching under multi-table plans."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.layouts import BuildContext, IrregularLayout
+from repro.plan.dag import DagExecutor
+from repro.serve import CatalogPartitionCache, predicate_signature
+from repro.testing.join_oracle import (
+    build_join_catalog,
+    join_oracle_check,
+    random_join_query,
+    random_join_tables,
+)
+
+CTX = BuildContext(file_segment_bytes=2048, schism_sample_size=100)
+
+
+@pytest.fixture()
+def setup():
+    rng = np.random.default_rng(21)
+    fact, dim, fwl, dwl = random_join_tables(rng, co_partitioned=True)
+    catalog = build_join_catalog(
+        lambda: IrregularLayout(zone_maps=True, selection_enabled=False),
+        fact, dim, fwl, dwl, CTX,
+    )
+    bindings = {name: catalog[name] for name in catalog.tables()}
+    cache = CatalogPartitionCache(bindings)
+    wired = cache.install(bindings)
+    assert wired == 2
+    query = random_join_query(rng, fact, dim, label="cached-join")
+    return catalog, cache, {"fact": fact, "dim": dim}, query
+
+
+class TestCatalogPartitionCache:
+    def test_replay_hits_per_table(self, setup):
+        catalog, cache, tables, query = setup
+        executor = DagExecutor(catalog)
+        assert join_oracle_check(executor, tables, query) is None
+        first = cache.stats
+        assert first.n_misses >= 2 and first.n_hits == 0
+        # The same DAG again: every leaf's verdicts replay from the cache.
+        assert join_oracle_check(executor, tables, query) is None
+        second = cache.stats
+        assert second.n_hits >= 2
+        assert second.n_misses == first.n_misses
+
+    def test_table_scope_keys_never_collide(self, setup):
+        _, cache, _, _ = setup
+        ranges = {"k": (0.0, 10.0)}
+        fact_sig = predicate_signature(ranges, "scan", True, table="fact")
+        dim_sig = predicate_signature(ranges, "scan", True, table="dim")
+        assert fact_sig != dim_sig
+        assert cache.for_table("fact").table_scope == "fact"
+
+    def test_swap_invalidates_only_that_table(self, setup):
+        catalog, cache, tables, query = setup
+        executor = DagExecutor(catalog)
+        assert join_oracle_check(executor, tables, query) is None
+        fact_len = len(cache.for_table("fact"))
+        dim_len = len(cache.for_table("dim"))
+        assert fact_len >= 1 and dim_len >= 1
+
+        manager = catalog["fact"].manager
+        pid = manager.pids()[0]
+        partition, _ = manager.load(pid)
+        manager.swap_partitions([partition])
+
+        # fact's entries died with its catalog version; dim's survive.
+        assert len(cache.for_table("fact")) == 0
+        assert len(cache.for_table("dim")) == dim_len
+        assert cache.stats.n_invalidated >= fact_len
+        # Still exact after the swap, via a fresh fact classification.
+        assert join_oracle_check(executor, tables, query) is None
+
+    def test_unknown_table_raises(self, setup):
+        _, cache, _, _ = setup
+        with pytest.raises(KeyError, match="no partition cache"):
+            cache.for_table("nope")
+
+    def test_clear_drops_everything(self, setup):
+        catalog, cache, tables, query = setup
+        executor = DagExecutor(catalog)
+        assert join_oracle_check(executor, tables, query) is None
+        assert len(cache) >= 2
+        cache.clear()
+        assert len(cache) == 0
