@@ -313,6 +313,103 @@ def _run_serve(args) -> int:
     return 0 if report.ok else 1
 
 
+def _run_write(args) -> int:
+    """Drive the write path on a seeded demo layout: batched writes through
+    the WAL, shadow-oracle verification at every version, optional crash
+    replay and budgeted compaction, and an ``AS OF`` time-travel read."""
+    import numpy as np
+
+    from . import obs
+    from .sql import parse_statement
+    from .testing import (
+        ShadowTable,
+        WriteWorkloadConfig,
+        apply_random_batch,
+        verify_against_shadow,
+    )
+    from .txn import DeltaCompactor, TransactionalTable
+
+    table, _workload, layout = _demo_layout(args, args.layout)
+    if args.metrics:
+        obs.enable(trace=False, metrics=True)
+    wal_enabled = args.wal == "on"
+    txn = TransactionalTable(layout, table, wal_enabled=wal_enabled)
+    shadow = ShadowTable(table)
+    shadow.snapshot(txn.current_version)
+    base_version = txn.current_version
+    base_n = table.n_tuples
+
+    rng = np.random.default_rng(args.seed + 2)
+    config = WriteWorkloadConfig(n_batches=args.write_batches)
+    for _batch in range(config.n_batches):
+        apply_random_batch(txn, shadow, rng, config)
+        shadow.snapshot(txn.commit())
+    state = txn.delta_state()
+    print(
+        f"-- demo table {table.meta.name!r}: {base_n} -> "
+        f"{txn.data.n_tuples} tuples across {config.n_batches} commits "
+        f"(v{base_version} -> v{txn.current_version}), layout "
+        f"{args.layout!r}, WAL {args.wal}"
+    )
+    print(
+        f"-- head delta state: {len(state.segments)} segments, "
+        f"{len(state.tombstones)} tombstones"
+        + (
+            f"; WAL: {txn.wal.stats.n_commits} group commits, "
+            f"{txn.wal.stats.bytes_written} bytes"
+            if wal_enabled else ""
+        )
+    )
+
+    report = DeltaCompactor(
+        txn, bytes_budget=args.compaction_budget or None, verify=True
+    ).run()
+    if not report.is_empty:
+        shadow.snapshot(report.version)
+        print(
+            f"-- compaction v{report.version}: folded "
+            f"{report.n_segments_folded} segments, dropped "
+            f"{report.n_tuples_dropped} dead rows across "
+            f"{len(report.scope_pids)} partitions, rewrote "
+            f"{report.bytes_rewritten} bytes"
+            + (" (WAL truncated)" if report.wal_truncated else "")
+        )
+
+    mismatches = verify_against_shadow(txn, shadow, rng)
+    versions = tuple(sorted(shadow.history))
+    print(
+        f"-- verified {len(versions)} versions "
+        f"({versions[0]}..{versions[-1]}) against the dense shadow: "
+        + ("oracle-exact" if not mismatches else "MISMATCH")
+    )
+    for problem in mismatches:
+        print(f"FAILURE: {problem}", file=sys.stderr)
+
+    as_of = args.as_of
+    if args.sql is not None:
+        statement = parse_statement(txn.data.meta, args.sql)
+        if statement.as_of is not None:
+            as_of = statement.as_of
+        query = statement.query
+    else:
+        names = list(table.schema.attribute_names)
+        from .core.query import Query
+
+        query = Query.build(txn.data.meta, names, {}, label="write-demo")
+    if as_of is None:
+        as_of = versions[len(versions) // 2]
+    result, stats = txn.execute(query, as_of=as_of)
+    print(
+        f"-- AS OF {as_of}: {result.n_tuples} tuples "
+        f"({stats.n_partition_reads} partition/delta reads, "
+        f"{stats.bytes_read} simulated bytes)"
+    )
+    if args.metrics:
+        print()
+        print(obs.render_prometheus())
+    return 1 if mismatches else 0
+
+
 def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="jigsaw-bench",
@@ -320,11 +417,14 @@ def main(argv: List[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "explain", "profile", "serve"],
+        choices=sorted(EXPERIMENTS)
+        + ["all", "explain", "profile", "serve", "write"],
         help="which figure to reproduce ('all' runs every one; 'explain' "
         "plans a SQL statement against a demo table; 'profile' traces a "
         "demo workload across every engine; 'serve' replays a many-client "
-        "workload through the concurrent serving tier)",
+        "workload through the concurrent serving tier; 'write' drives the "
+        "WAL/MVCC write path with shadow-oracle verification and an "
+        "AS OF read)",
     )
     parser.add_argument(
         "sql",
@@ -428,6 +528,35 @@ def main(argv: List[str] | None = None) -> int:
         help="serve: requests each client replays",
     )
     parser.add_argument(
+        "--wal",
+        choices=["on", "off"],
+        default="on",
+        help="write: group-commit batches through the write-ahead log "
+        "(off skips durability, e.g. for read-path A/B runs)",
+    )
+    parser.add_argument(
+        "--as-of",
+        type=int,
+        default=None,
+        metavar="VERSION",
+        help="write: catalog version for the time-travel read (also "
+        "settable inside the statement: SELECT ... FROM t AS OF <v>)",
+    )
+    parser.add_argument(
+        "--compaction-budget",
+        type=int,
+        default=0,
+        metavar="BYTES",
+        help="write: bytes-rewritten budget for the compaction pass "
+        "(0 = unbounded)",
+    )
+    parser.add_argument(
+        "--write-batches",
+        type=int,
+        default=6,
+        help="write: number of group-committed write batches",
+    )
+    parser.add_argument(
         "--seed", type=int, default=0, help="explain: demo table seed"
     )
     parser.add_argument(
@@ -454,8 +583,12 @@ def main(argv: List[str] | None = None) -> int:
                 "a SQL argument is only valid with the explain command"
             )
         return _run_serve(args)
+    if args.experiment == "write":
+        return _run_write(args)
     if args.sql is not None:
-        raise SystemExit("a SQL argument is only valid with the explain command")
+        raise SystemExit(
+            "a SQL argument is only valid with the explain or write commands"
+        )
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     try:

@@ -51,6 +51,7 @@ from ..plan.operators import (
     PlanReader,
     ProjectFillOp,
     SelectOp,
+    full_selection,
 )
 from ..plan.physical import PhysicalPlan, QueryPlanner
 from ..plan.result import ResultSet
@@ -131,7 +132,7 @@ class ThreadedPartitionEngine:
 
     # ------------------------------------------------------------ public
 
-    def execute(self, query: Query) -> ResultSet:
+    def execute(self, query: Query, snapshot=None) -> ResultSet:
         tracer = obs_tracer()
         engine = "jigsaw-l" if self.strategy == "locking" else "jigsaw-s"
         coordinator = ExecutionStats()
@@ -140,7 +141,7 @@ class ThreadedPartitionEngine:
         # coordinator's plus one per worker thread.
         ledgers = [coordinator, *self.worker_stats]
         with tracer.phase("exec.query", ledgers, engine=engine):
-            plan = self.planner.plan(query)
+            plan = self.planner.plan(query, snapshot=snapshot)
             conjunction = plan.logical.conjunction
             projected = plan.logical.projected
             status = [_NOT_CHECKED] * self.table.n_tuples
@@ -160,9 +161,13 @@ class ThreadedPartitionEngine:
                     "exec.selection", ledgers, strategy=self.strategy
                 ):
                     if not conjunction:
+                        qualifying = full_selection(
+                            self.table.n_tuples, plan.snapshot
+                        )
                         for tid in range(self.table.n_tuples):
-                            status[tid] = _VALID
-                            ret[tid] = {}
+                            if qualifying[tid]:
+                                status[tid] = _VALID
+                                ret[tid] = {}
                     elif self.strategy == "locking":
                         self._selection_locking(
                             plan, pred_pids, select_op, status, ret, load_lock,
@@ -372,6 +377,7 @@ class ThreadedPartitionEngine:
         preloaded partitions' tuples by bucket range.
         """
         projected = plan.logical.projected
+        index = plan.snapshot if plan.snapshot is not None else self.manager
         missing_pids: set = set()
         for tid, row in ret.items():
             if status[tid] != _VALID:
@@ -380,7 +386,7 @@ class ThreadedPartitionEngine:
                 if name not in row:
                     tids = np.array([tid], dtype=np.int64)
                     missing_pids.update(
-                        self.manager.partitions_with_missing_cells(name, tids)
+                        index.partitions_with_missing_cells(name, tids)
                     )
         if not missing_pids:
             return

@@ -50,6 +50,7 @@ from ..plan.operators import (
     SelectOp,
     count_prune,
     finalize_stats,
+    full_selection,
     invalidate_pruned,
     merge_results,
 )
@@ -114,7 +115,9 @@ class PartitionAtATimeExecutor:
 
     # ------------------------------------------------------------ execute
 
-    def execute(self, query: Query) -> Tuple[ResultSet, ExecutionStats]:
+    def execute(
+        self, query: Query, snapshot=None
+    ) -> Tuple[ResultSet, ExecutionStats]:
         started = time.perf_counter()
         stats = ExecutionStats()
         tracer = obs_tracer()
@@ -124,7 +127,7 @@ class PartitionAtATimeExecutor:
             engine="partition-at-a-time",
         ):
             status = np.full(n, STATUS_NOT_CHECKED, dtype=np.uint8)
-            plan = self.planner.plan(query)
+            plan = self.planner.plan(query, snapshot=snapshot)
             projected = plan.logical.projected
             values: Dict[str, np.ndarray] = {}
             present: Dict[str, np.ndarray] = {}
@@ -155,8 +158,9 @@ class PartitionAtATimeExecutor:
                     else:
                         # No WHERE clause: every tuple qualifies; lines 3-16
                         # degenerate to allocating a hash-table row per tuple.
-                        status[:] = STATUS_VALID
-                        stats.hash_inserts += n
+                        qualifying = full_selection(n, plan.snapshot)
+                        status[qualifying] = STATUS_VALID
+                        stats.hash_inserts += int(qualifying.sum())
 
                 with tracer.phase(
                     "exec.projection", stats, cpu_model=self.cpu_model
@@ -248,8 +252,12 @@ class PartitionAtATimeExecutor:
             if len(missing):
                 missing_attrs.add(name)
                 missing_by_attr[name] = missing
+                index = (
+                    plan.snapshot if plan.snapshot is not None
+                    else self.manager
+                )
                 proj_pids.update(
-                    self.manager.partitions_with_missing_cells(name, missing)
+                    index.partitions_with_missing_cells(name, missing)
                 )
         fill_op = ProjectFillOp(projected)
         # Only the still-missing projected attributes need decoding here;

@@ -102,10 +102,12 @@ class ReplicatedExecutor:
 
     # ------------------------------------------------------------ execute
 
-    def execute(self, query: Query) -> Tuple[ResultSet, ExecutionStats]:
-        plan = self.planner.plan_replica_local(query)
+    def execute(
+        self, query: Query, snapshot=None
+    ) -> Tuple[ResultSet, ExecutionStats]:
+        plan = self.planner.plan_replica_local(query, snapshot=snapshot)
         if plan is None:
-            return self.standard.execute(query)
+            return self.standard.execute(query, snapshot=snapshot)
         return self._execute_local(query, plan)
 
     def _execute_local(
@@ -191,7 +193,9 @@ class ReplicatedExecutor:
                         stats.n_unreadable_partitions += 1
                         if exc.io_delta is not None:
                             stats.accrue_io(exc.io_delta)
-                        result, fallback = self.standard.execute(query)
+                        result, fallback = self.standard.execute(
+                            query, snapshot=plan.snapshot
+                        )
                         fallback.add(stats)
                         fallback.charge_cpu(self.cpu_model)
                         fallback.wall_time_s = time.perf_counter() - started

@@ -43,6 +43,7 @@ from ..plan.operators import (
     SelectOp,
     count_prune,
     finalize_stats,
+    full_selection,
     merge_results,
 )
 from ..plan.physical import PhysicalPlan, QueryPlanner
@@ -106,7 +107,9 @@ class ScanExecutor:
 
     # ------------------------------------------------------------ execute
 
-    def execute(self, query: Query) -> Tuple[ResultSet, ExecutionStats]:
+    def execute(
+        self, query: Query, snapshot=None
+    ) -> Tuple[ResultSet, ExecutionStats]:
         started = time.perf_counter()
         stats = ExecutionStats()
         tracer = obs_tracer()
@@ -114,7 +117,7 @@ class ScanExecutor:
         with tracer.phase(
             "exec.query", stats, cpu_model=self.cpu_model, engine="scan"
         ):
-            plan = self.planner.plan(query)
+            plan = self.planner.plan(query, snapshot=snapshot)
             fctx = FaultContext()
             # Within-query working memory: a partition first loaded for the
             # selection phase decodes further columns on demand when the
@@ -195,7 +198,7 @@ class ScanExecutor:
         """Evaluate predicates attribute by attribute into one dense mask."""
         conjunction = plan.logical.conjunction
         if not conjunction:
-            return np.ones(n, dtype=bool)
+            return full_selection(n, plan.snapshot)
         masks = {name: np.zeros(n, dtype=bool) for name in conjunction.attributes}
         select_op = SelectOp(conjunction, row_major=self.row_major)
         loop = AccessLoop(

@@ -55,6 +55,19 @@ class PartitionNotFoundError(StorageError):
     """The partition manager has no partition with the requested id."""
 
 
+class SnapshotUnavailableError(StorageError):
+    """A requested catalog version cannot be pinned.
+
+    Raised when the version is in the future, or when it fell below the
+    manager's *floor* — the oldest version still reconstructible because a
+    retired-partition prune already reclaimed blobs it needed.
+    """
+
+
+class TransactionError(JigsawError):
+    """A write-path operation (WAL append, commit, compaction) is invalid."""
+
+
 class CalibrationError(JigsawError):
     """An I/O or memory model could not be fitted from measurements."""
 

@@ -158,6 +158,8 @@ from .publish import (  # noqa: E402
     publish_fault_stats,
     publish_partition_cache,
     publish_serve,
+    publish_txn,
+    publish_wal,
     record_query,
 )
 
@@ -172,6 +174,8 @@ __all__ += [
     "publish_fault_stats",
     "publish_partition_cache",
     "publish_serve",
+    "publish_txn",
+    "publish_wal",
     "record_query",
     "render_prometheus",
     "top_hotspots",

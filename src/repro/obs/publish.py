@@ -29,6 +29,8 @@ __all__ = [
     "publish_fault_stats",
     "publish_partition_cache",
     "publish_serve",
+    "publish_txn",
+    "publish_wal",
     "record_query",
 ]
 
@@ -268,3 +270,75 @@ def publish_adaptation(stats, cycle_outcome: Optional[str] = None) -> None:
             "Daemon cycles by outcome",
             ("outcome",),
         ).inc(outcome=cycle_outcome)
+
+
+def publish_wal(wal) -> None:
+    """Publish one WAL's commit/replay counters and fsync latencies.
+
+    Called by :class:`~repro.txn.table.TransactionalTable` after each group
+    commit.  The latency histograms observe only commits not yet published
+    (the stats list is drained), so repeated calls never double-count.
+    """
+    from . import get_registry, metrics_enabled
+
+    if not metrics_enabled() or wal is None:
+        return
+    registry = get_registry()
+    stats = wal.stats
+    for field_name in (
+        "n_appends",
+        "n_commits",
+        "n_empty_commits",
+        "n_records_committed",
+        "bytes_written",
+        "n_batches_replayed",
+        "n_records_replayed",
+        "n_truncated_tails",
+    ):
+        registry.gauge(
+            f"jigsaw_wal_{field_name}",
+            f"WAL lifetime {field_name}",
+        ).set(getattr(stats, field_name))
+    commit_hist = registry.histogram(
+        "jigsaw_wal_group_commit_seconds",
+        "Wall-clock latency of one group commit (encode + batch put)",
+    )
+    fsync_hist = registry.histogram(
+        "jigsaw_wal_fsync_seconds",
+        "Wall-clock latency of the simulated fsync (the batch blob put)",
+    )
+    drained, stats.commit_latencies_s = stats.commit_latencies_s, []
+    for latency in drained:
+        commit_hist.observe(latency)
+        fsync_hist.observe(latency)
+
+
+def publish_txn(table) -> None:
+    """Snapshot a transactional table's MVCC and delta-state gauges."""
+    from . import get_registry, metrics_enabled
+
+    if not metrics_enabled() or table is None:
+        return
+    registry = get_registry()
+    manager = table.manager
+    registry.gauge(
+        "jigsaw_txn_snapshot_refcount",
+        "Currently pinned MVCC snapshots",
+    ).set(manager.snapshot_refcount())
+    registry.gauge(
+        "jigsaw_txn_catalog_version", "Current catalog version"
+    ).set(manager.catalog_version)
+    registry.gauge(
+        "jigsaw_txn_floor_version", "Oldest pinnable catalog version"
+    ).set(manager.floor_version())
+    state = table.delta_state()
+    registry.gauge(
+        "jigsaw_txn_delta_segments", "Live delta segments at head"
+    ).set(len(state.segments))
+    registry.gauge(
+        "jigsaw_txn_tombstones", "Live tombstoned tids at head"
+    ).set(len(state.tombstones))
+    registry.gauge(
+        "jigsaw_txn_delta_bytes",
+        "Accounted bytes across head delta segments",
+    ).set(sum(segment.n_bytes for segment in state.segments))

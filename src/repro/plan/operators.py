@@ -58,6 +58,7 @@ __all__ = [
     "SelectOp",
     "ProjectFillOp",
     "count_prune",
+    "full_selection",
     "invalidate_pruned",
     "merge_results",
     "finalize_stats",
@@ -500,6 +501,25 @@ class ProjectFillOp:
         for name in self.projected:
             if name in cells and name not in row:
                 row[name] = cells[name]
+
+
+def full_selection(n: int, snapshot=None) -> np.ndarray:
+    """Dense no-WHERE selection vector over ``n`` tids.
+
+    Without a snapshot (the read-only path) every tuple qualifies — the
+    seed-exact ``ones`` vector.  A pinned snapshot carrying a write-path
+    ``valid_mask`` restricts the scan to tids base partitions actually store
+    at that version: tids folded out by a delta compaction are excluded, and
+    delta-only tids (False here) are merged in later by the transactional
+    wrapper, never by the base engine.
+    """
+    if snapshot is not None and snapshot.valid_mask is not None:
+        mask = np.zeros(n, dtype=bool)
+        valid = np.asarray(snapshot.valid_mask, dtype=bool)
+        m = min(n, len(valid))
+        mask[:m] = valid[:m]
+        return mask
+    return np.ones(n, dtype=bool)
 
 
 def count_prune(decision, stats: ExecutionStats) -> None:

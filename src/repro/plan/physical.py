@@ -77,6 +77,7 @@ class PhysicalPlan:
     __slots__ = (
         "manager", "logical", "policy", "selection", "projection",
         "estimated_partition_reads", "estimated_bytes", "estimated_io_time_s",
+        "snapshot",
     )
 
     def __init__(
@@ -86,12 +87,18 @@ class PhysicalPlan:
         policy: AccessPolicy,
         selection: Tuple[PartitionAccess, ...],
         projection: Tuple[PartitionAccess, ...],
+        snapshot=None,
     ):
         self.manager = manager
         self.logical = logical
         self.policy = policy
         self.selection = selection
         self.projection = projection
+        #: pinned :class:`~repro.storage.partition_manager.CatalogSnapshot`
+        #: the plan was built against, or None for a live-catalog plan.
+        #: Engines route projection-phase index lookups through it and
+        #: consult its ``valid_mask`` on no-WHERE fast paths.
+        self.snapshot = snapshot
         # Upper bound for a healthy (fault-free) execution: every non-pruned
         # selection access is read; a projection access is only *maybe* read
         # (phase-2 skips partitions with no missing cell / no selected
@@ -224,15 +231,25 @@ class QueryPlanner:
     def logical_plan(self, query: Query) -> LogicalPlan:
         return LogicalPlan(query, policy=self.policy, pruning=self.pruning)
 
-    def plan(self, query: Query, notify: bool = True) -> PhysicalPlan:
+    def plan(
+        self, query: Query, notify: bool = True, snapshot=None
+    ) -> PhysicalPlan:
         """Build the physical plan; ``notify=False`` suppresses the observer
         (used when re-planning for estimation, e.g. drift baselines, so the
-        monitor never records its own bookkeeping queries)."""
+        monitor never records its own bookkeeping queries).
+
+        ``snapshot`` pins the plan to a
+        :class:`~repro.storage.partition_manager.CatalogSnapshot`: partition
+        candidates come from the snapshot's frozen pid set (which may include
+        retired-but-unpruned partitions absent from the live indexes), and
+        the semantic partition cache keys on the snapshot's token instead of
+        the live catalog token.
+        """
         tracer = obs_tracer()
         if not tracer.enabled:
-            return self._plan(query, notify)
+            return self._plan(query, notify, snapshot)
         with tracer.span("plan.query", policy=self.policy) as span:
-            plan = self._plan(query, notify)
+            plan = self._plan(query, notify, snapshot)
             span.set(
                 pruning=self.pruning,
                 n_selection_accesses=len(plan.selection),
@@ -243,17 +260,25 @@ class QueryPlanner:
             )
         return plan
 
-    def _plan(self, query: Query, notify: bool) -> PhysicalPlan:
+    def _plan(self, query: Query, notify: bool, snapshot=None) -> PhysicalPlan:
         logical = self.logical_plan(query)
         manager = self.manager
+        # The snapshot mirrors the manager's index API over its frozen pid
+        # set, so the candidate lookups below are shape-identical either way.
+        index = snapshot if snapshot is not None else manager
         cache = self.partition_cache
         cache_hit = cache_token = None
         if cache is not None:
-            cache_hit, cache_token = cache.lookup(logical)
+            if snapshot is not None:
+                cache_hit, cache_token = cache.lookup(
+                    logical, token=snapshot.token
+                )
+            else:
+                cache_hit, cache_token = cache.lookup(logical)
             if cache_hit is not None:
                 logical.use_cached(cache_hit)
         if logical.conjunction:
-            pred_pids = manager.partitions_for_attributes(
+            pred_pids = index.partitions_for_attributes(
                 logical.predicate_attributes
             )
         else:
@@ -262,7 +287,7 @@ class QueryPlanner:
             pred_pids = ()
         proj_pids: set = set()
         for name in logical.projected:
-            proj_pids.update(manager.partitions_for_attribute(name))
+            proj_pids.update(index.partitions_for_attribute(name))
         pin_pool = self.access_policy.pin_pool
         selection = tuple(
             self._access(
@@ -276,10 +301,14 @@ class QueryPlanner:
             for pid in sorted(proj_pids)
         )
         plan = PhysicalPlan(
-            manager, logical, self.access_policy, selection, projection
+            manager, logical, self.access_policy, selection, projection,
+            snapshot=snapshot,
         )
         if cache is not None and cache_hit is None:
-            cache.record(logical, cache_token)
+            if snapshot is not None:
+                cache.record(logical, cache_token, pinned=True)
+            else:
+                cache.record(logical, cache_token)
         if notify and self.observer is not None:
             self.observer(query, plan)
         return plan
@@ -302,7 +331,9 @@ class QueryPlanner:
 
     # ------------------------------------------------------ replica-local
 
-    def plan_local(self, query: Query) -> Optional[Tuple[int, ...]]:
+    def plan_local(
+        self, query: Query, snapshot=None
+    ) -> Optional[Tuple[int, ...]]:
         """The partitions a replica-local evaluation would read, or None.
 
         Localizable iff every (non-empty) partition holding a projected cell
@@ -312,7 +343,8 @@ class QueryPlanner:
         """
         if not query.where:
             return None
-        proj_pids = self.manager.partitions_for_attributes(query.pi_attributes)
+        index = snapshot if snapshot is not None else self.manager
+        proj_pids = index.partitions_for_attributes(query.pi_attributes)
         if not proj_pids:
             return None
         sigma = query.sigma_attributes
@@ -326,7 +358,9 @@ class QueryPlanner:
             non_empty.append(pid)
         return tuple(sorted(non_empty))
 
-    def plan_replica_local(self, query: Query) -> Optional[PhysicalPlan]:
+    def plan_replica_local(
+        self, query: Query, snapshot=None
+    ) -> Optional[PhysicalPlan]:
         """Physical plan for a partition-local evaluation, or None.
 
         The access list is the localizable partition set; each access reads
@@ -335,7 +369,7 @@ class QueryPlanner:
         every tuple's predicate cells are covered by the partition's zone,
         so one refuted predicate excludes all local tuples.
         """
-        pids = self.plan_local(query)
+        pids = self.plan_local(query, snapshot=snapshot)
         if pids is None:
             return None
         logical = LogicalPlan(query, policy=POLICY_SCAN, pruning=True)
@@ -350,7 +384,8 @@ class QueryPlanner:
             for pid in pids
         )
         return PhysicalPlan(
-            self.manager, logical, self.access_policy, selection, ()
+            self.manager, logical, self.access_policy, selection, (),
+            snapshot=snapshot,
         )
 
 

@@ -153,15 +153,24 @@ class PartitionCache:
     # ---------------------------------------------------- planner protocol
 
     def lookup(
-        self, logical: LogicalPlan
+        self, logical: LogicalPlan, token: Optional[Token] = None
     ) -> Tuple[Optional[Dict[int, PartitionDecision]], Token]:
         """Verdicts for this plan's signature under the current token.
 
         Returns ``(decisions or None, token_at_lookup)``; the planner passes
         the token back to :meth:`record` so a mid-plan catalog change is
         detected.
+
+        ``token`` keys the lookup explicitly — the snapshot path: a plan
+        pinned to a :class:`~repro.storage.partition_manager.CatalogSnapshot`
+        passes the snapshot's frozen ``(version, -1)`` token, so
+        ``AS OF`` replays share verdicts with each other but never with live
+        plans (and a compaction that bumps the live catalog mid-replay can
+        never serve a pinned plan a verdict from the *new* catalog, nor the
+        reverse).
         """
-        token = self.manager.cache_token()
+        if token is None:
+            token = self.manager.cache_token()
         key = (self.signature(logical), token)
         with self._lock:
             entry = self._entries.get(key)
@@ -172,15 +181,25 @@ class PartitionCache:
             self.stats.n_misses += 1
         return None, token
 
-    def record(self, logical: LogicalPlan, token: Optional[Token]) -> bool:
+    def record(
+        self,
+        logical: LogicalPlan,
+        token: Optional[Token],
+        pinned: bool = False,
+    ) -> bool:
         """Store a missed plan's verdicts, unless the catalog moved on.
 
         ``token`` is the value :meth:`lookup` returned when the plan began;
         if the manager's token differs now, some verdicts may have been
         computed against the pre-swap catalog and the entry is dropped
         (sound: a dropped record only costs a future miss).
+
+        ``pinned`` marks verdicts computed against a pinned snapshot: the
+        catalog they classified cannot have moved (the snapshot froze it),
+        so the live-token staleness check does not apply and the entry is
+        stored under the snapshot's own token.
         """
-        if token is None or self.manager.cache_token() != token:
+        if token is None or (not pinned and self.manager.cache_token() != token):
             self.stats.n_stale_drops += 1
             return False
         decisions = {
@@ -202,8 +221,16 @@ class PartitionCache:
 
     def _on_invalidate(self, catalog_version: int, pruning_version: int) -> None:
         live = (catalog_version, pruning_version)
+        # Entries keyed to a still-pinned snapshot version stay: their
+        # verdicts were computed against a frozen catalog, so no commit can
+        # stale them while the pin (and thus the retired partitions they
+        # classify) is held.
+        pinned = set(self.manager.pinned_versions())
         with self._lock:
-            stale = [key for key in self._entries if key[1] != live]
+            stale = [
+                key for key in self._entries
+                if key[1] != live and key[1][0] not in pinned
+            ]
             for key in stale:
                 del self._entries[key]
             self.stats.n_invalidated += len(stale)
@@ -294,16 +321,21 @@ class CatalogPartitionCache:
     # ---------------------------------------------------- planner protocol
 
     def lookup(
-        self, table: str, logical: LogicalPlan
+        self, table: str, logical: LogicalPlan, token: Optional[Token] = None
     ) -> Tuple[Optional[Dict[int, PartitionDecision]], Token]:
         """Verdicts for one leaf of a multi-table plan (see
-        :meth:`PartitionCache.lookup`)."""
-        return self.for_table(table).lookup(logical)
+        :meth:`PartitionCache.lookup`); ``token`` keys on a pinned snapshot
+        version instead of the live catalog token."""
+        return self.for_table(table).lookup(logical, token=token)
 
     def record(
-        self, table: str, logical: LogicalPlan, token: Optional[Token]
+        self,
+        table: str,
+        logical: LogicalPlan,
+        token: Optional[Token],
+        pinned: bool = False,
     ) -> bool:
-        return self.for_table(table).record(logical, token)
+        return self.for_table(table).record(logical, token, pinned=pinned)
 
     def clear(self) -> None:
         for cache in self._caches.values():

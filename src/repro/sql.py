@@ -42,7 +42,7 @@ from __future__ import annotations
 import math
 import re
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 from .core.query import Query
 from .core.schema import TableMeta
@@ -84,7 +84,7 @@ _TOKEN = re.compile(
 
 _KEYWORDS = {
     "SELECT", "FROM", "WHERE", "AND", "BETWEEN", "OR", "NOT",
-    "EXPLAIN", "ANALYZE", "JOIN", "ON", "GROUP", "BY",
+    "EXPLAIN", "ANALYZE", "JOIN", "ON", "GROUP", "BY", "AS", "OF",
     # Recognized only to reject with a pointed message.
     "ORDER", "LIMIT", "HAVING", "LEFT", "RIGHT", "OUTER", "INNER",
     "FULL", "CROSS", "UNION", "DISTINCT",
@@ -148,6 +148,8 @@ class _Parser(_ParserBase):
     def __init__(self, tokens: List[Tuple[str, str]], table: TableMeta):
         super().__init__(tokens)
         self.table = table
+        #: catalog version from a ``FROM t AS OF <version>`` clause.
+        self.as_of: Optional[int] = None
 
     # -------------------------------------------------------------- parser
 
@@ -160,6 +162,17 @@ class _Parser(_ParserBase):
             raise InvalidQueryError(
                 f"query is FROM {table_name!r} but the table is {self.table.name!r}"
             )
+        if self._peek() == ("keyword", "AS"):
+            self._next()
+            self._expect_keyword("OF")
+            literal = self._expect("number")
+            version = float(literal)
+            if version != int(version) or version < 0:
+                raise InvalidQueryError(
+                    f"AS OF takes a non-negative integer catalog version, "
+                    f"got {literal!r}"
+                )
+            self.as_of = int(version)
         where: Dict[str, Tuple[float, float]] = {}
         token = self._peek()
         if token is not None and token == ("keyword", "JOIN"):
@@ -634,6 +647,9 @@ class Statement:
     query: Query
     explain: bool = False
     analyze: bool = False
+    #: catalog version pinned by ``FROM t AS OF <version>`` (time travel);
+    #: None reads the current version.
+    as_of: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -677,8 +693,10 @@ def parse_statement(table: TableMeta, sql: str) -> Statement:
     the report gains the per-operator actuals tree.
     """
     tokens, explain, analyze = _strip_explain(_tokenize(sql))
+    parser = _Parser(tokens, table)
+    query = parser.parse()
     return Statement(
-        query=_Parser(tokens, table).parse(), explain=explain, analyze=analyze
+        query=query, explain=explain, analyze=analyze, as_of=parser.as_of
     )
 
 

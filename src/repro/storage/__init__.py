@@ -21,7 +21,7 @@ from .format import (
     serialize_partition,
 )
 from .io_stats import IOStats
-from .partition_manager import PartitionInfo, PartitionManager
+from .partition_manager import CatalogSnapshot, PartitionInfo, PartitionManager
 from .prefetch import Prefetcher, PrefetchStats
 from .sketches import (
     BloomSketch,
@@ -65,6 +65,7 @@ __all__ = [
     "IOStats",
     "LazyColumnBlock",
     "MemoryBlobStore",
+    "CatalogSnapshot",
     "PartitionInfo",
     "PartitionManager",
     "PhysicalPartition",

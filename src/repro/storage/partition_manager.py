@@ -23,6 +23,7 @@ from ..errors import (
     InvalidPartitioningError,
     PartitionNotFoundError,
     PartitionUnreadableError,
+    SnapshotUnavailableError,
     StorageError,
 )
 from .blob import BlobStore, MemoryBlobStore
@@ -49,7 +50,7 @@ from .physical import (
 )
 from .table_data import ColumnTable
 
-__all__ = ["PartitionInfo", "PartitionManager"]
+__all__ = ["CatalogSnapshot", "PartitionInfo", "PartitionManager"]
 
 
 @dataclass(slots=True)
@@ -209,6 +210,16 @@ class PartitionManager:
         self._retired: Dict[int, PartitionInfo] = {}
         self._attribute_index: Dict[str, List[int]] = {}
         self._replica_index: Dict[str, List[int]] = {}
+        #: commit log: ``(version, pids_added, pids_retired)`` per catalog
+        #: commit, in version order.  ``pids_added`` holds only pids that
+        #: were *not* live before the commit, so walking the log backwards
+        #: reconstructs the live pid set at any retained version.
+        self._history: List[Tuple[int, Tuple[int, ...], Tuple[int, ...]]] = []
+        #: version -> number of :class:`CatalogSnapshot` pins holding it.
+        self._pins: Dict[int, int] = {}
+        #: oldest version still reconstructible; raised by
+        #: :meth:`prune_retired` when it reclaims blobs older versions need.
+        self._floor_version = 0
 
     # ------------------------------------------------------- invalidation
 
@@ -381,6 +392,8 @@ class PartitionManager:
 
         # ------------------------------------------------------------ commit
         with self._mutex:
+            pre_live = set(self._catalog)
+            retired_now: List[int] = []
             self.catalog_version += 1
             self.pruning_version += 1
             for pid in sorted(removals | (added_pids & set(self._catalog))):
@@ -398,6 +411,7 @@ class PartitionManager:
                     # the commit can still finish against them.
                     old.version = self.catalog_version
                     self._retired[pid] = old
+                    retired_now.append(pid)
                 if self.buffer_pool is not None:
                     self.buffer_pool.invalidate(pid)
             infos = []
@@ -412,6 +426,11 @@ class PartitionManager:
                 if self.buffer_pool is not None:
                     self.buffer_pool.invalidate(info.pid)
                 infos.append(info)
+            self._history.append((
+                self.catalog_version,
+                tuple(sorted(added_pids - pre_live)),
+                tuple(sorted(retired_now)),
+            ))
         self._notify_invalidation()
         return infos
 
@@ -431,15 +450,37 @@ class PartitionManager:
         that version (``info.version < before_version``), so passing the
         current catalog version spares the most recent swap's retirees.
         Defaults to everything retired.
+
+        Pinned snapshots clamp the prune: an entry retired at version ``r``
+        was still live at every version ``< r``, so while any snapshot pins
+        a version ``< r`` the entry is spared regardless of
+        ``before_version``.  Pruning an entry raises the manager's *floor* —
+        versions below the floor can no longer be pinned (their blobs are
+        gone), which is what :class:`~repro.errors.SnapshotUnavailableError`
+        reports.
         """
         pruned = 0
         with self._mutex:
-            doomed = [
-                self._retired.pop(pid)
-                for pid in sorted(self._retired)
-                if before_version is None
-                or self._retired[pid].version < before_version
-            ]
+            min_pinned = min(self._pins) if self._pins else None
+            doomed = []
+            for pid in sorted(self._retired):
+                retired_at = self._retired[pid].version
+                if before_version is not None and retired_at >= before_version:
+                    continue
+                if min_pinned is not None and retired_at > min_pinned:
+                    continue
+                doomed.append(self._retired.pop(pid))
+            if doomed:
+                self._floor_version = max(
+                    self._floor_version,
+                    max(info.version for info in doomed),
+                )
+                # Commits at or below the floor can no longer be replayed
+                # (their retirees' blobs are gone) — trim the log.
+                self._history = [
+                    entry for entry in self._history
+                    if entry[0] > self._floor_version
+                ]
         for info in doomed:
             self.store.delete(info.key)
             self.device.invalidate(info.key)
@@ -447,6 +488,93 @@ class PartitionManager:
                 self.buffer_pool.invalidate(info.pid)
             pruned += 1
         return pruned
+
+    # ---------------------------------------------------------- snapshots
+
+    def advance_version(self) -> int:
+        """Commit a version bump with no catalog change.
+
+        The write path calls this when a delta-segment commit changes what a
+        scan must return without touching any base partition: the catalog
+        version is the transaction timeline, so every committed batch of
+        writes gets its own pinnable version.  Bumps the pruning version too
+        (delta contents change which tuples a cached pruning verdict may
+        cover) and fires the invalidation hooks.
+        """
+        with self._mutex:
+            self.catalog_version += 1
+            self.pruning_version += 1
+            self._history.append((self.catalog_version, (), ()))
+        self._notify_invalidation()
+        return self.catalog_version
+
+    def pin_snapshot(self, version: int | None = None) -> "CatalogSnapshot":
+        """Pin a refcounted, immutable view of the catalog at ``version``.
+
+        Defaults to the current version.  The returned
+        :class:`CatalogSnapshot` freezes the *live pid set* of that version
+        (reconstructed by replaying the commit log backwards from the
+        current catalog); while pinned, :meth:`prune_retired` spares every
+        retired partition the snapshot still needs.  Release with
+        :meth:`CatalogSnapshot.release` (or use it as a context manager).
+
+        Raises :class:`~repro.errors.SnapshotUnavailableError` for future
+        versions and for versions below the prune floor.
+        """
+        with self._mutex:
+            if version is None:
+                version = self.catalog_version
+            version = int(version)
+            if version > self.catalog_version:
+                raise SnapshotUnavailableError(
+                    f"cannot pin catalog version {version}: "
+                    f"current version is {self.catalog_version}"
+                )
+            if version < self._floor_version:
+                raise SnapshotUnavailableError(
+                    f"cannot pin catalog version {version}: retired "
+                    f"partitions below version {self._floor_version} were "
+                    f"already pruned"
+                )
+            live = set(self._catalog)
+            for commit_version, added, retired in reversed(self._history):
+                if commit_version <= version:
+                    break
+                live.difference_update(added)
+                live.update(retired)
+            self._pins[version] = self._pins.get(version, 0) + 1
+            # The pinned token's second slot is -1, not the live pruning
+            # version: a pinned version's pid set and data are frozen, so a
+            # verdict computed against it stays valid forever — every pin of
+            # the same version must share one cache key, and -1 keeps pinned
+            # entries from ever colliding with live ``cache_token()`` keys.
+            return CatalogSnapshot(
+                self, version, frozenset(live), (version, -1)
+            )
+
+    def release_snapshot(self, snapshot: "CatalogSnapshot") -> None:
+        """Drop one pin on ``snapshot``'s version (idempotence is the
+        snapshot's job — :meth:`CatalogSnapshot.release` only calls once)."""
+        with self._mutex:
+            count = self._pins.get(snapshot.version, 0)
+            if count <= 1:
+                self._pins.pop(snapshot.version, None)
+            else:
+                self._pins[snapshot.version] = count - 1
+
+    def snapshot_refcount(self) -> int:
+        """Total outstanding snapshot pins across all versions."""
+        with self._mutex:
+            return sum(self._pins.values())
+
+    def pinned_versions(self) -> Tuple[int, ...]:
+        with self._mutex:
+            return tuple(sorted(self._pins))
+
+    def floor_version(self) -> int:
+        """Oldest catalog version that can still be pinned."""
+        with self._mutex:
+            return self._floor_version
 
     def next_pid(self) -> int:
         """Smallest pid never used by an active or retired partition."""
@@ -745,4 +873,103 @@ class PartitionManager:
         return (
             f"PartitionManager({len(self._catalog)} partitions, "
             f"{self.total_bytes()} bytes, device={self.device.profile.name!r})"
+        )
+
+
+class CatalogSnapshot:
+    """A pinned, immutable view of the catalog at one version.
+
+    Mirrors the manager's index API (:meth:`partitions_for_attribute`,
+    :meth:`partitions_for_attributes`, :meth:`partitions_with_missing_cells`,
+    :meth:`info`) over the frozen pid set, so the planner and the engines'
+    projection phase can substitute a snapshot for the live manager
+    wholesale.  Retired partitions the snapshot still references remain
+    loadable — pinning clamps :meth:`PartitionManager.prune_retired`.
+
+    ``token`` is ``(version, -1)`` — the cache key the semantic partition
+    cache uses for pinned plans instead of the live
+    :meth:`PartitionManager.cache_token`.  The pinned version's pid set and
+    partition data are frozen, so every pin of the same version shares the
+    key (``AS OF`` replays reuse each other's verdicts across later churn),
+    while the -1 slot keeps pinned entries disjoint from live tokens.
+
+    ``valid_mask`` is an optional dense boolean array over the tuple-id
+    domain set by the transactional layer: True for tids a *base* scan may
+    return at this version (delta-only tids and compaction-dropped tids are
+    False).  Engines consult it on their no-WHERE fast paths; ``None`` (the
+    default, and always the case outside the write path) preserves the
+    read-only engines' exact seed behavior.
+
+    One-shot visibility note: in-place :meth:`PartitionManager
+    .replace_partition` overwrites the old blob's bytes, so snapshots are
+    only guaranteed across fresh-pid swaps — which is what the adaptive
+    repartitioner and the delta compactor emit.
+    """
+
+    __slots__ = ("manager", "version", "pids", "token", "valid_mask",
+                 "_released")
+
+    def __init__(
+        self,
+        manager: PartitionManager,
+        version: int,
+        pids: frozenset,
+        token: Tuple[int, int],
+    ):
+        self.manager = manager
+        self.version = version
+        self.pids = pids
+        self.token = token
+        self.valid_mask: Optional[np.ndarray] = None
+        self._released = False
+
+    # ------------------------------------------------------------ lifetime
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self.manager.release_snapshot(self)
+
+    def __enter__(self) -> "CatalogSnapshot":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    # ----------------------------------------------- manager-shaped index
+
+    def info(self, pid: int) -> PartitionInfo:
+        return self.manager.info(pid)
+
+    def partitions_for_attribute(self, attribute: str) -> Tuple[int, ...]:
+        return tuple(
+            pid for pid in sorted(self.pids)
+            if attribute in self.manager.info(pid).attributes
+        )
+
+    def partitions_for_attributes(
+        self, attributes: Iterable[str]
+    ) -> Tuple[int, ...]:
+        wanted = set(attributes)
+        return tuple(
+            pid for pid in sorted(self.pids)
+            if wanted & self.manager.info(pid).attributes
+        )
+
+    def partitions_with_missing_cells(
+        self, attribute: str, tids: np.ndarray
+    ) -> Tuple[int, ...]:
+        hits = []
+        for pid in sorted(self.pids):
+            info = self.manager.info(pid)
+            if attribute not in info.attributes:
+                continue
+            if info.contains_attribute_of(attribute, tids):
+                hits.append(pid)
+        return tuple(hits)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CatalogSnapshot(version={self.version}, "
+            f"{len(self.pids)} partitions)"
         )

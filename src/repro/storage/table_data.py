@@ -85,6 +85,49 @@ class ColumnTable:
         """Extract the given tuples' cells for the given attributes."""
         return {name: self.column(name)[tids] for name in names}
 
+    def append_rows(self, columns: Mapping[str, np.ndarray]) -> int:
+        """Grow the table in place with full rows; returns the first new tid.
+
+        The write path's one mutation: committed inserts extend every column
+        and widen the metadata bounds (bounds only widen — existing zone maps
+        stay sound).  ``self.meta`` is *replaced* with a grown
+        :class:`TableMeta`; holders of the old meta keep a consistent view of
+        the pre-append tuple count, which is exactly what snapshot reads of
+        older versions want.
+        """
+        missing = [a for a in self.schema.attribute_names if a not in columns]
+        if missing:
+            raise SchemaError(f"appended rows missing attributes: {missing}")
+        lengths = {
+            len(np.asarray(columns[a])) for a in self.schema.attribute_names
+        }
+        if len(lengths) != 1:
+            raise SchemaError(
+                f"appended columns disagree on length: {sorted(lengths)}"
+            )
+        n_new = lengths.pop()
+        first_tid = self.n_tuples
+        if not n_new:
+            return first_tid
+        bounds = {}
+        for spec in self.schema:
+            old = self._columns[spec.name]
+            new = np.asarray(columns[spec.name]).astype(old.dtype, copy=False)
+            merged = np.concatenate([old, new])
+            self._columns[spec.name] = merged
+            lo, hi = float(merged.min()), float(merged.max())
+            if self.n_tuples:
+                prior = self.meta.ranges[spec.name]
+                lo, hi = min(lo, float(prior.lo)), max(hi, float(prior.hi))
+            bounds[spec.name] = (lo, hi)
+        self.meta = TableMeta(
+            self.meta.name,
+            self.schema,
+            self.n_tuples + n_new,
+            RangeMap.from_bounds(bounds),
+        )
+        return first_tid
+
     def mask_for_box(self, box: RangeMap, tight: Iterable[str]) -> np.ndarray:
         """Boolean mask of tuples inside ``box``, testing only tight attributes.
 

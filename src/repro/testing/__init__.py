@@ -18,6 +18,13 @@ from .oracle import (
     run_differential_oracle,
     run_reference_query,
 )
+from .writes import (
+    ShadowTable,
+    WriteWorkloadConfig,
+    apply_random_batch,
+    random_rows,
+    verify_against_shadow,
+)
 
 __all__ = [
     "OracleCase",
@@ -31,4 +38,9 @@ __all__ = [
     "random_workload",
     "run_differential_oracle",
     "run_reference_query",
+    "ShadowTable",
+    "WriteWorkloadConfig",
+    "apply_random_batch",
+    "random_rows",
+    "verify_against_shadow",
 ]

@@ -1,0 +1,44 @@
+"""The write path: WAL, delta segments, MVCC snapshots, and compaction.
+
+Layering (top to bottom):
+
+* :class:`TransactionalTable` — buffers typed writes, group-commits them
+  through the WAL, serves MVCC snapshot reads (``AS OF`` time travel) by
+  merging per-version delta state over the unmodified base engines.
+* :class:`WriteAheadLog` — append-only, CRC-framed batches persisted as
+  blobs through :mod:`repro.storage.blob` (one blob put per group commit is
+  the simulated fsync); deterministic replay that ignores a torn tail.
+* :class:`DeltaSegment` / :class:`DeltaState` / :class:`DeltaStore` —
+  committed inserts as immutable columnar segments with zone maps;
+  per-version tombstone sets; persistence + simulated-device accounting.
+* :class:`DeltaCompactor` — folds deltas back into base partitions through
+  the same verified, versioned swap the adaptive daemon's migrations use,
+  under a bytes-rewritten budget.
+"""
+
+from .compactor import CompactionReport, DeltaCompactor
+from .delta import DeltaSegment, DeltaState, DeltaStore
+from .table import TransactionalTable
+from .wal import (
+    KIND_DELETE,
+    KIND_INSERT,
+    KIND_UPDATE,
+    WalRecord,
+    WalStats,
+    WriteAheadLog,
+)
+
+__all__ = [
+    "CompactionReport",
+    "DeltaCompactor",
+    "DeltaSegment",
+    "DeltaState",
+    "DeltaStore",
+    "KIND_DELETE",
+    "KIND_INSERT",
+    "KIND_UPDATE",
+    "TransactionalTable",
+    "WalRecord",
+    "WalStats",
+    "WriteAheadLog",
+]

@@ -152,6 +152,54 @@ class TestExplainStatements:
         assert "physical plan:" in text
 
 
+class TestAsOf:
+    def test_default_is_none(self, paper_table):
+        statement = parse_statement(paper_table, "SELECT a2 FROM T")
+        assert statement.as_of is None
+
+    def test_as_of_version_parses(self, paper_table):
+        statement = parse_statement(
+            paper_table, "SELECT a2 FROM T AS OF 3 WHERE a1 = 12"
+        )
+        assert statement.as_of == 3
+        assert statement.query.select == ("a2",)
+        assert statement.query.predicate_interval("a1").lo == 12
+
+    def test_as_of_without_where(self, paper_table):
+        statement = parse_statement(paper_table, "SELECT a2 FROM T AS OF 0")
+        assert statement.as_of == 0
+        assert not statement.query.where
+
+    def test_as_of_is_case_insensitive(self, paper_table):
+        statement = parse_statement(paper_table, "select a2 from T as of 7")
+        assert statement.as_of == 7
+
+    def test_explain_composes_with_as_of(self, paper_table):
+        statement = parse_statement(
+            paper_table, "EXPLAIN SELECT a2 FROM T AS OF 2 WHERE a1 = 12"
+        )
+        assert statement.explain is True
+        assert statement.as_of == 2
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT a2 FROM T AS OF",
+            "SELECT a2 FROM T AS OF x",
+            "SELECT a2 FROM T AS 3",
+            "SELECT a2 FROM T AS OF -1",
+            "SELECT a2 FROM T AS OF 1.5",
+        ],
+    )
+    def test_malformed_as_of_rejected(self, paper_table, sql):
+        with pytest.raises(InvalidQueryError):
+            parse_statement(paper_table, sql)
+
+    def test_fractional_version_message(self, paper_table):
+        with pytest.raises(InvalidQueryError, match="non-negative integer"):
+            parse_statement(paper_table, "SELECT a2 FROM T AS OF 1.5")
+
+
 class TestEndToEnd:
     def test_parsed_query_runs_on_a_layout(self, small_table, small_workload, ctx):
         from repro.layouts import RowLayout

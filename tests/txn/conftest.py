@@ -1,0 +1,34 @@
+"""Fixtures for the write-path suite: a small transactional layout."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.layouts import BuildContext, IrregularLayout
+from repro.testing import random_table, random_workload
+from repro.txn import TransactionalTable
+
+
+def build_txn_table(
+    seed: int = 7,
+    n_attrs: int = 3,
+    n_tuples: int = 300,
+    wal_enabled: bool = True,
+    builder=None,
+):
+    """One seeded (table, layout, TransactionalTable) triple."""
+    rng = np.random.default_rng(seed)
+    table = random_table(rng, n_attrs=n_attrs, n_tuples=n_tuples)
+    train = random_workload(rng, table, 4)
+    layout = (builder or IrregularLayout()).build(
+        table, train, BuildContext(file_segment_bytes=2048)
+    )
+    return table, layout, TransactionalTable(
+        layout, table, wal_enabled=wal_enabled
+    )
+
+
+@pytest.fixture()
+def txn_table():
+    return build_txn_table()

@@ -1,0 +1,189 @@
+"""Shadow-oracle write workloads: engines x layouts, faults, crash replay."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.query import Query
+from repro.engine.parallel import ThreadedPartitionEngine
+from repro.errors import TransactionError
+from repro.layouts import (
+    BuildContext,
+    ColumnLayout,
+    IrregularLayout,
+    ReplicatedIrregularLayout,
+)
+from repro.storage import FaultConfig
+from repro.testing import (
+    ShadowTable,
+    WriteWorkloadConfig,
+    apply_random_batch,
+    random_table,
+    random_workload,
+    verify_against_shadow,
+)
+from repro.testing.oracle import inject_faults
+from repro.txn import DeltaCompactor, TransactionalTable
+
+CONFIG = WriteWorkloadConfig(n_batches=5)
+
+LAYOUTS = [
+    ("irregular", lambda: IrregularLayout(selection_enabled=False)),
+    ("column", ColumnLayout),
+    ("replicated", lambda: ReplicatedIrregularLayout(selection_enabled=False)),
+]
+
+
+def build(
+    seed,
+    builder=None,
+    wal_enabled=True,
+    fault_config=None,
+    threaded=False,
+    n_tuples=250,
+):
+    rng = np.random.default_rng(seed)
+    table = random_table(rng, n_attrs=3, n_tuples=n_tuples)
+    train = random_workload(rng, table, 4)
+    make = builder or (lambda: IrregularLayout(selection_enabled=False))
+    layout = make().build(
+        table, train, BuildContext(file_segment_bytes=2048)
+    )
+    if threaded:
+        layout.executor = ThreadedPartitionEngine(
+            layout.manager, table.meta, n_threads=2
+        )
+    if fault_config is not None:
+        # Wrap BEFORE the transactional table so the WAL (and delta store)
+        # write through the faulting store too.
+        inject_faults(layout, config=fault_config, seed=seed)
+    txn = TransactionalTable(layout, table, wal_enabled=wal_enabled)
+    return rng, table, layout, txn
+
+
+def run_workload(txn, rng, config=CONFIG, compact_at=None):
+    """Seeded batches with commits; optional mid-stream compaction.
+
+    Returns the shadow with one visibility snapshot per committed version.
+    """
+    shadow = ShadowTable(txn.data)
+    shadow.snapshot(txn.current_version)
+    for batch in range(config.n_batches):
+        apply_random_batch(txn, shadow, rng, config)
+        version = txn.commit()
+        shadow.snapshot(version)
+        if compact_at is not None and batch == compact_at:
+            DeltaCompactor(txn, verify=True).run()
+    return shadow
+
+
+class TestWorkloadOracle:
+    @pytest.mark.parametrize(
+        "builder", [make for _, make in LAYOUTS],
+        ids=[name for name, _ in LAYOUTS],
+    )
+    def test_snapshot_reads_oracle_exact_every_version(self, builder):
+        rng, _table, _layout, txn = build(21, builder=builder)
+        shadow = run_workload(txn, rng, compact_at=2)
+        mismatches = verify_against_shadow(txn, shadow, rng)
+        assert mismatches == []
+
+    def test_threaded_engine_sees_identical_merged_reads(self):
+        rng, _table, _layout, txn = build(22, threaded=True)
+        shadow = run_workload(txn, rng, compact_at=1)
+        mismatches = verify_against_shadow(txn, shadow, rng)
+        assert mismatches == []
+
+    def test_oracle_exact_under_storage_faults(self):
+        """Transient faults + latency spikes under every read and write:
+        the retry policy absorbs them and snapshots stay oracle-exact."""
+        rng, _table, _layout, txn = build(
+            23,
+            fault_config=FaultConfig(
+                transient_error_rate=0.05, latency_spike_rate=0.05,
+                latency_spike_s=0.0,
+            ),
+        )
+        shadow = run_workload(txn, rng, compact_at=2)
+        mismatches = verify_against_shadow(txn, shadow, rng)
+        assert mismatches == []
+
+    def test_wal_off_workload_still_oracle_exact(self):
+        rng, _table, _layout, txn = build(24, wal_enabled=False)
+        shadow = run_workload(txn, rng)
+        assert verify_against_shadow(txn, shadow, rng) == []
+        with pytest.raises(TransactionError):
+            txn.replay_wal()
+
+
+class TestCrashReplay:
+    def _copy_wal(self, source, target):
+        for key in source.wal.batch_keys():
+            target.manager.store.put(key, source.wal.store.get(key))
+
+    def test_replay_recovers_all_committed_batches(self):
+        rng, _t1, _l1, txn1 = build(31)
+        shadow = run_workload(txn1, rng)
+        # "Crash": a second, identically seeded process comes up with only
+        # the base files and the durable WAL blobs.
+        _rng2, _t2, _l2, txn2 = build(31)
+        self._copy_wal(txn1, txn2)
+        applied = txn2.replay_wal()
+        assert applied == txn1._applied_lsn
+        final = max(shadow.history)
+        names = list(shadow.schema.attribute_names)
+        full = Query.build(txn2.data.meta, names, {}, label="recovered")
+        result, _ = txn2.execute(full)
+        expected_tids = np.nonzero(shadow.mask_at(final))[0]
+        assert np.array_equal(result.tuple_ids, expected_tids)
+        for name in names:
+            assert np.array_equal(
+                result.columns[name], shadow.columns[name][expected_tids]
+            )
+
+    def test_torn_tail_recovers_to_previous_commit(self):
+        rng, _t1, _l1, txn1 = build(32)
+        shadow = run_workload(txn1, rng)
+        versions = sorted(shadow.history)
+        _rng2, _t2, _l2, txn2 = build(32)
+        self._copy_wal(txn1, txn2)
+        # Tear the last group commit mid-record.
+        last_key = txn1.wal.batch_keys()[-1]
+        blob = txn1.wal.store.get(last_key)
+        txn2.manager.store.put(last_key, blob[: len(blob) // 2])
+        txn2.replay_wal()
+        durable = versions[-2]  # every batch is one commit = one version
+        names = list(shadow.schema.attribute_names)
+        full = Query.build(txn2.data.meta, names, {}, label="torn")
+        result, _ = txn2.execute(full)
+        expected_tids = np.nonzero(shadow.mask_at(durable))[0]
+        assert np.array_equal(result.tuple_ids, expected_tids)
+        for name in names:
+            assert np.array_equal(
+                result.columns[name], shadow.columns[name][expected_tids]
+            )
+
+    def test_replay_is_idempotent_on_a_live_table(self):
+        rng, _t1, _l1, txn1 = build(33)
+        run_workload(txn1, rng)
+        before = txn1.current_version
+        assert txn1.replay_wal() == 0  # nothing beyond the applied LSN
+        assert txn1.current_version == before
+
+
+class TestDeltaMergeProperty:
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(0, 9999))
+    def test_merged_scan_equals_eager_materialization(self, seed):
+        """Property: for any seeded write history, the delta-merged scan of
+        every retained version is byte-for-byte the dense numpy shadow."""
+        config = WriteWorkloadConfig(n_batches=3, max_ops=2,
+                                     max_insert_rows=12)
+        rng, _table, _layout, txn = build(seed, n_tuples=120)
+        shadow = run_workload(txn, rng, config=config, compact_at=1)
+        mismatches = verify_against_shadow(txn, shadow, rng, n_queries=1)
+        assert mismatches == []
