@@ -21,7 +21,6 @@ Run standalone for JSON output (written to ``BENCH_adaptive.json``)::
 
 from __future__ import annotations
 
-import json
 
 from repro.bench.experiments.adaptive import AdaptiveBenchConfig, run
 
@@ -48,13 +47,7 @@ def test_bench_adaptive(benchmark):
 if __name__ == "__main__":
     outcome = run()
     print(outcome.to_text())
-    document = {
-        "experiment": outcome.experiment,
-        "parameters": outcome.parameters,
-        "rows": outcome.rows,
-        "notes": outcome.notes,
-    }
-    with open("BENCH_adaptive.json", "w") as handle:
-        json.dump(document, handle, indent=1)
-        handle.write("\n")
-    print("wrote BENCH_adaptive.json")
+    from repro.bench.history import write_bench_json
+
+    write_bench_json(outcome, "BENCH_adaptive.json")
+    print("wrote BENCH_adaptive.json (+ BENCH_HISTORY.jsonl row)")

@@ -187,3 +187,6 @@ if __name__ == "__main__":
         "notes": outcome.notes,
     }
     print(json.dumps(document, indent=1))
+    from repro.bench.history import append_history
+
+    append_history(outcome)

@@ -24,7 +24,6 @@ Run standalone for JSON output (written to ``BENCH_join.json``)::
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass
 
 import numpy as np
@@ -226,13 +225,7 @@ def test_bench_join(benchmark):
 if __name__ == "__main__":
     outcome = run()
     print(outcome.to_text())
-    document = {
-        "experiment": outcome.experiment,
-        "parameters": outcome.parameters,
-        "rows": outcome.rows,
-        "notes": outcome.notes,
-    }
-    with open("BENCH_join.json", "w") as handle:
-        json.dump(document, handle, indent=1)
-        handle.write("\n")
-    print("wrote BENCH_join.json")
+    from repro.bench.history import write_bench_json
+
+    write_bench_json(outcome, "BENCH_join.json")
+    print("wrote BENCH_join.json (+ BENCH_HISTORY.jsonl row)")

@@ -23,7 +23,6 @@ Run standalone for JSON output (written to ``BENCH_serve.json``)::
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass
 
 import numpy as np
@@ -231,13 +230,7 @@ def test_bench_serve(benchmark):
 if __name__ == "__main__":
     outcome = run()
     print(outcome.to_text())
-    document = {
-        "experiment": outcome.experiment,
-        "parameters": outcome.parameters,
-        "rows": outcome.rows,
-        "notes": outcome.notes,
-    }
-    with open("BENCH_serve.json", "w") as handle:
-        json.dump(document, handle, indent=1)
-        handle.write("\n")
-    print("wrote BENCH_serve.json")
+    from repro.bench.history import write_bench_json
+
+    write_bench_json(outcome, "BENCH_serve.json")
+    print("wrote BENCH_serve.json (+ BENCH_HISTORY.jsonl row)")

@@ -21,7 +21,6 @@ Run standalone for JSON output (written to ``BENCH_write.json``)::
 
 from __future__ import annotations
 
-import json
 import threading
 import time
 from dataclasses import dataclass
@@ -229,13 +228,7 @@ def test_bench_write(benchmark):
 if __name__ == "__main__":
     outcome = run()
     print(outcome.to_text())
-    document = {
-        "experiment": outcome.experiment,
-        "parameters": outcome.parameters,
-        "rows": outcome.rows,
-        "notes": outcome.notes,
-    }
-    with open("BENCH_write.json", "w") as handle:
-        json.dump(document, handle, indent=1)
-        handle.write("\n")
-    print("wrote BENCH_write.json")
+    from repro.bench.history import write_bench_json
+
+    write_bench_json(outcome, "BENCH_write.json")
+    print("wrote BENCH_write.json (+ BENCH_HISTORY.jsonl row)")

@@ -1,0 +1,247 @@
+"""Benchmark trajectory: append-only history and regression detection.
+
+The ``BENCH_*.json`` documents each overwrite the previous run, so the repo
+never remembers whether a change made a benchmark slower.  This module adds
+the missing time axis:
+
+* :func:`append_history` — every benchmark run appends one timestamped
+  summary row to ``BENCH_HISTORY.jsonl`` (one JSON object per line, one
+  line per experiment per run), so the file is a monotone log of how every
+  headline number moved across commits;
+* :func:`run_regress` — the ``jigsaw-bench regress`` backend: for each
+  experiment, compare the latest row's metrics against the previous row
+  and fail past a configurable slowdown ratio.
+
+Metric extraction is automatic: numeric entries of
+``ExperimentResult.parameters`` plus per-column means over the numeric
+result rows.  Direction (lower-better vs higher-better) is inferred from
+the metric name — time/latency/bytes/misses-shaped names regress upward,
+qps/speedup/hit-rate-shaped names regress downward — and only
+direction-classified metrics participate in the verdict; neutral figures
+(row counts, seeds) are logged but never page.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "DEFAULT_HISTORY_PATH",
+    "RegressReport",
+    "append_history",
+    "extract_metrics",
+    "load_history",
+    "metric_direction",
+    "run_regress",
+    "write_bench_json",
+]
+
+DEFAULT_HISTORY_PATH = "BENCH_HISTORY.jsonl"
+
+#: name fragments → direction.  Substrings match anywhere; suffixes only at
+#: the end (so ``_s`` catches ``io_time_s`` but not ``n_segments``).
+_LOWER_BETTER_SUBSTRINGS = (
+    "time", "latency", "seconds", "bytes", "misses",
+    "errors", "failures", "rejected", "wait",
+)
+_LOWER_BETTER_SUFFIXES = ("_s", "_ms", "_us", "_reads")
+_HIGHER_BETTER_SUBSTRINGS = (
+    "qps", "speedup", "hit_rate", "throughput",
+)
+_HIGHER_BETTER_SUFFIXES = ("_hits",)
+
+
+def metric_direction(name: str) -> Optional[str]:
+    """``"lower"`` / ``"higher"`` is better, or None (don't judge it)."""
+    lowered = name.lower()
+    for fragment in _HIGHER_BETTER_SUBSTRINGS:
+        if fragment in lowered:
+            return "higher"
+    if lowered.endswith(_HIGHER_BETTER_SUFFIXES):
+        return "higher"
+    for fragment in _LOWER_BETTER_SUBSTRINGS:
+        if fragment in lowered:
+            return "lower"
+    if lowered.endswith(_LOWER_BETTER_SUFFIXES):
+        return "lower"
+    return None
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def extract_metrics(result) -> Dict[str, float]:
+    """Flatten an ``ExperimentResult`` into comparable scalar metrics.
+
+    Numeric parameters come through as-is; each numeric result column
+    contributes its mean over the rows (``col_mean_<name>``), so layouts
+    and x-sweeps fold into one trend number per column.
+    """
+    metrics: Dict[str, float] = {}
+    for key, value in getattr(result, "parameters", {}).items():
+        if _is_number(value):
+            metrics[str(key)] = float(value)
+    columns: Dict[str, List[float]] = {}
+    for row in getattr(result, "rows", []):
+        for key, value in row.items():
+            if _is_number(value):
+                columns.setdefault(str(key), []).append(float(value))
+    for key, values in columns.items():
+        metrics[f"col_mean_{key}"] = sum(values) / len(values)
+    return metrics
+
+
+def history_path(path: Optional[str] = None) -> str:
+    """Resolution order: explicit arg, ``BENCH_HISTORY_PATH`` env, default."""
+    if path is not None:
+        return path
+    return os.environ.get("BENCH_HISTORY_PATH", DEFAULT_HISTORY_PATH)
+
+
+def append_history(
+    result, path: Optional[str] = None, wall_s: Optional[float] = None
+) -> Dict[str, Any]:
+    """Append one summary row for ``result``; returns the row written."""
+    row = {
+        "ts_unix_s": time.time(),
+        "experiment": getattr(result, "experiment", "unknown"),
+        "title": getattr(result, "title", ""),
+        "metrics": extract_metrics(result),
+        "n_rows": len(getattr(result, "rows", [])),
+    }
+    if wall_s is not None:
+        row["wall_s"] = float(wall_s)
+    resolved = history_path(path)
+    with open(resolved, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(row, sort_keys=True) + "\n")
+    return row
+
+
+def write_bench_json(result, path: str, notes_extra: Tuple[str, ...] = ()):
+    """The classic overwrite-style ``BENCH_*.json`` document (kept for the
+    CI jobs that diff them), plus the history append — one call does both."""
+    document = {
+        "experiment": result.experiment,
+        "parameters": result.parameters,
+        "rows": result.rows,
+        "notes": list(result.notes) + list(notes_extra),
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    append_history(result)
+    return document
+
+
+def load_history(path: Optional[str] = None) -> List[Dict[str, Any]]:
+    """Every history row, oldest first (missing file = empty history)."""
+    resolved = history_path(path)
+    if not os.path.exists(resolved):
+        return []
+    rows: List[Dict[str, Any]] = []
+    with open(resolved, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                rows.append(json.loads(line))
+    return rows
+
+
+@dataclass
+class MetricDelta:
+    experiment: str
+    metric: str
+    direction: str
+    previous: float
+    latest: float
+
+    @property
+    def ratio(self) -> float:
+        """Regression ratio, >1 = worse, direction-normalized."""
+        if self.direction == "lower":
+            if self.previous <= 0:
+                return 1.0 if self.latest <= 0 else float("inf")
+            return self.latest / self.previous
+        if self.latest <= 0:
+            return 1.0 if self.previous <= 0 else float("inf")
+        return self.previous / self.latest
+
+    def render(self) -> str:
+        arrow = "↑worse" if self.ratio > 1 else "↓better/same"
+        return (
+            f"{self.experiment}:{self.metric} {self.previous:.6g} -> "
+            f"{self.latest:.6g} (x{self.ratio:.3f} {arrow})"
+        )
+
+
+@dataclass
+class RegressReport:
+    max_slowdown: float
+    regressions: List[MetricDelta] = field(default_factory=list)
+    compared: List[MetricDelta] = field(default_factory=list)
+    skipped: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        lines = [
+            f"bench regress: {len(self.compared)} metrics compared, "
+            f"threshold x{self.max_slowdown:g}"
+        ]
+        for delta in self.regressions:
+            lines.append(f"  REGRESSION {delta.render()}")
+        worst = sorted(
+            (d for d in self.compared if d not in self.regressions),
+            key=lambda d: -d.ratio,
+        )[:5]
+        for delta in worst:
+            lines.append(f"  ok         {delta.render()}")
+        for reason in self.skipped:
+            lines.append(f"  skipped    {reason}")
+        lines.append("verdict: " + ("OK" if self.ok else "FAIL"))
+        return "\n".join(lines)
+
+
+def run_regress(
+    path: Optional[str] = None,
+    max_slowdown: float = 1.5,
+    experiment: Optional[str] = None,
+) -> RegressReport:
+    """Latest vs. previous history row per experiment.
+
+    Only direction-classified metrics can fail the run; an experiment with
+    fewer than two rows is reported as skipped, never as failed.
+    """
+    if max_slowdown <= 1.0:
+        raise ValueError("max_slowdown must be > 1.0")
+    report = RegressReport(max_slowdown=max_slowdown)
+    by_experiment: Dict[str, List[Dict[str, Any]]] = {}
+    for row in load_history(path):
+        by_experiment.setdefault(str(row.get("experiment")), []).append(row)
+    for name in sorted(by_experiment):
+        if experiment is not None and name != experiment:
+            continue
+        rows = by_experiment[name]
+        if len(rows) < 2:
+            report.skipped.append(f"{name}: only {len(rows)} run(s) recorded")
+            continue
+        previous, latest = rows[-2]["metrics"], rows[-1]["metrics"]
+        for metric in sorted(set(previous) & set(latest)):
+            direction = metric_direction(metric)
+            if direction is None:
+                continue
+            delta = MetricDelta(
+                name, metric, direction,
+                float(previous[metric]), float(latest[metric]),
+            )
+            report.compared.append(delta)
+            if delta.ratio > max_slowdown:
+                report.regressions.append(delta)
+    return report

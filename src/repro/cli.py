@@ -38,6 +38,28 @@ percentiles and partition-cache effectiveness::
     jigsaw-bench serve --clients 8 --requests 25
     jigsaw-bench serve --serve-workers 8 --queue-depth 32 --partition-cache off
     jigsaw-bench serve --layout replicated --metrics
+
+``serve`` always runs under the query flight recorder; add
+``--telemetry-port`` to expose the live HTTP endpoint (``/metrics``,
+``/healthz``, ``/queries``, ``/hotspots``) while the replay runs,
+``--slow-query-ms`` to tune the slow-query EXPLAIN ANALYZE threshold and
+``--flight-out`` to dump the per-query records as JSONL::
+
+    jigsaw-bench serve --telemetry-port 9464 --slow-query-ms 50
+    jigsaw-bench serve --flight-out flight.jsonl
+
+The ``health`` command evaluates the declarative health rules — either
+against a running telemetry endpoint or over a local seeded workload —
+and exits 0/1/2 for ok/warn/crit::
+
+    jigsaw-bench health
+    jigsaw-bench health --telemetry-url http://127.0.0.1:9464
+
+The ``regress`` command compares the latest ``BENCH_HISTORY.jsonl`` row
+per experiment against the previous one and fails past a configurable
+slowdown ratio::
+
+    jigsaw-bench regress --max-slowdown 1.5
 """
 
 from __future__ import annotations
@@ -243,11 +265,40 @@ def _serve_engines(layout, table, cache):
     return engines
 
 
+def _scrape_telemetry(telemetry) -> None:
+    """Self-scrape the live endpoint: prove /metrics parses, report health."""
+    import json
+    from urllib.error import HTTPError
+    from urllib.request import urlopen
+
+    from .obs import parse_exposition
+
+    base = telemetry.url
+    with urlopen(base + "/metrics", timeout=10) as resp:
+        families = parse_exposition(resp.read().decode("utf-8"))
+    try:
+        with urlopen(base + "/healthz", timeout=10) as resp:
+            payload = json.loads(resp.read().decode("utf-8"))
+    except HTTPError as err:  # /healthz answers 503 when any rule is crit
+        payload = json.loads(err.read().decode("utf-8"))
+    print(
+        f"-- telemetry self-scrape: {len(families)} metric families, "
+        f"health {payload['status']}"
+    )
+
+
 def _run_serve(args) -> int:
     """Serve a seeded demo layout to N replay clients; verify every result."""
+    import json
+
     import numpy as np
 
     from . import obs
+    from .obs.flight import (
+        FlightRecorder,
+        install_flight_recorder,
+        uninstall_flight_recorder,
+    )
     from .serve import (
         PartitionCache,
         QueryScheduler,
@@ -263,8 +314,15 @@ def _run_serve(args) -> int:
         else None
     )
     engines = _serve_engines(layout, table, cache)
-    if args.metrics:
+    if args.metrics or args.telemetry_port is not None:
         obs.enable(trace=False, metrics=True)
+    recorder = FlightRecorder(
+        capacity=4096,
+        slow_query_s=(
+            args.slow_query_ms / 1000.0 if args.slow_query_ms > 0 else None
+        ),
+    )
+    install_flight_recorder(recorder)
     rng = np.random.default_rng(args.seed + 1)
     mix = build_client_mix(
         rng,
@@ -284,8 +342,35 @@ def _run_serve(args) -> int:
         workers=args.serve_workers,
         queue_depth=args.queue_depth,
     )
-    with scheduler:
-        report = run_replay(scheduler, mix, verify=verify)
+    try:
+        with scheduler:
+            if args.telemetry_port is not None:
+                telemetry = scheduler.start_telemetry(
+                    port=args.telemetry_port, host=args.telemetry_host
+                )
+                print(f"-- telemetry endpoint: {telemetry.url}")
+            report = run_replay(scheduler, mix, verify=verify)
+            if args.telemetry_port is not None:
+                _scrape_telemetry(telemetry)
+    finally:
+        uninstall_flight_recorder(close=False)
+    flight = recorder.summary()
+    print(
+        f"-- flight recorder: {flight['n_recorded']} queries recorded "
+        f"({flight['n_slow']} slow, {flight['n_errors']} errors, "
+        f"{flight['n_rejections']} rejected); latency p50/p95/p99 = "
+        f"{flight['latency_p50_s']*1e3:.1f}/{flight['latency_p95_s']*1e3:.1f}/"
+        f"{flight['latency_p99_s']*1e3:.1f} ms"
+    )
+    if args.flight_out:
+        with open(args.flight_out, "w", encoding="utf-8") as fh:
+            for record in recorder.records():
+                fh.write(json.dumps(record.as_dict(), sort_keys=True) + "\n")
+        print(
+            f"-- wrote {recorder.n_recorded} flight records to "
+            f"{args.flight_out}"
+        )
+    recorder.close()
     print(
         f"-- demo table {table.meta.name!r}: {table.n_tuples} tuples x "
         f"{len(table.schema)} attributes, layout {args.layout!r} with "
@@ -410,6 +495,74 @@ def _run_write(args) -> int:
     return 1 if mismatches else 0
 
 
+def _run_health(args) -> int:
+    """Evaluate the health rules; exit code 0/1/2 = ok/warn/crit.
+
+    With ``--telemetry-url`` the verdict comes from a running endpoint's
+    ``/healthz``; otherwise a small seeded write workload is driven locally
+    (commits, compaction until clean) and the rules are evaluated over the
+    resulting metrics registry.
+    """
+    import json
+
+    if args.telemetry_url:
+        from urllib.error import HTTPError, URLError
+        from urllib.request import urlopen
+
+        url = args.telemetry_url.rstrip("/") + "/healthz"
+        try:
+            try:
+                with urlopen(url, timeout=10) as resp:
+                    payload = json.loads(resp.read().decode("utf-8"))
+            except HTTPError as err:  # 503 still carries the report body
+                payload = json.loads(err.read().decode("utf-8"))
+        except (URLError, OSError) as exc:
+            print(f"health: cannot reach {url}: {exc}", file=sys.stderr)
+            return 2
+        print(f"health ({url}): {payload['status'].upper()}")
+        for rule in payload.get("results", []):
+            observed = rule.get("observed")
+            shown = "n/a" if observed is None else f"{observed:.6g}"
+            print(f"  [{rule['status'].upper():4s}] {rule['name']} = {shown}")
+        return {"ok": 0, "warn": 1, "crit": 2}.get(payload["status"], 2)
+
+    import numpy as np
+
+    from . import obs
+    from .obs.health import HealthMonitor
+    from .testing import ShadowTable, WriteWorkloadConfig, apply_random_batch
+    from .txn import DeltaCompactor, TransactionalTable
+
+    obs.enable(trace=False, metrics=True)
+    table, _workload, layout = _demo_layout(args, args.layout)
+    txn = TransactionalTable(layout, table, wal_enabled=True)
+    shadow = ShadowTable(table)
+    shadow.snapshot(txn.current_version)
+    rng = np.random.default_rng(args.seed + 2)
+    config = WriteWorkloadConfig(n_batches=3)
+    for _batch in range(config.n_batches):
+        apply_random_batch(txn, shadow, rng, config)
+        shadow.snapshot(txn.commit())
+    DeltaCompactor(txn, verify=True).run_until_clean()
+    report = HealthMonitor().evaluate()
+    print(report.render())
+    return report.exit_code
+
+
+def _run_regress(args) -> int:
+    """Compare the latest benchmark-history rows against the previous run."""
+    from .bench.history import run_regress
+
+    try:
+        report = run_regress(
+            path=args.history, max_slowdown=args.max_slowdown
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="jigsaw-bench",
@@ -418,13 +571,15 @@ def main(argv: List[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         choices=sorted(EXPERIMENTS)
-        + ["all", "explain", "profile", "serve", "write"],
+        + ["all", "explain", "profile", "serve", "write", "health", "regress"],
         help="which figure to reproduce ('all' runs every one; 'explain' "
         "plans a SQL statement against a demo table; 'profile' traces a "
         "demo workload across every engine; 'serve' replays a many-client "
         "workload through the concurrent serving tier; 'write' drives the "
         "WAL/MVCC write path with shadow-oracle verification and an "
-        "AS OF read)",
+        "AS OF read; 'health' evaluates the declarative health rules and "
+        "exits 0/1/2 for ok/warn/crit; 'regress' compares the latest "
+        "BENCH_HISTORY.jsonl rows against the previous run)",
     )
     parser.add_argument(
         "sql",
@@ -528,6 +683,57 @@ def main(argv: List[str] | None = None) -> int:
         help="serve: requests each client replays",
     )
     parser.add_argument(
+        "--telemetry-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve: start the live telemetry HTTP endpoint on this port "
+        "(0 picks an ephemeral port); serves /metrics, /healthz, /queries "
+        "and /hotspots while the replay runs",
+    )
+    parser.add_argument(
+        "--telemetry-host",
+        default="127.0.0.1",
+        metavar="HOST",
+        help="serve: bind address for the telemetry endpoint",
+    )
+    parser.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=250.0,
+        metavar="MS",
+        help="serve: flight-recorder slow-query threshold; queries above "
+        "it keep their full EXPLAIN ANALYZE tree (0 disables the slow log)",
+    )
+    parser.add_argument(
+        "--flight-out",
+        default=None,
+        metavar="PATH",
+        help="serve: dump the per-query flight records as JSONL",
+    )
+    parser.add_argument(
+        "--telemetry-url",
+        default=None,
+        metavar="URL",
+        help="health: scrape a running telemetry endpoint's /healthz "
+        "instead of evaluating a local demo workload",
+    )
+    parser.add_argument(
+        "--history",
+        default=None,
+        metavar="PATH",
+        help="regress: benchmark history file (default BENCH_HISTORY.jsonl, "
+        "or the BENCH_HISTORY_PATH environment variable)",
+    )
+    parser.add_argument(
+        "--max-slowdown",
+        type=float,
+        default=1.5,
+        metavar="RATIO",
+        help="regress: fail when a direction-classified metric moves past "
+        "this ratio in the worse direction",
+    )
+    parser.add_argument(
         "--wal",
         choices=["on", "off"],
         default="on",
@@ -585,6 +791,16 @@ def main(argv: List[str] | None = None) -> int:
         return _run_serve(args)
     if args.experiment == "write":
         return _run_write(args)
+    if args.experiment in ("health", "regress"):
+        if args.sql is not None:
+            raise SystemExit(
+                "a SQL argument is only valid with the explain command"
+            )
+        return (
+            _run_health(args)
+            if args.experiment == "health"
+            else _run_regress(args)
+        )
     if args.sql is not None:
         raise SystemExit(
             "a SQL argument is only valid with the explain or write commands"

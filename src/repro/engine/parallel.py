@@ -229,7 +229,7 @@ class ThreadedPartitionEngine:
             }
             totals.n_result_tuples = len(valid)
             self.last_stats = totals
-        record_query(engine, plan, totals)
+        record_query(engine, plan, totals, query=query)
         return ResultSet(valid, columns)
 
     # --------------------------------------------------------- internals

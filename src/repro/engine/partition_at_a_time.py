@@ -176,7 +176,7 @@ class PartitionAtATimeExecutor:
             valid = np.nonzero(status == STATUS_VALID)[0].astype(np.int64)
             result = merge_results(valid, values, projected, stats)
             finalize_stats(stats, self.cpu_model, started)
-        record_query("partition-at-a-time", plan, stats)
+        record_query("partition-at-a-time", plan, stats, query=query)
         return result, stats
 
     # ------------------------------------------------------------ phase 1

@@ -126,7 +126,7 @@ class ReplicatedExecutor:
             # The fallback path already published through the standard
             # engine; publishing the combined ledger again would double
             # count, so only the clean local path records here.
-            record_query(engine, plan, final_stats)
+            record_query(engine, plan, final_stats, query=query)
         return result, final_stats
 
     def _run_local(

@@ -184,7 +184,7 @@ class ScanExecutor:
                     )
             result = merge_results(selected, values, projected, stats)
             finalize_stats(stats, self.cpu_model, started)
-        record_query("scan", plan, stats)
+        record_query("scan", plan, stats, query=query)
         return result, stats
 
     def _selection_vector(

@@ -33,7 +33,8 @@ from contextlib import contextmanager
 from contextvars import ContextVar
 from typing import Iterator, Optional
 
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .digest import QuantileDigest
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, Summary
 from .trace import (
     NOOP_TRACER,
     NoopTracer,
@@ -48,14 +49,18 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "NoopTracer",
+    "QuantileDigest",
     "Span",
+    "Summary",
     "TraceCollector",
     "Tracer",
     "disable",
     "enable",
     "get_registry",
+    "global_trace_collector",
     "metrics_enabled",
     "scoped_trace",
+    "scoped_tracing_active",
     "tracer",
     "tracing_enabled",
 ]
@@ -84,12 +89,30 @@ def tracing_enabled() -> bool:
     return tracer().enabled
 
 
+def scoped_tracing_active() -> bool:
+    """True when a context-local tracer (``scoped_trace``) is installed.
+
+    The scheduler's slow-query capture checks this before installing its
+    own collector, so it never steals spans from a client that wrapped its
+    submit in a ``scoped_trace`` (the PR-7 contract).
+    """
+    return _ACTIVE_TRACER.get() is not None
+
+
 def metrics_enabled() -> bool:
     return _METRICS_ENABLED
 
 
 def get_registry() -> MetricsRegistry:
     return _REGISTRY
+
+
+def global_trace_collector() -> Optional[TraceCollector]:
+    """The globally enabled tracer's collector, or None when tracing is
+    off (``/hotspots`` and the profile subcommand read it)."""
+    if isinstance(_GLOBAL_TRACER, Tracer):
+        return _GLOBAL_TRACER.collector
+    return None
 
 
 def enable(
@@ -152,6 +175,23 @@ from .export import (  # noqa: E402
     render_prometheus,
     top_hotspots,
 )
+from .flight import (  # noqa: E402
+    FlightRecord,
+    FlightRecorder,
+    flight_recorder,
+    install_flight_recorder,
+    load_flight_history,
+    uninstall_flight_recorder,
+)
+from .health import (  # noqa: E402
+    HealthMonitor,
+    HealthReport,
+    HealthRule,
+    MetricValue,
+    Ratio,
+    default_rules,
+)
+from .promparse import ExpositionError, MetricFamily, parse_exposition  # noqa: E402
 from .publish import (  # noqa: E402
     publish_adaptation,
     publish_buffer_pool,
@@ -162,13 +202,29 @@ from .publish import (  # noqa: E402
     publish_wal,
     record_query,
 )
+from .server import TelemetryServer  # noqa: E402
 
 __all__ += [
     "AnalyzeNode",
+    "ExpositionError",
+    "FlightRecord",
+    "FlightRecorder",
+    "HealthMonitor",
+    "HealthReport",
+    "HealthRule",
+    "MetricFamily",
+    "MetricValue",
+    "Ratio",
+    "TelemetryServer",
     "build_analyze_tree",
+    "default_rules",
     "dump_jsonl",
     "explain_analyze",
+    "flight_recorder",
     "hotspot_summary",
+    "install_flight_recorder",
+    "load_flight_history",
+    "parse_exposition",
     "publish_adaptation",
     "publish_buffer_pool",
     "publish_fault_stats",
@@ -179,4 +235,5 @@ __all__ += [
     "record_query",
     "render_prometheus",
     "top_hotspots",
+    "uninstall_flight_recorder",
 ]

@@ -1,0 +1,236 @@
+"""A mergeable, deterministic, fixed-bucket log-scale quantile digest.
+
+Streaming percentiles for the serving tier: per-engine latency, queue wait
+and WAL group-commit delay must be queryable *live* (p50/p95/p99 on a
+scrape) without retaining every observation.  The classic structures
+(t-digest, GK) trade determinism for adaptivity; this engine's testing
+strategy leans hard on bit-reproducible runs, so the digest here is the
+simplest structure with a provable error bound and *exactly* merge- and
+interleaving-invariant state:
+
+* buckets are fixed at construction — logarithmically spaced boundaries
+  ``b_i = lo * 10^(i / bins_per_decade)`` — so an observation's bucket is a
+  pure function of its value;
+* per-bucket tallies and the running sum (kept in integer units of ``lo``,
+  never floats) are commutative integer additions, so any interleaving of
+  ``observe`` calls across threads, and any merge order across digests,
+  produces the identical final state;
+* :meth:`quantile` returns the *upper bound* of the bucket holding the
+  requested rank, which yields the two-sided guarantee tested in
+  ``tests/obs/test_digest.py``: for the exact order statistic ``x`` at rank
+  ``ceil(q * n)`` (values within ``(lo, hi]``),
+
+      ``x <= quantile(q) < x * 10^(1 / bins_per_decade)``
+
+  i.e. never an under-estimate, and a relative over-estimate bounded by one
+  bucket ratio (~7.5% at the default 32 bins per decade).
+
+Values at or below ``lo`` clamp to ``lo`` (the resolution floor), values
+above ``hi`` clamp to the last boundary (tracked in ``n_overflow``);
+both keep the "never under-estimates within range" guarantee one-sided
+rather than wrong.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Mapping, Tuple
+
+__all__ = ["QuantileDigest"]
+
+
+class QuantileDigest:
+    """Fixed-bucket log-scale quantile sketch over positive values."""
+
+    __slots__ = (
+        "lo",
+        "hi",
+        "bins_per_decade",
+        "bounds",
+        "_counts",
+        "count",
+        "_sum_units",
+        "n_underflow",
+        "n_overflow",
+    )
+
+    def __init__(
+        self,
+        lo: float = 1e-6,
+        hi: float = 1e5,
+        bins_per_decade: int = 32,
+    ):
+        if not (lo > 0.0 and hi > lo):
+            raise ValueError(f"need 0 < lo < hi, got lo={lo!r} hi={hi!r}")
+        if bins_per_decade <= 0:
+            raise ValueError("bins_per_decade must be positive")
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self.bins_per_decade = int(bins_per_decade)
+        n_bounds = (
+            int(math.ceil(self.bins_per_decade * math.log10(self.hi / self.lo)))
+            + 1
+        )
+        #: bucket boundaries; bucket ``i`` holds values in
+        #: ``(bounds[i-1], bounds[i]]`` and bucket 0 holds ``v <= lo``.
+        self.bounds: Tuple[float, ...] = tuple(
+            self.lo * 10.0 ** (i / self.bins_per_decade)
+            for i in range(n_bounds)
+        )
+        self._counts: Dict[int, int] = {}
+        self.count = 0
+        self._sum_units = 0  # running sum in integer units of ``lo``
+        self.n_underflow = 0
+        self.n_overflow = 0
+
+    # ------------------------------------------------------------- observe
+
+    @property
+    def relative_error(self) -> float:
+        """Worst-case relative over-estimate of :meth:`quantile`."""
+        return 10.0 ** (1.0 / self.bins_per_decade) - 1.0
+
+    @property
+    def sum(self) -> float:
+        """Sum of observations at ``lo`` resolution (deterministic)."""
+        return self._sum_units * self.lo
+
+    def observe(self, value: float) -> None:
+        """Tally one observation.  Not synchronized — callers that share a
+        digest across threads must hold their own lock (``Summary`` does)."""
+        v = float(value)
+        if math.isnan(v):
+            raise ValueError("cannot observe NaN")
+        self._counts[self._bucket(v)] = (
+            self._counts.get(self._bucket(v), 0) + 1
+        )
+        self.count += 1
+        self._sum_units += int(round(max(v, 0.0) / self.lo))
+
+    def _bucket(self, v: float) -> int:
+        last = len(self.bounds) - 1
+        if v <= self.lo:
+            self.n_underflow += v < self.lo
+            return 0
+        if v > self.bounds[last]:
+            self.n_overflow += 1
+            return last + 1
+        index = int(math.ceil(self.bins_per_decade * math.log10(v / self.lo)))
+        index = min(max(index, 1), last)
+        # math.log10 rounding can land one bucket off near a boundary; fix
+        # up so the invariant bounds[index-1] < v <= bounds[index] holds
+        # exactly under float comparison (the error bound depends on it).
+        while index > 1 and v <= self.bounds[index - 1]:
+            index -= 1
+        while index < last and v > self.bounds[index]:
+            index += 1
+        return index
+
+    # ------------------------------------------------------------ quantile
+
+    def quantile(self, q: float) -> float:
+        """Value at quantile ``q`` in [0, 1]; 0.0 on an empty digest."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, int(math.ceil(q * self.count)))
+        cumulative = 0
+        last = len(self.bounds) - 1
+        for index in sorted(self._counts):
+            cumulative += self._counts[index]
+            if cumulative >= rank:
+                return self.bounds[min(index, last)]
+        return self.bounds[last]  # pragma: no cover - counts always sum
+
+    def quantiles(self, qs: Iterable[float]) -> Tuple[float, ...]:
+        return tuple(self.quantile(q) for q in qs)
+
+    # --------------------------------------------------------------- merge
+
+    def compatible(self, other: "QuantileDigest") -> bool:
+        return (
+            self.lo == other.lo
+            and self.hi == other.hi
+            and self.bins_per_decade == other.bins_per_decade
+        )
+
+    def update(self, other: "QuantileDigest") -> "QuantileDigest":
+        """Fold ``other`` into this digest (commutative, associative)."""
+        if not self.compatible(other):
+            raise ValueError(
+                "cannot merge digests with different bucket layouts: "
+                f"({self.lo}, {self.hi}, {self.bins_per_decade}) vs "
+                f"({other.lo}, {other.hi}, {other.bins_per_decade})"
+            )
+        for index, tally in other._counts.items():
+            self._counts[index] = self._counts.get(index, 0) + tally
+        self.count += other.count
+        self._sum_units += other._sum_units
+        self.n_underflow += other.n_underflow
+        self.n_overflow += other.n_overflow
+        return self
+
+    @classmethod
+    def merged(cls, digests: Iterable["QuantileDigest"]) -> "QuantileDigest":
+        """A fresh digest holding every input's observations."""
+        result: QuantileDigest | None = None
+        for digest in digests:
+            if result is None:
+                result = cls(
+                    digest.lo, digest.hi, digest.bins_per_decade
+                )
+            result.update(digest)
+        if result is None:
+            return cls()
+        return result
+
+    def copy(self) -> "QuantileDigest":
+        return QuantileDigest.merged([self])
+
+    # ------------------------------------------------------- serialization
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-safe state; round-trips through :meth:`from_dict`."""
+        return {
+            "lo": self.lo,
+            "hi": self.hi,
+            "bins_per_decade": self.bins_per_decade,
+            "counts": {str(k): v for k, v in sorted(self._counts.items())},
+            "count": self.count,
+            "sum_units": self._sum_units,
+            "n_underflow": self.n_underflow,
+            "n_overflow": self.n_overflow,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "QuantileDigest":
+        digest = cls(
+            lo=float(payload["lo"]),  # type: ignore[arg-type]
+            hi=float(payload["hi"]),  # type: ignore[arg-type]
+            bins_per_decade=int(payload["bins_per_decade"]),  # type: ignore[arg-type]
+        )
+        counts: Mapping[str, int] = payload.get("counts", {})  # type: ignore[assignment]
+        digest._counts = {int(k): int(v) for k, v in counts.items()}
+        digest.count = int(payload.get("count", 0))  # type: ignore[arg-type]
+        digest._sum_units = int(payload.get("sum_units", 0))  # type: ignore[arg-type]
+        digest.n_underflow = int(payload.get("n_underflow", 0))  # type: ignore[arg-type]
+        digest.n_overflow = int(payload.get("n_overflow", 0))  # type: ignore[arg-type]
+        return digest
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QuantileDigest):
+            return NotImplemented
+        return (
+            self.compatible(other)
+            and self._counts == other._counts
+            and self.count == other.count
+            and self._sum_units == other._sum_units
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QuantileDigest(n={self.count}, "
+            f"p50={self.quantile(0.5):.6g}, p99={self.quantile(0.99):.6g}, "
+            f"rel_err<={self.relative_error:.3%})"
+        )

@@ -1,0 +1,630 @@
+"""The query flight recorder: a persistable ring of per-query records.
+
+Spans answer "where did *this* query spend its time"; metrics answer "how
+is the system doing *now*".  Neither answers the operator question that
+drives reclustering and capacity decisions in production engines — *what
+were the slowest queries in the last hour, and why* — once the process has
+moved on.  The flight recorder closes that gap: a bounded, thread-safe
+ring of :class:`FlightRecord` entries, one per completed query, fed from
+the **single hook** every engine driver already passes through
+(:func:`repro.obs.publish.record_query`) and finalized by the
+:class:`~repro.serve.QueryScheduler` with the serving-tier facts the
+engine cannot know (priority, queue wait, admission outcome, WAL LSN at
+submit).
+
+Design points:
+
+* **Zero perturbation.** The recorder only *reads* finished
+  ``ExecutionStats``; nothing in the hot path changes, and a recorder-on
+  run is bit-identical to a recorder-off run on the simulated accounting
+  (a tier-1 test sweeps the 768-entry stats snapshot both ways).
+* **Two-phase capture.** Inside a scheduler worker a ``ContextVar`` holds
+  the in-flight request's context; ``record_query`` *stages* the record
+  there and the scheduler finalizes it with latency/outcome before the
+  ticket is released.  Outside any scheduler (direct ``engine.execute``
+  calls) the record finalizes immediately with the engine's own wall time.
+* **Slow-query log.** Records whose latency crosses ``slow_query_s`` are
+  flagged and — when the scheduler captured spans for the request — carry
+  the rendered EXPLAIN ANALYZE tree, so the "why" survives alongside the
+  "how long".
+* **Persistence.** Records spill as JSONL blobs through the ordinary
+  :class:`~repro.storage.blob.BlobStore` interface (rotation bounded by
+  ``max_spill_blobs``), so history survives restarts and rides whatever
+  store the deployment already uses.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from collections import deque
+from contextvars import ContextVar
+from dataclasses import dataclass, field, fields, replace
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+)
+
+__all__ = [
+    "FLIGHT_CONTEXT",
+    "FlightRecord",
+    "FlightRecorder",
+    "flight_recorder",
+    "install_flight_recorder",
+    "load_flight_history",
+    "note_query",
+    "uninstall_flight_recorder",
+]
+
+#: Per-request staging area.  The scheduler sets a fresh dict before running
+#: a request in the submitter's copied context; ``note_query`` stages the
+#: engine-side record here; the scheduler finalizes it.  None outside a
+#: scheduler worker.
+FLIGHT_CONTEXT: ContextVar[Optional[Dict[str, Any]]] = ContextVar(
+    "jigsaw_flight_context", default=None
+)
+
+#: The process-wide recorder (None until installed).
+_RECORDER: Optional["FlightRecorder"] = None
+
+
+@dataclass(slots=True)
+class FlightRecord:
+    """One completed (or rejected) query, flattened for JSONL."""
+
+    seq: int
+    ts_unix_s: float
+    engine: str
+    query: str = ""
+    label: str = ""
+    table: str = ""
+    priority: str = ""
+    outcome: str = "ok"
+    latency_s: float = 0.0
+    queue_wait_s: float = 0.0
+    wall_time_s: float = 0.0
+    sim_io_s: float = 0.0
+    sim_cpu_s: float = 0.0
+    bytes_read: int = 0
+    n_partition_reads: int = 0
+    n_partitions_skipped: int = 0
+    n_partitions_pruned: int = 0
+    n_partitions_zonemap_pruned: int = 0
+    n_partitions_sketch_pruned: int = 0
+    n_partitions_cache_pruned: int = 0
+    n_cache_hits: int = 0
+    n_pool_hits: int = 0
+    n_retries: int = 0
+    n_degraded_reads: int = 0
+    n_unreadable_partitions: int = 0
+    n_result_tuples: int = 0
+    estimated_bytes: int = 0
+    catalog_version: int = -1
+    wal_lsn: int = -1
+    slow: bool = False
+    error: str = ""
+    explain: str = ""
+    labels: Dict[str, str] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        out = {f.name: getattr(self, f.name) for f in fields(FlightRecord)}
+        out["labels"] = dict(self.labels)
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FlightRecord":
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in known})
+
+
+def _record_from_stats(
+    seq: int, engine: str, plan, stats, query, labels: Dict[str, str]
+) -> FlightRecord:
+    """Flatten one finished execution into a record (pure reads)."""
+    pruned = getattr(stats, "n_partitions_pruned", 0)
+    sketch = getattr(stats, "n_partitions_sketch_pruned", 0)
+    cache = getattr(stats, "n_partitions_cache_pruned", 0)
+    record = FlightRecord(
+        seq=seq,
+        ts_unix_s=time.time(),
+        engine=engine,
+        query=repr(query) if query is not None else "",
+        label=getattr(query, "label", "") or "",
+        wall_time_s=getattr(stats, "wall_time_s", 0.0),
+        sim_io_s=getattr(stats, "io_time_s", 0.0),
+        sim_cpu_s=getattr(stats, "cpu_time_s", 0.0),
+        bytes_read=getattr(stats, "bytes_read", 0),
+        n_partition_reads=getattr(stats, "n_partition_reads", 0),
+        n_partitions_skipped=getattr(stats, "n_partitions_skipped", 0),
+        n_partitions_pruned=pruned,
+        n_partitions_zonemap_pruned=max(0, pruned - sketch - cache),
+        n_partitions_sketch_pruned=sketch,
+        n_partitions_cache_pruned=cache,
+        n_cache_hits=getattr(stats, "n_cache_hits", 0),
+        n_pool_hits=getattr(stats, "n_pool_hits", 0),
+        n_retries=getattr(stats, "n_retries", 0),
+        n_degraded_reads=getattr(stats, "n_degraded_reads", 0),
+        n_unreadable_partitions=getattr(stats, "n_unreadable_partitions", 0),
+        n_result_tuples=getattr(stats, "n_result_tuples", 0),
+        labels=labels,
+    )
+    if plan is not None:
+        record.estimated_bytes = int(getattr(plan, "estimated_bytes", 0))
+        manager = getattr(plan, "manager", None)
+        if manager is not None:
+            record.catalog_version = getattr(manager, "catalog_version", -1)
+            record.table = getattr(manager, "key_prefix", "") or ""
+    return record
+
+
+class FlightRecorder:
+    """Bounded thread-safe ring of per-query records with JSONL spill.
+
+    ``slow_query_s`` flags records at or above the threshold and keeps
+    their EXPLAIN ANALYZE (when spans were captured); ``store`` enables
+    JSONL spill through any blob store, one blob per ``spill_every``
+    records, rotated down to ``max_spill_blobs``; ``flush_interval_s``
+    starts a (non-daemon, joined-on-close) background flusher for
+    long-running servers; ``lsn_provider`` supplies the WAL LSN stamped
+    onto each submit.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 2048,
+        slow_query_s: Optional[float] = None,
+        capture_explain: bool = True,
+        store=None,
+        key_prefix: str = "flight/",
+        spill_every: int = 512,
+        max_spill_blobs: int = 16,
+        flush_interval_s: Optional[float] = None,
+        lsn_provider: Optional[Callable[[], int]] = None,
+        default_labels: Optional[Mapping[str, str]] = None,
+    ):
+        if capacity <= 0:
+            raise ValueError("flight recorder capacity must be positive")
+        if spill_every <= 0:
+            raise ValueError("spill_every must be positive")
+        self.capacity = int(capacity)
+        self.slow_query_s = slow_query_s
+        self.capture_explain = capture_explain
+        self.store = store
+        self.key_prefix = key_prefix
+        self.spill_every = int(spill_every)
+        self.max_spill_blobs = int(max_spill_blobs)
+        self.lsn_provider = lsn_provider
+        self.default_labels = dict(default_labels or {})
+        self._lock = threading.Lock()
+        self._ring: Deque[FlightRecord] = deque(maxlen=self.capacity)
+        self._slow: Deque[FlightRecord] = deque(maxlen=max(64, capacity // 8))
+        self._spill_buffer: List[FlightRecord] = []
+        self._next_seq = 0
+        self._next_blob = 0
+        self._closed = False
+        # lifetime accounting
+        self.n_recorded = 0
+        self.n_slow = 0
+        self.n_errors = 0
+        self.n_rejections = 0
+        self.n_spilled = 0
+        self._flusher: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        if flush_interval_s is not None:
+            if store is None:
+                raise ValueError("flush_interval_s needs a store to flush to")
+            self._flusher = threading.Thread(
+                target=self._flush_loop,
+                args=(float(flush_interval_s),),
+                name="jigsaw-flight-flusher",
+                daemon=False,
+            )
+            self._flusher.start()
+
+    # ------------------------------------------------------------- capture
+
+    def current_lsn(self) -> int:
+        """LSN to stamp on a submit (-1 when no WAL is wired in)."""
+        if self.lsn_provider is None:
+            return -1
+        try:
+            return int(self.lsn_provider())
+        except Exception:
+            return -1
+
+    def note(self, engine: str, plan, stats, query=None) -> None:
+        """Stage or finalize one finished execution (the engine-side hook).
+
+        Inside a scheduler request (``FLIGHT_CONTEXT`` set) the record is
+        *staged* for the scheduler to finalize with serving-tier facts; a
+        previously staged record (a multi-scan relational plan records once
+        per table scan) finalizes first, so nothing is lost.  Outside a
+        scheduler the record finalizes immediately with the engine's own
+        wall time.
+        """
+        if self._closed or stats is None:
+            return
+        with self._lock:
+            seq = self._next_seq
+            self._next_seq += 1
+        record = _record_from_stats(
+            seq, engine, plan, stats, query, dict(self.default_labels)
+        )
+        context = FLIGHT_CONTEXT.get()
+        if context is not None:
+            staged = context.pop("record", None)
+            if staged is not None:
+                self._finish(
+                    staged,
+                    latency_s=staged.wall_time_s,
+                    queue_wait_s=0.0,
+                    priority=context.get("priority", ""),
+                    wal_lsn=context.get("wal_lsn", -1),
+                )
+            context["record"] = record
+            context["stats"] = stats
+        else:
+            self._finish(
+                record, latency_s=record.wall_time_s, queue_wait_s=0.0
+            )
+
+    def finalize_context(
+        self,
+        context: Dict[str, Any],
+        latency_s: float,
+        queue_wait_s: float,
+        priority: str,
+        engine: str,
+        query=None,
+        outcome: str = "ok",
+        error: Optional[BaseException] = None,
+        spans: Sequence[Any] = (),
+    ) -> Optional[FlightRecord]:
+        """Finalize the staged record with the scheduler-side facts.
+
+        When the engine never reached ``record_query`` (an error mid-plan,
+        or a stub engine) a bare record is synthesized so the flight log
+        still shows the request.
+        """
+        if self._closed:
+            return None
+        record = context.pop("record", None)
+        stats = context.pop("stats", None)
+        if record is None:
+            with self._lock:
+                seq = self._next_seq
+                self._next_seq += 1
+            record = FlightRecord(
+                seq=seq,
+                ts_unix_s=time.time(),
+                engine=engine,
+                query=repr(query) if query is not None else "",
+                label=getattr(query, "label", "") or "",
+                labels=dict(self.default_labels),
+            )
+        if error is not None:
+            outcome = "error"
+            record.error = f"{type(error).__name__}: {error}"
+        return self._finish(
+            record,
+            latency_s=latency_s,
+            queue_wait_s=queue_wait_s,
+            priority=priority,
+            wal_lsn=context.get("wal_lsn", -1),
+            outcome=outcome,
+            stats=stats,
+            spans=spans,
+        )
+
+    def record_rejection(
+        self, engine: str, priority: str, reason: str, query=None
+    ) -> None:
+        """An admission-control rejection: no execution, still history."""
+        if self._closed:
+            return
+        with self._lock:
+            seq = self._next_seq
+            self._next_seq += 1
+        record = FlightRecord(
+            seq=seq,
+            ts_unix_s=time.time(),
+            engine=engine,
+            priority=priority,
+            outcome="rejected",
+            error=reason,
+            query=repr(query) if query is not None else "",
+            label=getattr(query, "label", "") or "",
+            wal_lsn=self.current_lsn(),
+            labels=dict(self.default_labels),
+        )
+        with self._lock:
+            self.n_rejections += 1
+        self._append(record)
+
+    def _finish(
+        self,
+        record: FlightRecord,
+        latency_s: float,
+        queue_wait_s: float,
+        priority: str = "",
+        wal_lsn: int = -1,
+        outcome: str = "ok",
+        stats=None,
+        spans: Sequence[Any] = (),
+    ) -> FlightRecord:
+        record.latency_s = float(latency_s)
+        record.queue_wait_s = float(queue_wait_s)
+        record.priority = priority
+        record.outcome = outcome
+        if record.wal_lsn < 0:
+            record.wal_lsn = wal_lsn if wal_lsn >= 0 else self.current_lsn()
+        if (
+            self.slow_query_s is not None
+            and record.latency_s >= self.slow_query_s
+        ):
+            record.slow = True
+            if self.capture_explain and spans and stats is not None:
+                record.explain = self._render_explain(record, stats, spans)
+        self._append(record)
+        return record
+
+    def _render_explain(self, record: FlightRecord, stats, spans) -> str:
+        """EXPLAIN ANALYZE text from the request's captured spans.
+
+        Under a scheduler the ``exec.query`` span nests beneath the
+        ``serve.request`` span, which lives in a *different* collector —
+        re-root such spans so the tree builder finds them.  Never lets a
+        render problem break serving.
+        """
+        try:
+            from .analyze import ROOT_SPAN, build_analyze_tree
+
+            span_ids = {s.span_id for s in spans}
+            normalized = [
+                replace(s, parent_id=None)
+                if s.name == ROOT_SPAN
+                and s.parent_id is not None
+                and s.parent_id not in span_ids
+                else s
+                for s in spans
+            ]
+            return build_analyze_tree(
+                normalized, stats, engine=record.engine
+            ).render()
+        except Exception:  # pragma: no cover - defensive
+            return ""
+
+    def _append(self, record: FlightRecord) -> None:
+        spill: Optional[List[FlightRecord]] = None
+        with self._lock:
+            if self._closed:
+                return
+            self._ring.append(record)
+            self.n_recorded += 1
+            if record.slow:
+                self._slow.append(record)
+                self.n_slow += 1
+            if record.outcome == "error":
+                self.n_errors += 1
+            if self.store is not None:
+                self._spill_buffer.append(record)
+                if len(self._spill_buffer) >= self.spill_every:
+                    spill, self._spill_buffer = self._spill_buffer, []
+        if spill:
+            self._spill(spill)
+
+    # --------------------------------------------------------------- spill
+
+    def _blob_key(self, index: int) -> str:
+        return f"{self.key_prefix}{index:08d}.jsonl"
+
+    def _spill(self, records: List[FlightRecord]) -> None:
+        if self.store is None or not records:
+            return
+        payload = "\n".join(
+            json.dumps(r.as_dict(), sort_keys=True) for r in records
+        ) + "\n"
+        with self._lock:
+            index = self._next_blob
+            self._next_blob += 1
+            self.n_spilled += len(records)
+        self.store.put(self._blob_key(index), payload.encode("utf-8"))
+        self._rotate()
+
+    def _rotate(self) -> None:
+        """Drop the oldest spill blobs beyond ``max_spill_blobs``."""
+        if self.store is None or self.max_spill_blobs <= 0:
+            return
+        mine = sorted(
+            key
+            for key in self.store.keys()
+            if key.startswith(self.key_prefix) and key.endswith(".jsonl")
+        )
+        for key in mine[: max(0, len(mine) - self.max_spill_blobs)]:
+            self.store.delete(key)
+
+    def flush(self) -> int:
+        """Spill everything buffered; returns how many records went out."""
+        with self._lock:
+            pending, self._spill_buffer = self._spill_buffer, []
+        self._spill(pending)
+        return len(pending)
+
+    def _flush_loop(self, interval_s: float) -> None:
+        while not self._stop.wait(interval_s):
+            self.flush()
+
+    def close(self) -> None:
+        """Stop the flusher, spill the tail, refuse further records.
+
+        Idempotent and safe to call from scheduler teardown paths that may
+        run more than once.
+        """
+        with self._lock:
+            if self._closed:
+                return
+        self._stop.set()
+        if self._flusher is not None:
+            self._flusher.join()
+            self._flusher = None
+        self.flush()
+        with self._lock:
+            self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "FlightRecorder":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ----------------------------------------------------------- query API
+
+    def records(
+        self,
+        engine: Optional[str] = None,
+        table: Optional[str] = None,
+        outcome: Optional[str] = None,
+        slow: Optional[bool] = None,
+        since_unix_s: Optional[float] = None,
+        until_unix_s: Optional[float] = None,
+        n: Optional[int] = None,
+    ) -> List[FlightRecord]:
+        """Filtered records, oldest first (``n`` keeps the newest n)."""
+        with self._lock:
+            snapshot = list(self._ring)
+        out = [
+            r
+            for r in snapshot
+            if (engine is None or r.engine == engine)
+            and (table is None or r.table == table)
+            and (outcome is None or r.outcome == outcome)
+            and (slow is None or r.slow == slow)
+            and (since_unix_s is None or r.ts_unix_s >= since_unix_s)
+            and (until_unix_s is None or r.ts_unix_s <= until_unix_s)
+        ]
+        if n is not None:
+            out = out[-n:]
+        return out
+
+    def top_n(
+        self, n: int = 10, key: str = "latency_s", **filters: Any
+    ) -> List[FlightRecord]:
+        """The n worst records by ``key`` (any numeric field), worst first."""
+        ranked = sorted(
+            self.records(**filters),
+            key=lambda r: getattr(r, key),
+            reverse=True,
+        )
+        return ranked[:n]
+
+    def slow_queries(self, n: Optional[int] = None) -> List[FlightRecord]:
+        with self._lock:
+            out = list(self._slow)
+        return out[-n:] if n is not None else out
+
+    def percentile(
+        self, q: float, key: str = "latency_s", **filters: Any
+    ) -> float:
+        """Exact percentile of ``key`` over the retained records."""
+        values = sorted(getattr(r, key) for r in self.records(**filters))
+        if not values:
+            return 0.0
+        rank = max(1, int(math.ceil(q * len(values))))
+        return float(values[rank - 1])
+
+    def summary(self) -> Dict[str, Any]:
+        """Aggregate view for ``/queries`` and the CLI."""
+        records = self.records()
+        by_engine: Dict[str, int] = {}
+        by_outcome: Dict[str, int] = {}
+        for r in records:
+            by_engine[r.engine] = by_engine.get(r.engine, 0) + 1
+            by_outcome[r.outcome] = by_outcome.get(r.outcome, 0) + 1
+        return {
+            "n_retained": len(records),
+            "n_recorded": self.n_recorded,
+            "n_slow": self.n_slow,
+            "n_errors": self.n_errors,
+            "n_rejections": self.n_rejections,
+            "n_spilled": self.n_spilled,
+            "by_engine": by_engine,
+            "by_outcome": by_outcome,
+            "latency_p50_s": self.percentile(0.50),
+            "latency_p95_s": self.percentile(0.95),
+            "latency_p99_s": self.percentile(0.99),
+        }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FlightRecorder({len(self)}/{self.capacity} retained, "
+            f"recorded={self.n_recorded}, slow={self.n_slow}, "
+            f"spilled={self.n_spilled})"
+        )
+
+
+# ------------------------------------------------------------ module hooks
+
+
+def note_query(engine: str, plan, stats, query=None) -> None:
+    """The engine-side hook: forwards to the installed recorder, if any.
+
+    Called from :func:`repro.obs.publish.record_query` *before* the
+    metrics gate, so the flight log works with metrics off.
+    """
+    recorder = _RECORDER
+    if recorder is not None:
+        recorder.note(engine, plan, stats, query=query)
+
+
+def install_flight_recorder(recorder: FlightRecorder) -> FlightRecorder:
+    """Make ``recorder`` the process-wide recorder (closing any previous)."""
+    global _RECORDER
+    previous = _RECORDER
+    _RECORDER = recorder
+    if previous is not None and previous is not recorder:
+        previous.close()
+    return recorder
+
+
+def flight_recorder() -> Optional[FlightRecorder]:
+    return _RECORDER
+
+
+def uninstall_flight_recorder(close: bool = True) -> None:
+    global _RECORDER
+    previous = _RECORDER
+    _RECORDER = None
+    if previous is not None and close:
+        previous.close()
+
+
+def load_flight_history(
+    store, key_prefix: str = "flight/"
+) -> List[FlightRecord]:
+    """Replayed JSONL spill blobs, oldest first (restart recovery)."""
+    out: List[FlightRecord] = []
+    for key in sorted(
+        k
+        for k in store.keys()
+        if k.startswith(key_prefix) and k.endswith(".jsonl")
+    ):
+        for line in store.get(key).decode("utf-8").splitlines():
+            if line.strip():
+                out.append(FlightRecord.from_dict(json.loads(line)))
+    return out

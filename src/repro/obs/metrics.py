@@ -26,12 +26,16 @@ from __future__ import annotations
 import threading
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from .digest import QuantileDigest
+
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "Summary",
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
+    "DEFAULT_QUANTILES",
 ]
 
 #: Default histogram buckets, in simulated seconds — wide enough to span a
@@ -39,6 +43,9 @@ __all__ = [
 DEFAULT_BUCKETS: Tuple[float, ...] = (
     1e-4, 1e-3, 1e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
 )
+
+#: Default summary quantiles — the SLO trio plus the median.
+DEFAULT_QUANTILES: Tuple[float, ...] = (0.5, 0.9, 0.95, 0.99)
 
 LabelValues = Tuple[str, ...]
 
@@ -50,10 +57,29 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the text exposition format: backslash,
+    double-quote and line-feed must be escaped inside the quotes."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def escape_help_text(text: str) -> str:
+    """HELP lines escape backslash and line-feed (quotes are legal there)."""
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _format_labels(
     names: Sequence[str], values: Sequence[str], extra: str = ""
 ) -> str:
-    parts = [f'{name}="{value}"' for name, value in zip(names, values)]
+    parts = [
+        f'{name}="{escape_label_value(value)}"'
+        for name, value in zip(names, values)
+    ]
     if extra:
         parts.append(extra)
     return "{" + ",".join(parts) + "}" if parts else ""
@@ -214,6 +240,91 @@ class Histogram(_Metric):
         return lines
 
 
+class Summary(_Metric):
+    """Streaming quantiles per label set, backed by a mergeable
+    :class:`~repro.obs.digest.QuantileDigest`.
+
+    Renders in the Prometheus summary flavor — ``name{quantile="0.99"}``
+    series plus ``_sum``/``_count`` — but unlike client-library summaries
+    the per-series digests are deterministic and mergeable, so a scrape of
+    N workers can be folded into one digest with the same error bound.
+    """
+
+    kind = "summary"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        label_names: Sequence[str],
+        quantiles: Sequence[float] = DEFAULT_QUANTILES,
+        lo: float = 1e-6,
+        hi: float = 1e5,
+        bins_per_decade: int = 32,
+    ):
+        super().__init__(name, help_text, label_names)
+        self.quantiles = tuple(quantiles)
+        if not self.quantiles:
+            raise ValueError("summary needs at least one quantile")
+        self._digest_args = (float(lo), float(hi), int(bins_per_decade))
+
+    def observe(self, value: float, **labels: str) -> None:
+        key = self._values_for(labels)
+        with self._lock:
+            digest = self._series.get(key)
+            if digest is None:
+                digest = QuantileDigest(*self._digest_args)
+                self._series[key] = digest
+            digest.observe(value)
+
+    def quantile(self, q: float, **labels: str) -> float:
+        key = self._values_for(labels)
+        with self._lock:
+            digest = self._series.get(key)
+            return digest.quantile(q) if digest is not None else 0.0
+
+    def count(self, **labels: str) -> int:
+        key = self._values_for(labels)
+        with self._lock:
+            digest = self._series.get(key)
+            return digest.count if digest is not None else 0
+
+    def sum(self, **labels: str) -> float:
+        key = self._values_for(labels)
+        with self._lock:
+            digest = self._series.get(key)
+            return digest.sum if digest is not None else 0.0
+
+    def merged_digest(self) -> QuantileDigest:
+        """All label sets folded into one digest (for cross-series SLOs)."""
+        with self._lock:
+            digests = [d.copy() for d in self._series.values()]
+        if not digests:
+            return QuantileDigest(*self._digest_args)
+        return QuantileDigest.merged(digests)
+
+    def render(self) -> List[str]:
+        # Copy digests under the lock: quantile() iterates bucket counts,
+        # which must not race with a concurrent observe().
+        with self._lock:
+            snapshot = {k: d.copy() for k, d in self._series.items()}
+        lines = []
+        for values, digest in sorted(
+            snapshot.items(), key=lambda item: item[0]
+        ):
+            for q in self.quantiles:
+                labels = _format_labels(
+                    self.label_names, values, extra=f'quantile="{q:g}"'
+                )
+                lines.append(
+                    f"{self.name}{labels} {_format_value(digest.quantile(q))}"
+                )
+            plain = _format_labels(self.label_names, values)
+            lines.append(f"{self.name}_sum{plain} {_format_value(digest.sum)}")
+            lines.append(f"{self.name}_count{plain} {digest.count}")
+        return lines
+
+
 class MetricsRegistry:
     """Owns every metric; the engines publish through one shared instance.
 
@@ -267,6 +378,27 @@ class MetricsRegistry:
             Histogram, name, help_text, label_names, buckets=buckets
         )
 
+    def summary(
+        self,
+        name: str,
+        help_text: str = "",
+        label_names: Sequence[str] = (),
+        quantiles: Sequence[float] = DEFAULT_QUANTILES,
+        lo: float = 1e-6,
+        hi: float = 1e5,
+        bins_per_decade: int = 32,
+    ) -> Summary:
+        return self._get_or_create(
+            Summary,
+            name,
+            help_text,
+            label_names,
+            quantiles=quantiles,
+            lo=lo,
+            hi=hi,
+            bins_per_decade=bins_per_decade,
+        )
+
     def get(self, name: str) -> Optional[_Metric]:
         with self._lock:
             return self._metrics.get(name)
@@ -293,8 +425,13 @@ class MetricsRegistry:
             lines = metric.render()
             if not lines:
                 continue
+            # Exactly one HELP and one TYPE per family, HELP first, both
+            # before any sample — the in-tree parser enforces this shape.
             if metric.help_text:
-                blocks.append(f"# HELP {metric.name} {metric.help_text}")
+                blocks.append(
+                    f"# HELP {metric.name} "
+                    f"{escape_help_text(metric.help_text)}"
+                )
             blocks.append(f"# TYPE {metric.name} {metric.kind}")
             blocks.extend(lines)
         return "\n".join(blocks) + ("\n" if blocks else "")

@@ -52,15 +52,22 @@ _QUERY_COUNTERS = (
 )
 
 
-def record_query(engine: str, plan, stats) -> None:
+def record_query(engine: str, plan, stats, query=None) -> None:
     """Publish one finished query's stats (and cost-model drift) per engine.
 
     ``plan`` is the :class:`~repro.plan.physical.PhysicalPlan` the query ran
     under (or None, e.g. for a replica-local fast path with no standard
-    plan); ``stats`` its final ``ExecutionStats``.
+    plan); ``stats`` its final ``ExecutionStats``; ``query`` the executed
+    :class:`~repro.core.query.Query` when the driver has it in scope.
+
+    This is the single point every engine driver passes through at query
+    completion, so the flight recorder hooks here — *before* the metrics
+    gate, because the flight log works with metrics off.
     """
     from . import get_registry, metrics_enabled
+    from .flight import note_query
 
+    note_query(engine, plan, stats, query=query)
     if not metrics_enabled():
         return
     registry = get_registry()
@@ -190,6 +197,9 @@ def publish_serve(scheduler, ticket=None) -> None:
     registry.gauge(
         "jigsaw_serve_rejected_total", "Requests refused by admission control"
     ).set(scheduler.n_rejected)
+    registry.gauge(
+        "jigsaw_serve_submitted_total", "Requests accepted by the scheduler"
+    ).set(scheduler.n_submitted)
     if ticket is None:
         return
     outcome = "error" if ticket.error is not None else "ok"
@@ -206,6 +216,20 @@ def publish_serve(scheduler, ticket=None) -> None:
     registry.histogram(
         "jigsaw_serve_queue_wait_seconds",
         "Submit-to-start wall wait",
+        ("priority",),
+    ).observe(ticket.queue_wait_s, priority=ticket.priority)
+    # Streaming SLO quantiles: deterministic mergeable digests, so p50/p95/
+    # p99 render live in the exposition per engine×priority / per priority.
+    registry.summary(
+        "jigsaw_serve_latency_quantiles",
+        "Submit-to-done wall latency quantiles",
+        ("engine", "priority"),
+    ).observe(
+        ticket.latency_s, engine=ticket.engine, priority=ticket.priority
+    )
+    registry.summary(
+        "jigsaw_serve_queue_wait_quantiles",
+        "Submit-to-start wall wait quantiles",
         ("priority",),
     ).observe(ticket.queue_wait_s, priority=ticket.priority)
 
@@ -291,14 +315,26 @@ def publish_wal(wal) -> None:
         "n_empty_commits",
         "n_records_committed",
         "bytes_written",
+        "bytes_truncated",
         "n_batches_replayed",
         "n_records_replayed",
         "n_truncated_tails",
+        "n_checkpoints",
     ):
         registry.gauge(
             f"jigsaw_wal_{field_name}",
             f"WAL lifetime {field_name}",
         ).set(getattr(stats, field_name))
+    # Backlog = bytes appended but not yet folded by a compaction
+    # checkpoint (truncate_through) — the figure the WAL health rule pages
+    # on.
+    registry.gauge(
+        "jigsaw_wal_backlog_bytes",
+        "WAL bytes not yet released by a checkpoint truncation",
+    ).set(max(0, stats.bytes_written - stats.bytes_truncated))
+    registry.gauge(
+        "jigsaw_wal_last_lsn", "Highest LSN assigned by this WAL"
+    ).set(wal.last_lsn)
     commit_hist = registry.histogram(
         "jigsaw_wal_group_commit_seconds",
         "Wall-clock latency of one group commit (encode + batch put)",
@@ -307,10 +343,15 @@ def publish_wal(wal) -> None:
         "jigsaw_wal_fsync_seconds",
         "Wall-clock latency of the simulated fsync (the batch blob put)",
     )
+    commit_summary = registry.summary(
+        "jigsaw_wal_group_commit_delay_quantiles",
+        "Group-commit delay quantiles (streaming digest)",
+    )
     drained, stats.commit_latencies_s = stats.commit_latencies_s, []
     for latency in drained:
         commit_hist.observe(latency)
         fsync_hist.observe(latency)
+        commit_summary.observe(latency)
 
 
 def publish_txn(table) -> None:

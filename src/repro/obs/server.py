@@ -1,0 +1,247 @@
+"""The live telemetry endpoint: /metrics, /healthz, /queries, /hotspots.
+
+A stdlib-only (``http.server``) HTTP server that makes the running engine
+observable from outside the process — a Prometheus scraper, a ``curl`` in
+a terminal, the CI ``telemetry`` job — without adding a dependency or a
+framework.  Four routes:
+
+* ``GET /metrics``  — the registry's text exposition (version 0.0.4);
+* ``GET /healthz``  — the health monitor's JSON verdict; HTTP 200 for
+  ok/warn, 503 for crit, so a load balancer needs no JSON parser;
+* ``GET /queries``  — recent flight-recorder records as JSON
+  (``?n=``, ``?engine=``, ``?slow=1`` filters) plus the summary block;
+* ``GET /hotspots`` — top span aggregates from the global trace collector.
+
+Threading contract: request handling runs on daemon threads (a stuck
+client must never block interpreter exit), but the accept loop runs on a
+**non-daemon** thread so the autouse thread-leak fixture in the tests
+catches any server left running; :meth:`TelemetryServer.close` is
+idempotent, shuts the socket down and joins the loop.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional
+from urllib.parse import parse_qs, urlparse
+
+__all__ = ["TelemetryServer"]
+
+#: Content type mandated for the text exposition format.
+_METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes one request against the owning :class:`TelemetryServer`."""
+
+    server: "_OwnedHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # Silence the default stderr access log — the engine's own output
+    # channels stay deterministic.
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        return None
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        owner = self.server.owner
+        parsed = urlparse(self.path)
+        try:
+            if parsed.path == "/metrics":
+                self._send(200, owner.render_metrics(), _METRICS_CONTENT_TYPE)
+            elif parsed.path == "/healthz":
+                payload, status = owner.render_healthz()
+                self._send_json(status, payload)
+            elif parsed.path == "/queries":
+                params = parse_qs(parsed.query)
+                self._send_json(200, owner.render_queries(params))
+            elif parsed.path == "/hotspots":
+                params = parse_qs(parsed.query)
+                self._send_json(200, owner.render_hotspots(params))
+            elif parsed.path == "/":
+                self._send_json(200, owner.render_index())
+            else:
+                self._send_json(404, {"error": f"no route {parsed.path}"})
+        except Exception as error:  # pragma: no cover - defensive
+            self._send_json(500, {"error": f"{type(error).__name__}: {error}"})
+
+    def _send(self, status: int, body: str, content_type: str) -> None:
+        data = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        self._send(
+            status,
+            json.dumps(payload, sort_keys=True, default=str),
+            "application/json",
+        )
+
+
+class _OwnedHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True  # a stuck client never blocks process exit
+    #: set right after construction by TelemetryServer.
+    owner: "TelemetryServer"
+
+
+class TelemetryServer:
+    """Serves live telemetry for one process; ``port=0`` picks a free port.
+
+    ``registry``/``recorder``/``monitor``/``collector`` default to the
+    process-wide instances, so ``TelemetryServer().start()`` on a running
+    engine just works; pass explicit objects for isolation in tests.
+    """
+
+    def __init__(
+        self,
+        registry=None,
+        recorder=None,
+        monitor=None,
+        collector=None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self._registry = registry
+        self._recorder = recorder
+        self._monitor = monitor
+        self._collector = collector
+        self.host = host
+        self._requested_port = port
+        self._httpd: Optional[_OwnedHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+
+    # ----------------------------------------------------------- lifecycle
+
+    def start(self) -> "TelemetryServer":
+        if self._httpd is not None:
+            return self
+        if self._closed:
+            raise RuntimeError("telemetry server is closed")
+        httpd = _OwnedHTTPServer(
+            (self.host, self._requested_port), _Handler
+        )
+        httpd.owner = self
+        self._httpd = httpd
+        self._thread = threading.Thread(
+            target=httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="jigsaw-telemetry",
+            daemon=False,
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop accepting, close the socket, join the loop.  Idempotent."""
+        self._closed = True
+        httpd, self._httpd = self._httpd, None
+        thread, self._thread = self._thread, None
+        if httpd is not None:
+            httpd.shutdown()  # returns once serve_forever exits
+            httpd.server_close()
+        if thread is not None:
+            thread.join()
+
+    def __enter__(self) -> "TelemetryServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def port(self) -> int:
+        if self._httpd is None:
+            raise RuntimeError("telemetry server not started")
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------- sources
+
+    def _get_registry(self):
+        if self._registry is not None:
+            return self._registry
+        from . import get_registry
+
+        return get_registry()
+
+    def _get_recorder(self):
+        if self._recorder is not None:
+            return self._recorder
+        from .flight import flight_recorder
+
+        return flight_recorder()
+
+    def _get_monitor(self):
+        if self._monitor is None:
+            from .health import HealthMonitor
+
+            self._monitor = HealthMonitor(registry=self._get_registry())
+        return self._monitor
+
+    def _get_collector(self):
+        if self._collector is not None:
+            return self._collector
+        from . import global_trace_collector
+
+        return global_trace_collector()
+
+    # -------------------------------------------------------------- routes
+
+    def render_metrics(self) -> str:
+        return self._get_registry().render_prometheus()
+
+    def render_healthz(self):
+        report = self._get_monitor().evaluate()
+        status = 503 if report.status == "crit" else 200
+        return report.as_dict(), status
+
+    def render_queries(self, params: Dict[str, list]) -> Dict[str, Any]:
+        recorder = self._get_recorder()
+        if recorder is None:
+            return {"error": "no flight recorder installed", "records": []}
+        n = int(params.get("n", ["50"])[0])
+        engine = params.get("engine", [None])[0]
+        slow = {"1": True, "0": False}.get(params.get("slow", [""])[0])
+        records = recorder.records(engine=engine, slow=slow, n=n)
+        return {
+            "summary": recorder.summary(),
+            "records": [r.as_dict() for r in records],
+        }
+
+    def render_hotspots(self, params: Dict[str, list]) -> Dict[str, Any]:
+        collector = self._get_collector()
+        if collector is None:
+            return {"error": "tracing not enabled", "hotspots": []}
+        from .export import top_hotspots
+
+        n = int(params.get("n", ["15"])[0])
+        return {
+            "hotspots": [
+                {
+                    "name": h.name,
+                    "count": h.count,
+                    "wall_s": h.wall_s,
+                    "sim_io_s": h.sim_io_s,
+                    "sim_cpu_s": h.sim_cpu_s,
+                }
+                for h in top_hotspots(collector, n=n)
+            ]
+        }
+
+    def render_index(self) -> Dict[str, Any]:
+        return {
+            "service": "jigsaw-telemetry",
+            "routes": ["/metrics", "/healthz", "/queries", "/hotspots"],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "running" if self._httpd is not None else "stopped"
+        return f"TelemetryServer({self.host}, {state})"

@@ -40,7 +40,9 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, Mapping, Optional, Tuple
 
 from ..core.query import Query
+from ..obs import scoped_trace, scoped_tracing_active
 from ..obs import tracer as obs_tracer
+from ..obs.flight import FLIGHT_CONTEXT, flight_recorder
 from ..obs.publish import publish_serve
 from ..plan.result import ResultSet
 from ..plan.stats import ExecutionStats
@@ -80,7 +82,7 @@ class QueryTicket:
 
     __slots__ = (
         "engine", "query", "priority", "result", "stats", "error",
-        "queue_wait_s", "latency_s", "_submitted", "_done",
+        "queue_wait_s", "latency_s", "wal_lsn", "_submitted", "_done",
     )
 
     def __init__(self, engine: str, query: Query, priority: str):
@@ -92,6 +94,9 @@ class QueryTicket:
         self.error: Optional[BaseException] = None
         self.queue_wait_s: float = 0.0
         self.latency_s: float = 0.0
+        #: WAL LSN at submit time (-1 when no WAL/recorder is wired in);
+        #: ties a query in the flight log to the write history it saw.
+        self.wal_lsn: int = -1
         self._submitted = time.perf_counter()
         self._done = threading.Event()
 
@@ -160,6 +165,7 @@ class QueryScheduler:
         self._started = False
         self._closing = False
         self._closed = False
+        self._telemetry = None
         self._n_pending = 0
         self._n_inflight = 0
         # lifetime accounting (guarded by the condition's lock)
@@ -202,7 +208,12 @@ class QueryScheduler:
             )
 
     def close(self) -> None:
-        """Finish queued work, stop the workers, and join them."""
+        """Finish queued work, stop the workers, and join them.
+
+        Also tears down a telemetry server started through
+        :meth:`start_telemetry` — after the workers drain, so the endpoint
+        stays scrapable until the last request finishes.  Idempotent.
+        """
         with self._cond:
             if self._closed:
                 return
@@ -213,6 +224,30 @@ class QueryScheduler:
         with self._cond:
             self._closed = True
             self._threads = []
+        telemetry, self._telemetry = self._telemetry, None
+        if telemetry is not None:
+            telemetry.close()
+
+    def start_telemetry(
+        self, port: int = 0, host: str = "127.0.0.1", monitor=None
+    ):
+        """Start (or return) the live telemetry endpoint for this tier.
+
+        ``port=0`` binds a free port; read it back from the returned
+        server's ``.port``.  Closed automatically by :meth:`close`.
+        """
+        if self._telemetry is None:
+            from ..obs.server import TelemetryServer
+
+            self._telemetry = TelemetryServer(
+                host=host, port=port, monitor=monitor
+            ).start()
+        return self._telemetry
+
+    @property
+    def telemetry(self):
+        """The attached telemetry server, or None."""
+        return self._telemetry
 
     def __enter__(self) -> "QueryScheduler":
         return self.start()
@@ -233,24 +268,39 @@ class QueryScheduler:
         """
         if priority not in _PRIORITIES:
             raise ValueError(f"unknown priority {priority!r}")
+        recorder = flight_recorder()
         if engine not in self._engines:
+            if recorder is not None:
+                recorder.record_rejection(
+                    engine, priority, f"unknown engine {engine!r}", query
+                )
             raise AdmissionRejected(f"unknown engine {engine!r}")
         ticket = QueryTicket(engine, query, priority)
-        with self._cond:
-            if self._closing or self._closed:
-                self.n_rejected += 1
-                raise AdmissionRejected("scheduler is closed")
-            if not self._started:
-                raise RuntimeError("scheduler not started")
-            if self._n_pending >= self.queue_depth:
-                self.n_rejected += 1
-                raise AdmissionRejected(
-                    f"queue full ({self._n_pending}/{self.queue_depth} pending)"
+        if recorder is not None:
+            ticket.wal_lsn = recorder.current_lsn()
+        try:
+            with self._cond:
+                if self._closing or self._closed:
+                    self.n_rejected += 1
+                    raise AdmissionRejected("scheduler is closed")
+                if not self._started:
+                    raise RuntimeError("scheduler not started")
+                if self._n_pending >= self.queue_depth:
+                    self.n_rejected += 1
+                    raise AdmissionRejected(
+                        f"queue full ({self._n_pending}/{self.queue_depth} "
+                        "pending)"
+                    )
+                self._queues[priority].append(_Pending(ticket))
+                self._n_pending += 1
+                self.n_submitted += 1
+                self._cond.notify()
+        except AdmissionRejected as rejection:
+            if recorder is not None:
+                recorder.record_rejection(
+                    engine, priority, str(rejection), query
                 )
-            self._queues[priority].append(_Pending(ticket))
-            self._n_pending += 1
-            self.n_submitted += 1
-            self._cond.notify()
+            raise
         publish_serve(self)
         return ticket
 
@@ -306,6 +356,19 @@ class QueryScheduler:
         ticket.queue_wait_s = started - ticket._submitted
         binding = self._engines[ticket.engine]
         tracer = obs_tracer()
+        recorder = flight_recorder()
+        flight_ctx = None
+        flight_token = None
+        capture = None
+        if recorder is not None:
+            # Stage the per-request flight context so the engine-side hook
+            # (record_query -> note_query) parks its record here for this
+            # request only.
+            flight_ctx = {
+                "priority": ticket.priority,
+                "wal_lsn": ticket.wal_lsn,
+            }
+            flight_token = FLIGHT_CONTEXT.set(flight_ctx)
         try:
             with tracer.span(
                 "serve.request",
@@ -313,7 +376,19 @@ class QueryScheduler:
                 priority=ticket.priority,
                 queue_wait_s=ticket.queue_wait_s,
             ):
-                outcome = binding.executor.execute(ticket.query)
+                if (
+                    recorder is not None
+                    and recorder.slow_query_s is not None
+                    and recorder.capture_explain
+                    and not scoped_tracing_active()
+                ):
+                    # Capture spans for the slow-query EXPLAIN ANALYZE —
+                    # but never steal them from a client that wrapped its
+                    # submit in a scoped_trace of its own.
+                    with scoped_trace(capacity=4096) as capture:
+                        outcome = binding.executor.execute(ticket.query)
+                else:
+                    outcome = binding.executor.execute(ticket.query)
             if isinstance(outcome, tuple):
                 ticket.result, ticket.stats = outcome
             else:
@@ -325,6 +400,18 @@ class QueryScheduler:
             ticket.error = error
         finally:
             ticket.latency_s = time.perf_counter() - ticket._submitted
+            if recorder is not None and flight_ctx is not None:
+                recorder.finalize_context(
+                    flight_ctx,
+                    latency_s=ticket.latency_s,
+                    queue_wait_s=ticket.queue_wait_s,
+                    priority=ticket.priority,
+                    engine=ticket.engine,
+                    query=ticket.query,
+                    error=ticket.error,
+                    spans=capture.spans() if capture is not None else (),
+                )
+                FLIGHT_CONTEXT.reset(flight_token)
             ticket._done.set()
 
     # ----------------------------------------------------------- inspection

@@ -253,6 +253,12 @@ class DeltaCompactor:
                 table.wal.truncate_through(table._applied_lsn)
                 truncated = True
 
+            # Refresh the backlog/delta gauges right after the fold, so a
+            # /healthz scrape sees the checkpoint without waiting for the
+            # next commit to republish.
+            table._publish_wal()
+            table._publish_txn()
+
             return CompactionReport(
                 version=version,
                 scope_pids=tuple(plan.scope_pids),

@@ -102,9 +102,14 @@ class WalStats:
     n_empty_commits: int = 0
     n_records_committed: int = 0
     bytes_written: int = 0
+    #: bytes released by checkpoint truncations; ``bytes_written -
+    #: bytes_truncated`` is the live backlog the WAL health rule watches.
+    bytes_truncated: int = 0
     n_batches_replayed: int = 0
     n_records_replayed: int = 0
     n_truncated_tails: int = 0
+    #: successful :meth:`WriteAheadLog.truncate_through` checkpoints.
+    n_checkpoints: int = 0
     #: wall-clock seconds of the most recent group commit (the simulated
     #: fsync: one blob put per batch).
     last_commit_latency_s: float = 0.0
@@ -301,6 +306,7 @@ class WriteAheadLog:
         the log no longer needs to reproduce them.  Returns batches deleted.
         """
         dropped = 0
+        dropped_bytes = 0
         for seq in self._batch_seqs():
             data = self._read_batch(seq)
             if data is None:
@@ -312,6 +318,10 @@ class WriteAheadLog:
             if batch and max(r.lsn for r in batch) <= lsn:
                 self.store.delete(self._batch_key(seq))
                 dropped += 1
+                dropped_bytes += len(data)
+        with self._lock:
+            self.stats.bytes_truncated += dropped_bytes
+            self.stats.n_checkpoints += 1
         return dropped
 
     # ------------------------------------------------------------ framing
@@ -434,6 +444,20 @@ class WriteAheadLog:
         )
 
     # --------------------------------------------------------- inspection
+
+    @property
+    def last_lsn(self) -> int:
+        """Highest LSN assigned so far (0 before the first append)."""
+        with self._lock:
+            return self._next_lsn - 1
+
+    @property
+    def backlog_bytes(self) -> int:
+        """Committed bytes not yet released by a checkpoint truncation."""
+        with self._lock:
+            return max(
+                0, self.stats.bytes_written - self.stats.bytes_truncated
+            )
 
     def batch_keys(self) -> List[str]:
         return [self._batch_key(seq) for seq in self._batch_seqs()]

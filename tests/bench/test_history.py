@@ -1,0 +1,180 @@
+"""The benchmark-trajectory satellite: history appends, metric-direction
+heuristics, and the ``jigsaw-bench regress`` comparison."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.history import (
+    MetricDelta,
+    append_history,
+    extract_metrics,
+    load_history,
+    metric_direction,
+    run_regress,
+    write_bench_json,
+)
+from repro.bench.reporting import ExperimentResult
+
+
+def make_result(**metrics) -> ExperimentResult:
+    parameters = {k: v for k, v in metrics.items() if not k.startswith("row_")}
+    rows = [
+        {k[len("row_"):]: v for k, v in metrics.items() if k.startswith("row_")}
+    ]
+    if rows == [{}]:
+        rows = []
+    return ExperimentResult(
+        experiment="demo",
+        title="Demo",
+        parameters=parameters,
+        columns=tuple(rows[0]) if rows else (),
+        rows=rows,
+        notes=["a note"],
+    )
+
+
+class TestDirections:
+    @pytest.mark.parametrize(
+        "name",
+        ["io_time_s", "p99_latency_ms", "bytes_read", "cache_misses",
+         "queue_wait_s", "n_rejected"],
+    )
+    def test_lower_better(self, name):
+        assert metric_direction(name) == "lower"
+
+    @pytest.mark.parametrize(
+        "name", ["qps", "speedup_vs_scan", "pool_hit_rate", "throughput"]
+    )
+    def test_higher_better(self, name):
+        assert metric_direction(name) == "higher"
+
+    @pytest.mark.parametrize("name", ["n_partitions", "seed", "n_segments"])
+    def test_neutral_names_are_not_judged(self, name):
+        assert metric_direction(name) is None
+
+
+class TestExtraction:
+    def test_parameters_and_column_means(self):
+        result = ExperimentResult(
+            experiment="e",
+            title="t",
+            parameters={"n_tuples": 400, "layout": "irregular", "flag": True},
+            columns=("qps",),
+            rows=[{"qps": 10.0, "name": "a"}, {"qps": 30.0, "name": "b"}],
+            notes=[],
+        )
+        metrics = extract_metrics(result)
+        assert metrics["n_tuples"] == 400.0
+        assert metrics["col_mean_qps"] == 20.0
+        assert "layout" not in metrics  # strings don't become metrics
+        assert "flag" not in metrics  # nor booleans
+        assert "col_mean_name" not in metrics
+
+
+class TestHistoryFile:
+    def test_append_and_load(self, tmp_path):
+        path = str(tmp_path / "hist.jsonl")
+        append_history(make_result(n=1, row_qps=10.0), path=path)
+        append_history(make_result(n=1, row_qps=12.0), path=path, wall_s=3.5)
+        rows = load_history(path)
+        assert len(rows) == 2
+        assert rows[0]["experiment"] == "demo"
+        assert rows[1]["metrics"]["col_mean_qps"] == 12.0
+        assert rows[1]["wall_s"] == 3.5
+        assert rows[0]["ts_unix_s"] <= rows[1]["ts_unix_s"]
+
+    def test_env_var_path(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "env.jsonl")
+        monkeypatch.setenv("BENCH_HISTORY_PATH", path)
+        append_history(make_result(n=1))
+        assert len(load_history()) == 1
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_history(str(tmp_path / "nope.jsonl")) == []
+
+    def test_write_bench_json_does_both(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(
+            "BENCH_HISTORY_PATH", str(tmp_path / "hist.jsonl")
+        )
+        doc_path = tmp_path / "BENCH_demo.json"
+        write_bench_json(
+            make_result(n=2, row_qps=5.0), str(doc_path), notes_extra=("x",)
+        )
+        document = json.loads(doc_path.read_text())
+        assert document["experiment"] == "demo"
+        assert document["notes"] == ["a note", "x"]
+        assert len(load_history()) == 1
+
+
+class TestRegress:
+    def append_pair(self, path, first, second, experiment="demo"):
+        for metrics in (first, second):
+            result = make_result(**metrics)
+            result.experiment = experiment
+            append_history(result, path=path)
+
+    def test_ok_within_threshold(self, tmp_path):
+        path = str(tmp_path / "h.jsonl")
+        self.append_pair(path, {"io_time_s": 1.0}, {"io_time_s": 1.2})
+        report = run_regress(path, max_slowdown=1.5)
+        assert report.ok
+        assert len(report.compared) == 1
+        assert "OK" in report.render()
+
+    def test_lower_better_regression_fails(self, tmp_path):
+        path = str(tmp_path / "h.jsonl")
+        self.append_pair(path, {"io_time_s": 1.0}, {"io_time_s": 2.0})
+        report = run_regress(path, max_slowdown=1.5)
+        assert not report.ok
+        assert report.regressions[0].metric == "io_time_s"
+        assert report.regressions[0].ratio == pytest.approx(2.0)
+        assert "REGRESSION" in report.render()
+
+    def test_higher_better_regression_fails(self, tmp_path):
+        path = str(tmp_path / "h.jsonl")
+        self.append_pair(path, {"row_qps": 100.0}, {"row_qps": 40.0})
+        report = run_regress(path, max_slowdown=2.0)
+        assert not report.ok
+        assert report.regressions[0].ratio == pytest.approx(2.5)
+
+    def test_improvement_never_fails(self, tmp_path):
+        path = str(tmp_path / "h.jsonl")
+        self.append_pair(
+            path,
+            {"io_time_s": 2.0, "row_qps": 50.0},
+            {"io_time_s": 1.0, "row_qps": 100.0},
+        )
+        assert run_regress(path, max_slowdown=1.01).ok
+
+    def test_neutral_metrics_cannot_fail(self, tmp_path):
+        path = str(tmp_path / "h.jsonl")
+        self.append_pair(path, {"n_partitions": 4}, {"n_partitions": 400})
+        report = run_regress(path, max_slowdown=1.5)
+        assert report.ok and report.compared == []
+
+    def test_single_run_is_skipped(self, tmp_path):
+        path = str(tmp_path / "h.jsonl")
+        append_history(make_result(io_time_s=1.0), path=path)
+        report = run_regress(path, max_slowdown=1.5)
+        assert report.ok
+        assert report.skipped and "only 1 run" in report.skipped[0]
+
+    def test_experiment_filter(self, tmp_path):
+        path = str(tmp_path / "h.jsonl")
+        self.append_pair(path, {"io_time_s": 1.0}, {"io_time_s": 9.0}, "slow")
+        self.append_pair(path, {"io_time_s": 1.0}, {"io_time_s": 1.0}, "fine")
+        assert run_regress(path, experiment="fine").ok
+        assert not run_regress(path, experiment="slow").ok
+
+    def test_bad_threshold_raises(self, tmp_path):
+        with pytest.raises(ValueError):
+            run_regress(str(tmp_path / "h.jsonl"), max_slowdown=1.0)
+
+    def test_zero_previous_value(self):
+        delta = MetricDelta("e", "io_time_s", "lower", 0.0, 0.5)
+        assert delta.ratio == float("inf")
+        delta = MetricDelta("e", "io_time_s", "lower", 0.0, 0.0)
+        assert delta.ratio == 1.0

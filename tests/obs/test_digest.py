@@ -1,0 +1,167 @@
+"""The mergeable log-scale quantile digest: error bounds, determinism,
+merge commutativity and serialization.
+
+The load-bearing property (hypothesis-driven): for any partition of a
+sample into digests, the merged digest's quantile never under-reports and
+over-reports by at most the advertised ``relative_error`` versus the exact
+percentile of the concatenated sample.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import QuantileDigest
+
+
+def exact_quantile(values, q: float) -> float:
+    """Rank-based exact quantile matching the digest's rank convention."""
+    ordered = sorted(values)
+    rank = max(1, int(np.ceil(q * len(ordered))))
+    return float(ordered[rank - 1])
+
+
+positive_values = st.floats(
+    min_value=1e-6,
+    max_value=9e4,
+    allow_nan=False,
+    allow_infinity=False,
+)
+
+
+class TestBounds:
+    def test_quantile_never_under_reports(self):
+        rng = np.random.default_rng(0)
+        values = rng.lognormal(mean=-2.0, sigma=1.5, size=2000)
+        digest = QuantileDigest()
+        for v in values:
+            digest.observe(v)
+        factor = 1.0 + digest.relative_error
+        for q in (0.5, 0.9, 0.95, 0.99, 1.0):
+            exact = exact_quantile(values, q)
+            got = digest.quantile(q)
+            assert exact <= got <= exact * factor * (1 + 1e-12), (q, exact, got)
+
+    @given(
+        st.lists(positive_values, min_size=1, max_size=200),
+        st.lists(positive_values, min_size=0, max_size=200),
+        st.sampled_from([0.5, 0.9, 0.95, 0.99]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_merged_digest_bounds_rank_error(self, left, right, q):
+        a, b = QuantileDigest(), QuantileDigest()
+        for v in left:
+            a.observe(v)
+        for v in right:
+            b.observe(v)
+        merged = QuantileDigest.merged([a, b])
+        assert merged.count == len(left) + len(right)
+        exact = exact_quantile(left + right, q)
+        got = merged.quantile(q)
+        factor = 1.0 + merged.relative_error
+        assert exact * (1 - 1e-12) <= got <= exact * factor * (1 + 1e-12)
+
+    def test_merge_equals_concat_exactly(self):
+        rng = np.random.default_rng(3)
+        values = rng.lognormal(size=999)
+        whole = QuantileDigest()
+        parts = [QuantileDigest() for _ in range(3)]
+        for i, v in enumerate(values):
+            whole.observe(v)
+            parts[i % 3].observe(v)
+        assert QuantileDigest.merged(parts) == whole
+
+    def test_empty_digest(self):
+        digest = QuantileDigest()
+        assert digest.count == 0
+        assert digest.quantile(0.99) == 0.0
+        assert digest.sum == 0.0
+
+
+class TestDeterminism:
+    def test_same_multiset_any_interleaving_same_digest(self):
+        """Thread schedules permute observation order; the digest must not
+        care (integer bucket counts and fixed-point sums commute)."""
+        rng = np.random.default_rng(5)
+        values = rng.lognormal(size=400).tolist()
+        reference = QuantileDigest()
+        for v in values:
+            reference.observe(v)
+
+        for seed in range(4):
+            shuffled = list(values)
+            np.random.default_rng(seed).shuffle(shuffled)
+            chunks = [shuffled[i::4] for i in range(4)]
+            digest = QuantileDigest()
+            lock = threading.Lock()
+
+            def feed(chunk):
+                for v in chunk:
+                    with lock:
+                        digest.observe(v)
+
+            threads = [
+                threading.Thread(target=feed, args=(c,)) for c in chunks
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert digest == reference
+            assert digest.sum == reference.sum
+
+    def test_sum_is_fixed_point(self):
+        digest = QuantileDigest(lo=1e-3)
+        for v in (0.0015, 0.0024, 1.0):
+            digest.observe(v)
+        # each observation rounds to integer units of lo before summing
+        assert digest.sum == pytest.approx((2 + 2 + 1000) * 1e-3)
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        digest = QuantileDigest(lo=1e-4, hi=1e3, bins_per_decade=16)
+        rng = np.random.default_rng(9)
+        for v in rng.lognormal(size=256):
+            digest.observe(v)
+        digest.observe(1e-9)  # underflow
+        digest.observe(1e9)  # overflow
+        clone = QuantileDigest.from_dict(digest.as_dict())
+        assert clone == digest
+        assert clone.quantiles((0.5, 0.95)) == digest.quantiles((0.5, 0.95))
+        assert clone.n_underflow == digest.n_underflow
+        assert clone.n_overflow == digest.n_overflow
+
+    def test_copy_is_independent(self):
+        digest = QuantileDigest()
+        digest.observe(1.0)
+        clone = digest.copy()
+        clone.observe(2.0)
+        assert digest.count == 1 and clone.count == 2
+
+
+class TestValidation:
+    def test_incompatible_merge_raises(self):
+        with pytest.raises(ValueError):
+            QuantileDigest(bins_per_decade=16).update(
+                QuantileDigest(bins_per_decade=32)
+            )
+
+    def test_nan_raises(self):
+        with pytest.raises(ValueError):
+            QuantileDigest().observe(float("nan"))
+
+    def test_bad_quantile_raises(self):
+        with pytest.raises(ValueError):
+            QuantileDigest().quantile(1.5)
+
+    def test_bad_bounds_raise(self):
+        with pytest.raises(ValueError):
+            QuantileDigest(lo=0.0)
+        with pytest.raises(ValueError):
+            QuantileDigest(lo=1.0, hi=0.5)

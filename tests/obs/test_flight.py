@@ -1,0 +1,311 @@
+"""The query flight recorder: capture fidelity, the query API, JSONL
+spill/rotation, scheduler integration — and the acceptance bar that
+recording perturbs *nothing* in the simulated accounting.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.flight import (
+    FLIGHT_CONTEXT,
+    FlightRecord,
+    FlightRecorder,
+    flight_recorder,
+    install_flight_recorder,
+    load_flight_history,
+    uninstall_flight_recorder,
+)
+from repro.serve import AdmissionRejected, QueryScheduler
+from repro.storage.blob import MemoryBlobStore
+from repro.testing.snapshot import (
+    SNAPSHOT_N_ENTRIES,
+    collect_stats_snapshot,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_recorder():
+    uninstall_flight_recorder()
+    yield
+    uninstall_flight_recorder()
+
+
+def make_record(seq: int, **overrides) -> FlightRecord:
+    record = FlightRecord(seq=seq, ts_unix_s=float(seq), engine="scan")
+    for key, value in overrides.items():
+        setattr(record, key, value)
+    return record
+
+
+class TestCapture:
+    def test_engine_hook_records_direct_execution(self, demo):
+        table, workload, layouts = demo
+        recorder = install_flight_recorder(FlightRecorder())
+        layout = layouts["irregular"]
+        query = workload.queries[0]
+        outcome = layout.executor.execute(query)
+        stats = (
+            outcome[1]
+            if isinstance(outcome, tuple)
+            else layout.executor.last_stats
+        )
+        assert recorder.n_recorded == 1
+        (record,) = recorder.records()
+        assert record.engine
+        assert record.label == query.label
+        assert record.outcome == "ok"
+        assert record.table == layout.manager.key_prefix
+        assert record.wall_time_s == stats.wall_time_s
+        assert record.latency_s == stats.wall_time_s  # no scheduler
+        assert record.bytes_read == stats.bytes_read
+        assert record.n_partition_reads == stats.n_partition_reads
+        assert record.catalog_version == layout.manager.catalog_version
+        assert record.priority == ""  # not a serving-tier request
+
+    def test_records_without_metrics_enabled(self, demo):
+        """The flight log is independent of the metrics gate."""
+        _table, workload, layouts = demo
+        assert not obs.metrics_enabled()
+        recorder = install_flight_recorder(FlightRecorder())
+        layouts["natural"].executor.execute(workload.queries[0])
+        assert recorder.n_recorded == 1
+
+    def test_ring_is_bounded(self, demo):
+        _table, workload, layouts = demo
+        recorder = install_flight_recorder(FlightRecorder(capacity=8))
+        executor = layouts["natural"].executor
+        for _ in range(4):
+            for query in workload.queries:
+                executor.execute(query)
+        assert recorder.n_recorded == 20
+        assert len(recorder) == 8
+        # the ring keeps the newest records
+        assert [r.seq for r in recorder.records()] == list(range(12, 20))
+
+    def test_install_replaces_and_closes_previous(self):
+        first = install_flight_recorder(FlightRecorder())
+        second = install_flight_recorder(FlightRecorder())
+        assert flight_recorder() is second
+        assert first._closed
+        uninstall_flight_recorder()
+        assert flight_recorder() is None
+        assert second._closed
+
+
+class TestQueryApi:
+    @pytest.fixture()
+    def recorder(self) -> FlightRecorder:
+        recorder = FlightRecorder(slow_query_s=0.5, capture_explain=False)
+        latencies = [0.1, 0.2, 0.9, 0.4, 1.5, 0.3]
+        engines = ["scan", "scan", "jigsaw-l", "jigsaw-l", "scan", "scan"]
+        outcomes = ["ok", "ok", "ok", "error", "ok", "ok"]
+        for i, (latency, engine, outcome) in enumerate(
+            zip(latencies, engines, outcomes)
+        ):
+            recorder._finish(
+                make_record(i, engine=engine),
+                latency_s=latency,
+                queue_wait_s=0.0,
+                outcome=outcome,
+            )
+        return recorder
+
+    def test_filters(self, recorder):
+        assert len(recorder.records()) == 6
+        assert len(recorder.records(engine="scan")) == 4
+        assert len(recorder.records(outcome="error")) == 1
+        assert len(recorder.records(slow=True)) == 2
+        assert [r.seq for r in recorder.records(n=2)] == [4, 5]
+        assert len(recorder.records(since_unix_s=3.0)) == 3
+
+    def test_top_n(self, recorder):
+        worst = recorder.top_n(2)
+        assert [r.seq for r in worst] == [4, 2]
+        assert worst[0].latency_s == 1.5
+
+    def test_percentile_and_summary(self, recorder):
+        assert recorder.percentile(0.5) == 0.3
+        assert recorder.percentile(1.0) == 1.5
+        assert recorder.percentile(0.5, engine="scan") == 0.2
+        summary = recorder.summary()
+        assert summary["n_recorded"] == 6
+        assert summary["n_slow"] == 2
+        assert summary["n_errors"] == 1
+        assert summary["by_engine"] == {"scan": 4, "jigsaw-l": 2}
+        assert summary["latency_p99_s"] == 1.5
+
+    def test_slow_queries(self, recorder):
+        assert [r.seq for r in recorder.slow_queries()] == [2, 4]
+
+    def test_record_round_trip(self, recorder):
+        for record in recorder.records():
+            clone = FlightRecord.from_dict(
+                json.loads(json.dumps(record.as_dict()))
+            )
+            assert clone == record
+
+
+class TestSpill:
+    def test_spill_rotation_and_reload(self):
+        store = MemoryBlobStore()
+        with FlightRecorder(
+            capacity=64,
+            store=store,
+            key_prefix="flight/",
+            spill_every=4,
+            max_spill_blobs=3,
+        ) as recorder:
+            for i in range(22):
+                recorder._finish(
+                    make_record(i), latency_s=0.01 * i, queue_wait_s=0.0
+                )
+        # 5 full blocks of 4 spilled, the tail of 2 flushed on close,
+        # rotation keeps only the newest 3 blobs.
+        assert recorder.n_spilled == 22
+        keys = [k for k in store.keys() if k.startswith("flight/")]
+        assert len(keys) == 3
+        history = load_flight_history(store)
+        assert [r.seq for r in history] == list(range(12, 22))
+        assert history[-1].latency_s == pytest.approx(0.21)
+
+    def test_flush_is_idempotent(self):
+        store = MemoryBlobStore()
+        recorder = FlightRecorder(store=store, spill_every=100)
+        recorder._finish(make_record(0), latency_s=0.0, queue_wait_s=0.0)
+        recorder.flush()
+        recorder.flush()
+        recorder.close()
+        recorder.close()
+        assert len(load_flight_history(store)) == 1
+
+
+class TestSchedulerIntegration:
+    def test_serving_facts_and_slow_explain(self, demo):
+        _table, workload, layouts = demo
+        recorder = install_flight_recorder(
+            FlightRecorder(slow_query_s=0.0)  # everything is "slow"
+        )
+        layout = layouts["irregular"]
+        scheduler = QueryScheduler(
+            {"irregular": layout.executor}, workers=2, queue_depth=16
+        )
+        with scheduler:
+            tickets = [
+                scheduler.submit("irregular", q, priority="high")
+                for q in workload.queries
+            ]
+            for ticket in tickets:
+                ticket.wait(timeout=30)
+        records = recorder.records()
+        assert len(records) == len(workload.queries)
+        for record in records:
+            assert record.outcome == "ok"
+            assert record.priority == "high"
+            assert record.slow
+            # the scheduler's wall clock, not the engine's
+            assert record.latency_s >= record.wall_time_s
+            assert record.queue_wait_s >= 0.0
+            assert record.wal_lsn == -1  # no WAL wired in
+            # the slow-query log kept the full EXPLAIN ANALYZE tree
+            assert "exec.query" in record.explain
+            assert "sim" in record.explain
+        assert recorder.n_slow == len(workload.queries)
+        assert FLIGHT_CONTEXT.get() is None
+
+    def test_scheduler_does_not_steal_client_scoped_trace(self, demo):
+        """A client running its own scoped_trace must keep its spans even
+        when the slow-query log wants them too (PR7 contract)."""
+        _table, workload, layouts = demo
+        install_flight_recorder(FlightRecorder(slow_query_s=0.0))
+        layout = layouts["natural"]
+        scheduler = QueryScheduler(
+            {"natural": layout.executor}, workers=1, queue_depth=8
+        )
+        with scheduler:
+            with obs.scoped_trace() as collector:
+                scheduler.execute("natural", workload.queries[0])
+        names = {span.name for span in collector.spans()}
+        assert "serve.request" in names
+        assert "exec.query" in names
+
+    def test_rejections_are_recorded(self, demo):
+        _table, workload, layouts = demo
+        recorder = install_flight_recorder(FlightRecorder())
+        scheduler = QueryScheduler(
+            {"natural": layouts["natural"].executor}, workers=1
+        )
+        with scheduler:
+            with pytest.raises(AdmissionRejected):
+                scheduler.submit("nonexistent", workload.queries[0])
+        assert recorder.n_rejections == 1
+        (record,) = recorder.records(outcome="rejected")
+        assert record.engine == "nonexistent"
+        assert "unknown engine" in record.error
+        assert record.latency_s == 0.0
+
+    def test_wal_lsn_stamped_via_provider(self, demo):
+        _table, workload, layouts = demo
+        recorder = install_flight_recorder(
+            FlightRecorder(lsn_provider=lambda: 41)
+        )
+        scheduler = QueryScheduler(
+            {"natural": layouts["natural"].executor}, workers=1
+        )
+        with scheduler:
+            scheduler.execute("natural", workload.queries[0])
+        (record,) = recorder.records()
+        assert record.wal_lsn == 41
+        assert recorder.current_lsn() == 41
+
+
+class TestDigestAgainstExactRecords:
+    def test_live_summary_p95_within_rank_error_of_flight_log(self, demo):
+        """The streaming serve-latency digest must agree with the exact
+        per-query flight records to within its advertised rank-error."""
+        _table, workload, layouts = demo
+        obs.enable(trace=False, metrics=True)
+        recorder = install_flight_recorder(FlightRecorder(capacity=8192))
+        layout = layouts["natural"]
+        scheduler = QueryScheduler(
+            {"natural": layout.executor}, workers=2, queue_depth=64
+        )
+        with scheduler:
+            for _round in range(8):
+                tickets = [
+                    scheduler.submit("natural", q) for q in workload.queries
+                ]
+                for ticket in tickets:
+                    ticket.wait(timeout=30)
+        summary = obs.get_registry().get("jigsaw_serve_latency_quantiles")
+        digest = summary.merged_digest()
+        assert digest.count == recorder.n_recorded == 8 * len(
+            workload.queries
+        )
+        for q in (0.5, 0.95, 0.99):
+            exact = recorder.percentile(q)
+            streamed = digest.quantile(q)
+            factor = 1.0 + digest.relative_error
+            assert exact <= streamed <= exact * factor * (1 + 1e-12), (
+                q, exact, streamed,
+            )
+
+
+class TestAccountingIdentity:
+    def test_snapshot_bit_identical_recorder_on_vs_off(self):
+        """The acceptance bar: the full stats-snapshot sweep is signature-
+        identical with the recorder (slow log included) on and off."""
+        baseline = collect_stats_snapshot()
+        assert len(baseline) == SNAPSHOT_N_ENTRIES
+        recorder = install_flight_recorder(FlightRecorder(slow_query_s=0.0))
+        try:
+            recorded = collect_stats_snapshot()
+        finally:
+            uninstall_flight_recorder()
+        assert recorder.n_recorded == SNAPSHOT_N_ENTRIES
+        for before, after in zip(baseline, recorded):
+            assert before.label == after.label
+            assert before.signature == after.signature
